@@ -1,0 +1,334 @@
+//! Simulated-device back-end: devices, buffers and kernel compilation.
+//!
+//! This plays the role of Alpaka's CUDA back-end: the host allocates
+//! device-resident buffers, copies data across explicitly (with a modeled
+//! transfer cost), *compiles* kernels (here: traces the single-source DSL
+//! into `alpaka-kir` and runs the optimizer — the `nvcc` analogue) and
+//! launches them on the SIMT interpreter of `alpaka-sim`.
+
+use std::sync::Arc;
+
+use alpaka_core::acc::AccCaps;
+use alpaka_core::buffer::{BufLayout, HostBuf};
+use alpaka_core::error::{Error, Result};
+use alpaka_core::kernel::{Kernel, ScalarArgs};
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_kir::{optimize, trace_kernel_spec, PassStats, Program, SpecConsts};
+use alpaka_sim::{
+    run_kernel_launch, transfer_time, DeviceMem, DeviceSpec, ExecMode, SimArgs, SimBufF, SimBufI,
+    SimReport,
+};
+use parking_lot::Mutex;
+
+struct State {
+    mem: DeviceMem,
+    /// Accumulated simulated time in seconds (kernels + transfers).
+    clock_s: f64,
+}
+
+/// A simulated device (one entry of Table 3, or a custom spec).
+#[derive(Clone)]
+pub struct SimDevice {
+    spec: Arc<DeviceSpec>,
+    state: Arc<Mutex<State>>,
+}
+
+impl SimDevice {
+    pub fn new(spec: DeviceSpec) -> Self {
+        SimDevice {
+            spec: Arc::new(spec),
+            state: Arc::new(Mutex::new(State {
+                mem: DeviceMem::new(),
+                clock_s: 0.0,
+            })),
+        }
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Capability descriptor in the shared vocabulary.
+    pub fn caps(&self) -> AccCaps {
+        AccCaps {
+            name: format!("AccSim({})", self.spec.name),
+            kind: self.spec.kind,
+            max_threads_per_block: self.spec.max_threads_per_block,
+            requires_single_thread_blocks: self.spec.max_threads_per_block == 1,
+            warp_width: self.spec.warp_width,
+            shared_mem_per_block: self.spec.shared_mem_per_block,
+            concurrent_blocks: self.spec.sms,
+            supports_async_queues: true,
+        }
+    }
+
+    /// Simulated seconds elapsed on this device so far.
+    pub fn clock_s(&self) -> f64 {
+        self.state.lock().clock_s
+    }
+
+    /// Reset the simulated clock (between experiments).
+    pub fn reset_clock(&self) {
+        self.state.lock().clock_s = 0.0;
+    }
+
+    /// Allocate a zeroed f64 device buffer.
+    pub fn alloc_f64(&self, layout: BufLayout) -> SimBufferF {
+        let id = self.state.lock().mem.alloc_f(layout.alloc_len());
+        SimBufferF {
+            dev: self.clone(),
+            id,
+            layout,
+        }
+    }
+
+    /// Allocate a zeroed i64 device buffer.
+    pub fn alloc_i64(&self, layout: BufLayout) -> SimBufferI {
+        let id = self.state.lock().mem.alloc_i(layout.alloc_len());
+        SimBufferI {
+            dev: self.clone(),
+            id,
+            layout,
+        }
+    }
+
+    pub(crate) fn same_device(&self, other: &SimDevice) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Compile (trace + optimize) a kernel for this device and a given
+    /// launch shape. `specialize` bakes the block/element extents into the
+    /// program as constants — the template-specialization analogue; the
+    /// compiled kernel is then only valid for launches with those extents.
+    pub fn compile<K: Kernel + ?Sized>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        specialize: bool,
+    ) -> CompiledKernel {
+        let spec_consts = if specialize {
+            SpecConsts {
+                block_thread_extent: Some(wd.threads),
+                thread_elem_extent: Some(wd.elems),
+            }
+        } else {
+            SpecConsts::default()
+        };
+        let mut program = trace_kernel_spec(kernel, wd.dim, spec_consts);
+        let pass_stats = optimize(&mut program);
+        CompiledKernel {
+            program,
+            pass_stats,
+            spec_consts,
+        }
+    }
+
+    /// Execute a compiled kernel. Advances the simulated clock by the
+    /// modeled execution time and returns the full report.
+    pub fn launch(
+        &self,
+        compiled: &CompiledKernel,
+        wd: &WorkDiv,
+        args: &SimLaunchArgs,
+        mode: ExecMode,
+    ) -> Result<SimReport> {
+        wd.validate(&self.caps())?;
+        if let Some(bt) = compiled.spec_consts.block_thread_extent {
+            if bt != wd.threads {
+                return Err(Error::InvalidWorkDiv(format!(
+                    "kernel was specialized for block extent {bt:?}, launched with {:?}",
+                    wd.threads
+                )));
+            }
+        }
+        if let Some(te) = compiled.spec_consts.thread_elem_extent {
+            if te != wd.elems {
+                return Err(Error::InvalidWorkDiv(format!(
+                    "kernel was specialized for element extent {te:?}, launched with {:?}",
+                    wd.elems
+                )));
+            }
+        }
+        for b in &args.bufs_f {
+            if !self.same_device(&b.dev) {
+                return Err(Error::BadArg("f64 buffer bound from another device".into()));
+            }
+        }
+        for b in &args.bufs_i {
+            if !self.same_device(&b.dev) {
+                return Err(Error::BadArg("i64 buffer bound from another device".into()));
+            }
+        }
+        let sim_args = SimArgs {
+            bufs_f: args.bufs_f.iter().map(|b| b.id).collect(),
+            bufs_i: args.bufs_i.iter().map(|b| b.id).collect(),
+            params_f: args.scalars.f.clone(),
+            params_i: args.scalars.i.clone(),
+        };
+        let mut st = self.state.lock();
+        let report = run_kernel_launch(&self.spec, &mut st.mem, &compiled.program, wd, &sim_args, mode)
+            .map_err(|e| Error::KernelFault(format!("{}: {e}", compiled.program.name)))?;
+        st.clock_s += report.time.total_s;
+        Ok(report)
+    }
+
+    /// Convenience: compile (specialized) and launch in one step.
+    pub fn run<K: Kernel + ?Sized>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        args: &SimLaunchArgs,
+        mode: ExecMode,
+    ) -> Result<SimReport> {
+        let compiled = self.compile(kernel, wd, true);
+        self.launch(&compiled, wd, args, mode)
+    }
+}
+
+impl core::fmt::Debug for SimDevice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SimDevice({})", self.spec.name)
+    }
+}
+
+/// A kernel traced and optimized for a device (the "compiled PTX").
+pub struct CompiledKernel {
+    pub program: Program,
+    pub pass_stats: PassStats,
+    spec_consts: SpecConsts,
+}
+
+/// Device-resident f64 buffer handle (shallow clone).
+#[derive(Clone)]
+pub struct SimBufferF {
+    dev: SimDevice,
+    id: SimBufF,
+    layout: BufLayout,
+}
+
+/// Device-resident i64 buffer handle (shallow clone).
+#[derive(Clone)]
+pub struct SimBufferI {
+    dev: SimDevice,
+    id: SimBufI,
+    layout: BufLayout,
+}
+
+macro_rules! impl_sim_buffer {
+    ($buf:ident, $elem:ty, $get:ident, $get_mut:ident) => {
+        impl $buf {
+            pub fn layout(&self) -> BufLayout {
+                self.layout
+            }
+
+            pub fn device(&self) -> &SimDevice {
+                &self.dev
+            }
+
+            /// Copy host -> device (deep copy with modeled transfer cost).
+            pub fn write_from(&self, src: &HostBuf<$elem>) -> Result<()> {
+                if !self.layout.same_region(&src.layout()) {
+                    return Err(Error::BadCopy(format!(
+                        "extent mismatch: host {:?} vs device {:?}",
+                        src.layout().extents,
+                        self.layout.extents
+                    )));
+                }
+                let sl = src.layout();
+                let dl = self.layout;
+                let s = src.as_slice();
+                let mut st = self.dev.state.lock();
+                let d = st.mem.$get_mut(self.id);
+                let mut bytes = 0usize;
+                for z in 0..sl.extents[0] {
+                    for y in 0..sl.extents[1] {
+                        let srow = (z * sl.extents[1] + y) * sl.pitch;
+                        let drow = (z * dl.extents[1] + y) * dl.pitch;
+                        d[drow..drow + sl.extents[2]]
+                            .copy_from_slice(&s[srow..srow + sl.extents[2]]);
+                        bytes += sl.extents[2] * 8;
+                    }
+                }
+                st.clock_s += transfer_time(&self.dev.spec, bytes);
+                Ok(())
+            }
+
+            /// Copy device -> host.
+            pub fn read_into(&self, dst: &HostBuf<$elem>) -> Result<()> {
+                if !self.layout.same_region(&dst.layout()) {
+                    return Err(Error::BadCopy(format!(
+                        "extent mismatch: device {:?} vs host {:?}",
+                        self.layout.extents,
+                        dst.layout().extents
+                    )));
+                }
+                let sl = self.layout;
+                let dl = dst.layout();
+                let d = dst.as_mut_slice();
+                let mut st = self.dev.state.lock();
+                let s = st.mem.$get(self.id);
+                let mut bytes = 0usize;
+                for z in 0..sl.extents[0] {
+                    for y in 0..sl.extents[1] {
+                        let srow = (z * sl.extents[1] + y) * sl.pitch;
+                        let drow = (z * dl.extents[1] + y) * dl.pitch;
+                        d[drow..drow + sl.extents[2]]
+                            .copy_from_slice(&s[srow..srow + sl.extents[2]]);
+                        bytes += sl.extents[2] * 8;
+                    }
+                }
+                st.clock_s += transfer_time(&self.dev.spec, bytes);
+                Ok(())
+            }
+
+            /// Read the logical contents into a dense vector (test helper;
+            /// also charged as a transfer).
+            pub fn to_dense(&self) -> Vec<$elem> {
+                let l = self.layout;
+                let st = self.dev.state.lock();
+                let s = st.mem.$get(self.id);
+                let mut out = Vec::with_capacity(l.dense_len());
+                for z in 0..l.extents[0] {
+                    for y in 0..l.extents[1] {
+                        let row = (z * l.extents[1] + y) * l.pitch;
+                        out.extend_from_slice(&s[row..row + l.extents[2]]);
+                    }
+                }
+                out
+            }
+        }
+    };
+}
+
+impl_sim_buffer!(SimBufferF, f64, f, f_mut);
+impl_sim_buffer!(SimBufferI, i64, i, i_mut);
+
+/// Launch arguments for the simulated back-end.
+#[derive(Clone, Default)]
+pub struct SimLaunchArgs {
+    pub bufs_f: Vec<SimBufferF>,
+    pub bufs_i: Vec<SimBufferI>,
+    pub scalars: ScalarArgs,
+}
+
+impl SimLaunchArgs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn buf_f(mut self, b: &SimBufferF) -> Self {
+        self.bufs_f.push(b.clone());
+        self
+    }
+    pub fn buf_i(mut self, b: &SimBufferI) -> Self {
+        self.bufs_i.push(b.clone());
+        self
+    }
+    pub fn scalar_f(mut self, v: f64) -> Self {
+        self.scalars.f.push(v);
+        self
+    }
+    pub fn scalar_i(mut self, v: i64) -> Self {
+        self.scalars.i.push(v);
+        self
+    }
+}

@@ -1,0 +1,171 @@
+//! Uniform buffers over host and simulated device memory.
+
+use alpaka_accsim::{SimBufferF, SimBufferI};
+use alpaka_core::buffer::{BufLayout, HostBuf};
+use alpaka_core::error::{Error, Result};
+
+/// An f64 buffer resident on some device.
+#[derive(Clone)]
+pub enum BufferF {
+    Host(HostBuf<f64>),
+    Sim(SimBufferF),
+}
+
+/// An i64 buffer resident on some device.
+#[derive(Clone)]
+pub enum BufferI {
+    Host(HostBuf<i64>),
+    Sim(SimBufferI),
+}
+
+macro_rules! impl_buffer {
+    ($buf:ident, $elem:ty, $host:ty, $sim:ty) => {
+        impl $buf {
+            pub fn layout(&self) -> BufLayout {
+                match self {
+                    $buf::Host(b) => b.layout(),
+                    $buf::Sim(b) => b.layout(),
+                }
+            }
+
+            /// Overwrite the logical contents from a dense row-major slice
+            /// (staged through a host buffer for device-resident storage —
+            /// data movement is always explicit and visible).
+            pub fn upload(&self, dense: &[$elem]) -> Result<()> {
+                match self {
+                    $buf::Host(b) => b.write_dense(dense),
+                    $buf::Sim(b) => {
+                        let l = b.layout();
+                        if dense.len() != l.dense_len() {
+                            return Err(Error::BadBuffer(format!(
+                                "dense data has {} elements, expected {}",
+                                dense.len(),
+                                l.dense_len()
+                            )));
+                        }
+                        let staging = HostBuf::<$elem>::alloc(l);
+                        staging.write_dense(dense)?;
+                        b.write_from(&staging)
+                    }
+                }
+            }
+
+            /// Read the logical contents out as a dense row-major vector.
+            pub fn download(&self) -> Vec<$elem> {
+                match self {
+                    $buf::Host(b) => b.to_dense(),
+                    $buf::Sim(b) => b.to_dense(),
+                }
+            }
+
+            pub(crate) fn as_host(&self) -> Result<&$host> {
+                match self {
+                    $buf::Host(b) => Ok(b),
+                    $buf::Sim(_) => Err(Error::BadArg(
+                        "device-resident buffer bound to a native CPU launch".into(),
+                    )),
+                }
+            }
+
+            pub(crate) fn as_sim(&self) -> Result<&$sim> {
+                match self {
+                    $buf::Sim(b) => Ok(b),
+                    $buf::Host(_) => Err(Error::BadArg(
+                        "host buffer bound to a simulated-device launch without a copy \
+                         (the memory model requires explicit deep copies)"
+                            .into(),
+                    )),
+                }
+            }
+        }
+    };
+}
+
+impl_buffer!(BufferF, f64, HostBuf<f64>, SimBufferF);
+impl_buffer!(BufferI, i64, HostBuf<i64>, SimBufferI);
+
+/// Deep copy between any two f64 buffers (host<->host, host<->device,
+/// device<->device via staging) — the uniform `mem::view::copy`.
+pub fn copy_f64(dst: &BufferF, src: &BufferF) -> Result<()> {
+    if !dst.layout().same_region(&src.layout()) {
+        return Err(Error::BadCopy(format!(
+            "extent mismatch: src {:?} vs dst {:?}",
+            src.layout().extents,
+            dst.layout().extents
+        )));
+    }
+    match (dst, src) {
+        (BufferF::Host(d), BufferF::Host(s)) => alpaka_core::buffer::copy_region(d, s),
+        (BufferF::Sim(d), BufferF::Host(s)) => d.write_from(s),
+        (BufferF::Host(d), BufferF::Sim(s)) => s.read_into(d),
+        (BufferF::Sim(d), BufferF::Sim(s)) => {
+            let staging = HostBuf::<f64>::alloc(s.layout());
+            s.read_into(&staging)?;
+            d.write_from(&staging)
+        }
+    }
+}
+
+/// Deep copy between any two i64 buffers.
+pub fn copy_i64(dst: &BufferI, src: &BufferI) -> Result<()> {
+    if !dst.layout().same_region(&src.layout()) {
+        return Err(Error::BadCopy(format!(
+            "extent mismatch: src {:?} vs dst {:?}",
+            src.layout().extents,
+            dst.layout().extents
+        )));
+    }
+    match (dst, src) {
+        (BufferI::Host(d), BufferI::Host(s)) => alpaka_core::buffer::copy_region(d, s),
+        (BufferI::Sim(d), BufferI::Host(s)) => d.write_from(s),
+        (BufferI::Host(d), BufferI::Sim(s)) => s.read_into(d),
+        (BufferI::Sim(d), BufferI::Sim(s)) => {
+            let staging = HostBuf::<i64>::alloc(s.layout());
+            s.read_into(&staging)?;
+            d.write_from(&staging)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{AccKind, Device};
+
+    #[test]
+    fn upload_download_roundtrip_everywhere() {
+        let data: Vec<f64> = (0..60).map(|i| i as f64 * 0.25).collect();
+        for kind in [AccKind::CpuSerial, AccKind::sim_k20()] {
+            let dev = Device::new(kind.clone());
+            let buf = dev.alloc_f64(BufLayout::d2(6, 10, 8));
+            buf.upload(&data).unwrap();
+            assert_eq!(buf.download(), data, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn copy_crosses_device_boundaries() {
+        let host_dev = Device::new(AccKind::CpuSerial);
+        let gpu = Device::new(AccKind::sim_k20());
+        let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let h = host_dev.alloc_f64(BufLayout::d1(32));
+        h.upload(&data).unwrap();
+        let d = gpu.alloc_f64(BufLayout::d1(32));
+        copy_f64(&d, &h).unwrap();
+        let d2 = gpu.alloc_f64(BufLayout::d1(32));
+        copy_f64(&d2, &d).unwrap(); // device -> device
+        let h2 = host_dev.alloc_f64(BufLayout::d1(32));
+        copy_f64(&h2, &d2).unwrap();
+        assert_eq!(h2.download(), data);
+        // The simulated clock paid for all those transfers.
+        assert!(gpu.sim_clock_s() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_copy_rejected() {
+        let dev = Device::new(AccKind::CpuSerial);
+        let a = dev.alloc_f64(BufLayout::d1(8));
+        let b = dev.alloc_f64(BufLayout::d1(9));
+        assert!(copy_f64(&a, &b).is_err());
+    }
+}

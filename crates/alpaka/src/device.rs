@@ -1,0 +1,267 @@
+//! Uniform devices: one enum over every back-end.
+//!
+//! The paper's headline usability claim is that running on a new platform
+//! requires changing *one* source line (the accelerator type alias in
+//! Listing 5). The facade reproduces that: programs hold a [`Device`]
+//! constructed from an [`AccKind`], and everything else — buffers, queues,
+//! executors — is uniform.
+
+use alpaka_core::acc::AccCaps;
+use alpaka_core::buffer::BufLayout;
+use alpaka_core::error::Result;
+use alpaka_core::kernel::Kernel;
+use alpaka_core::vec::div_ceil;
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_cpu::{CpuAccKind, CpuDevice};
+use alpaka_sim::DeviceSpec;
+
+use crate::buffer::{BufferF, BufferI};
+
+/// Every accelerator the reproduction ships. Switching back-end is
+/// switching this one value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccKind {
+    /// Sequential CPU back-end (`AccCpuSerial`).
+    CpuSerial,
+    /// Worker-pool over blocks (OpenMP2-blocks analogue).
+    CpuBlocks,
+    /// OS thread per block-thread (C++11-threads analogue).
+    CpuThreads,
+    /// Persistent thread team per block (OpenMP2-threads analogue).
+    CpuBlockThreads,
+    /// Cooperative fibers (boost-fiber analogue).
+    CpuFibers,
+    /// Simulated GPU (CUDA back-end analogue) with a device spec.
+    SimGpu(DeviceSpec),
+    /// Simulated CPU device model (used by the Fig. 9 study).
+    SimCpu(DeviceSpec),
+}
+
+impl AccKind {
+    /// Simulated NVIDIA K20 — the paper's primary GPU.
+    pub fn sim_k20() -> Self {
+        AccKind::SimGpu(DeviceSpec::k20())
+    }
+    /// Simulated NVIDIA K80.
+    pub fn sim_k80() -> Self {
+        AccKind::SimGpu(DeviceSpec::k80())
+    }
+    /// Simulated Intel E5-2630v3.
+    pub fn sim_e5_2630v3() -> Self {
+        AccKind::SimCpu(DeviceSpec::e5_2630v3())
+    }
+
+    /// The five native CPU accelerators.
+    pub fn native_cpu_all() -> Vec<AccKind> {
+        vec![
+            AccKind::CpuSerial,
+            AccKind::CpuBlocks,
+            AccKind::CpuThreads,
+            AccKind::CpuBlockThreads,
+            AccKind::CpuFibers,
+        ]
+    }
+
+    pub fn name(&self) -> String {
+        match self {
+            AccKind::CpuSerial => "AccCpuSerial".into(),
+            AccKind::CpuBlocks => "AccCpuBlocks".into(),
+            AccKind::CpuThreads => "AccCpuThreads".into(),
+            AccKind::CpuBlockThreads => "AccCpuBlockThreads".into(),
+            AccKind::CpuFibers => "AccCpuFibers".into(),
+            AccKind::SimGpu(s) => format!("AccSimGpu({})", s.name),
+            AccKind::SimCpu(s) => format!("AccSimCpu({})", s.name),
+        }
+    }
+}
+
+#[derive(Clone)]
+pub(crate) enum DeviceImpl {
+    Cpu(CpuDevice),
+    Sim(alpaka_accsim::SimDevice),
+}
+
+/// A device of any back-end.
+#[derive(Clone)]
+pub struct Device {
+    kind: AccKind,
+    pub(crate) inner: DeviceImpl,
+}
+
+impl Device {
+    /// Create a device for the given accelerator (`DevMan::getDevByIdx`
+    /// analogue — the host machine exposes exactly one device per CPU
+    /// accelerator, and each spec names one simulated device).
+    pub fn new(kind: AccKind) -> Device {
+        let inner = match &kind {
+            AccKind::CpuSerial => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Serial)),
+            AccKind::CpuBlocks => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Blocks)),
+            AccKind::CpuThreads => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Threads)),
+            AccKind::CpuBlockThreads => {
+                DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::BlockThreads))
+            }
+            AccKind::CpuFibers => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Fibers)),
+            AccKind::SimGpu(spec) | AccKind::SimCpu(spec) => {
+                DeviceImpl::Sim(alpaka_accsim::SimDevice::new(spec.clone()))
+            }
+        };
+        Device { kind, inner }
+    }
+
+    /// Like [`Device::new`] but with an explicit worker count for the
+    /// block-parallel native back-ends.
+    pub fn with_workers(kind: AccKind, workers: usize) -> Device {
+        let inner = match &kind {
+            AccKind::CpuSerial => {
+                DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::Serial, workers))
+            }
+            AccKind::CpuBlocks => {
+                DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::Blocks, workers))
+            }
+            AccKind::CpuThreads => {
+                DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::Threads, workers))
+            }
+            AccKind::CpuBlockThreads => {
+                DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::BlockThreads, workers))
+            }
+            AccKind::CpuFibers => {
+                DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::Fibers, workers))
+            }
+            AccKind::SimGpu(spec) | AccKind::SimCpu(spec) => {
+                DeviceImpl::Sim(alpaka_accsim::SimDevice::new(spec.clone()))
+            }
+        };
+        Device { kind, inner }
+    }
+
+    pub fn kind(&self) -> &AccKind {
+        &self.kind
+    }
+
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+
+    pub fn caps(&self) -> AccCaps {
+        match &self.inner {
+            DeviceImpl::Cpu(d) => d.caps(),
+            DeviceImpl::Sim(d) => d.caps(),
+        }
+    }
+
+    /// True for simulated devices (times are simulated seconds).
+    pub fn is_simulated(&self) -> bool {
+        matches!(self.inner, DeviceImpl::Sim(_))
+    }
+
+    /// Allocate a zeroed f64 buffer resident on this device.
+    pub fn alloc_f64(&self, layout: BufLayout) -> BufferF {
+        match &self.inner {
+            DeviceImpl::Cpu(d) => BufferF::Host(d.alloc_f64(layout)),
+            DeviceImpl::Sim(d) => BufferF::Sim(d.alloc_f64(layout)),
+        }
+    }
+
+    /// Allocate a zeroed i64 buffer resident on this device.
+    pub fn alloc_i64(&self, layout: BufLayout) -> BufferI {
+        match &self.inner {
+            DeviceImpl::Cpu(d) => BufferI::Host(d.alloc_i64(layout)),
+            DeviceImpl::Sim(d) => BufferI::Sim(d.alloc_i64(layout)),
+        }
+    }
+
+    /// A sensible 1-D work division for a problem of `n` elements on this
+    /// accelerator, following the Table 2 shapes: accelerators with
+    /// collapsed block-thread levels get one thread and many elements, the
+    /// others get full blocks.
+    pub fn suggest_workdiv_1d(&self, n: usize) -> WorkDiv {
+        let caps = self.caps();
+        let n = n.max(1);
+        if caps.requires_single_thread_blocks {
+            // Enough blocks to feed every worker a few times over.
+            let target_blocks = (caps.concurrent_blocks * 8).max(1);
+            let v = div_ceil(n, target_blocks).clamp(1, 4096);
+            WorkDiv::d1(div_ceil(n, v), 1, v)
+        } else if caps.warp_width > 1 {
+            // GPU-style: wide blocks, one element per thread.
+            let b = 128.min(caps.max_threads_per_block);
+            WorkDiv::d1(div_ceil(n, b), b, 1)
+        } else {
+            // Thread-parallel CPU accelerators: modest blocks, several
+            // elements per thread.
+            let b = 8.min(caps.max_threads_per_block).max(1);
+            let v = div_ceil(n, b * 64).clamp(1, 1024);
+            WorkDiv::d1(div_ceil(n, b * v), b, v)
+        }
+    }
+
+    /// Synchronous kernel execution (convenience; queues below for the
+    /// full stream semantics).
+    pub fn launch<K: Kernel + Clone + Send + 'static>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        args: &crate::queue::Args,
+    ) -> Result<()> {
+        crate::queue::launch_sync(self, kernel, wd, args)
+    }
+
+    /// Simulated-clock accessor (0 for native devices).
+    pub fn sim_clock_s(&self) -> f64 {
+        match &self.inner {
+            DeviceImpl::Cpu(_) => 0.0,
+            DeviceImpl::Sim(d) => d.clock_s(),
+        }
+    }
+}
+
+impl core::fmt::Debug for Device {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Device({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_line_switch_constructs_all() {
+        let mut kinds = AccKind::native_cpu_all();
+        kinds.push(AccKind::sim_k20());
+        kinds.push(AccKind::sim_e5_2630v3());
+        for kind in kinds {
+            let dev = Device::new(kind.clone());
+            assert!(!dev.caps().name.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn suggested_workdivs_cover_problem_and_validate() {
+        for kind in [
+            AccKind::CpuSerial,
+            AccKind::CpuBlocks,
+            AccKind::CpuThreads,
+            AccKind::sim_k20(),
+            AccKind::sim_e5_2630v3(),
+        ] {
+            let dev = Device::with_workers(kind.clone(), 4);
+            for n in [1usize, 7, 1000, 1 << 16] {
+                let wd = dev.suggest_workdiv_1d(n);
+                wd.validate(&dev.caps()).unwrap_or_else(|e| {
+                    panic!("{kind:?} n={n}: {e}");
+                });
+                assert!(
+                    wd.global_elem_count() >= n,
+                    "{kind:?} n={n}: {wd:?} does not cover"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_devices_report_simulated() {
+        assert!(Device::new(AccKind::sim_k20()).is_simulated());
+        assert!(!Device::new(AccKind::CpuSerial).is_simulated());
+    }
+}

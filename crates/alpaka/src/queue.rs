@@ -1,0 +1,271 @@
+//! Uniform queues, executors and timing over every back-end.
+
+use std::time::Instant;
+
+use alpaka_core::error::{Error, Result};
+use alpaka_core::kernel::{Kernel, ScalarArgs};
+use alpaka_core::queue::{HostEvent, QueueBehavior};
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_cpu::{CpuArgs, CpuQueue};
+use alpaka_sim::{ExecMode, SimReport};
+use parking_lot::Mutex;
+
+use crate::buffer::{copy_f64, copy_i64, BufferF, BufferI};
+use crate::device::{Device, DeviceImpl};
+
+/// Launch arguments: buffers in slot order plus scalars — the executor of
+/// Listing 5 binds these together with the kernel and work division.
+#[derive(Clone, Default)]
+pub struct Args {
+    pub bufs_f: Vec<BufferF>,
+    pub bufs_i: Vec<BufferI>,
+    pub scalars: ScalarArgs,
+}
+
+impl Args {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn buf_f(mut self, b: &BufferF) -> Self {
+        self.bufs_f.push(b.clone());
+        self
+    }
+    pub fn buf_i(mut self, b: &BufferI) -> Self {
+        self.bufs_i.push(b.clone());
+        self
+    }
+    pub fn scalar_f(mut self, v: f64) -> Self {
+        self.scalars.f.push(v);
+        self
+    }
+    pub fn scalar_i(mut self, v: i64) -> Self {
+        self.scalars.i.push(v);
+        self
+    }
+
+    fn to_cpu(&self) -> Result<CpuArgs> {
+        let mut out = CpuArgs::new();
+        for b in &self.bufs_f {
+            out = out.buf_f(b.as_host()?);
+        }
+        for b in &self.bufs_i {
+            out = out.buf_i(b.as_host()?);
+        }
+        out.scalars = self.scalars.clone();
+        Ok(out)
+    }
+
+    fn to_sim(&self) -> Result<alpaka_accsim::SimLaunchArgs> {
+        let mut out = alpaka_accsim::SimLaunchArgs::new();
+        for b in &self.bufs_f {
+            out = out.buf_f(b.as_sim()?);
+        }
+        for b in &self.bufs_i {
+            out = out.buf_i(b.as_sim()?);
+        }
+        out.scalars = self.scalars.clone();
+        Ok(out)
+    }
+}
+
+/// Synchronous launch used by `Device::launch` and the timing helper.
+pub(crate) fn launch_sync<K: Kernel + ?Sized>(
+    dev: &Device,
+    kernel: &K,
+    wd: &WorkDiv,
+    args: &Args,
+) -> Result<()> {
+    match &dev.inner {
+        DeviceImpl::Cpu(d) => d.launch(kernel, wd, &args.to_cpu()?),
+        DeviceImpl::Sim(d) => {
+            d.run(kernel, wd, &args.to_sim()?, ExecMode::Full)?;
+            Ok(())
+        }
+    }
+}
+
+enum QImpl {
+    Cpu(CpuQueue),
+    Sim(Mutex<alpaka_accsim::SimQueue>),
+}
+
+/// An in-order work queue on any device.
+pub struct Queue {
+    device: Device,
+    inner: QImpl,
+}
+
+impl Queue {
+    pub fn new(device: Device, behavior: QueueBehavior) -> Self {
+        let inner = match &device.inner {
+            DeviceImpl::Cpu(d) => QImpl::Cpu(CpuQueue::new(d.clone(), behavior)),
+            DeviceImpl::Sim(d) => {
+                QImpl::Sim(Mutex::new(alpaka_accsim::SimQueue::new(d.clone(), behavior)))
+            }
+        };
+        Queue { device, inner }
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Enqueue a kernel execution.
+    pub fn enqueue_kernel<K: Kernel + Clone + Send + 'static>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        args: &Args,
+    ) -> Result<()> {
+        match &self.inner {
+            QImpl::Cpu(q) => q.enqueue_kernel(kernel.clone(), *wd, args.to_cpu()?),
+            QImpl::Sim(q) => {
+                q.lock()
+                    .enqueue_kernel(kernel, wd, &args.to_sim()?, ExecMode::Full)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Enqueue a deep f64 copy. Same-host copies on a non-blocking CPU
+    /// queue stay fully asynchronous; copies that cross a device boundary
+    /// first drain the queue (preserving in-order semantics) and then run.
+    pub fn enqueue_copy_f64(&self, dst: &BufferF, src: &BufferF) -> Result<()> {
+        match (&self.inner, dst, src) {
+            (QImpl::Cpu(q), BufferF::Host(d), BufferF::Host(s)) => q.enqueue_copy(d, s),
+            _ => {
+                self.wait()?;
+                copy_f64(dst, src)
+            }
+        }
+    }
+
+    /// Enqueue a deep i64 copy (same ordering rules as
+    /// [`Queue::enqueue_copy_f64`]).
+    pub fn enqueue_copy_i64(&self, dst: &BufferI, src: &BufferI) -> Result<()> {
+        match (&self.inner, dst, src) {
+            (QImpl::Cpu(q), BufferI::Host(d), BufferI::Host(s)) => q.enqueue_copy(d, s),
+            _ => {
+                self.wait()?;
+                copy_i64(dst, src)
+            }
+        }
+    }
+
+    /// Enqueue an event signaled once all prior operations completed.
+    pub fn enqueue_event(&self, ev: &HostEvent) -> Result<()> {
+        match &self.inner {
+            QImpl::Cpu(q) => q.enqueue_event(ev),
+            QImpl::Sim(q) => q.lock().enqueue_event(ev),
+        }
+    }
+
+    /// Drain the queue; surfaces the first error of any enqueued op.
+    pub fn wait(&self) -> Result<()> {
+        match &self.inner {
+            QImpl::Cpu(q) => q.wait(),
+            QImpl::Sim(q) => q.lock().wait(),
+        }
+    }
+
+    /// Simulated seconds consumed by this queue (0 for native devices).
+    pub fn sim_elapsed_s(&self) -> f64 {
+        match &self.inner {
+            QImpl::Cpu(_) => 0.0,
+            QImpl::Sim(q) => q.lock().elapsed_s(),
+        }
+    }
+}
+
+/// How to execute a timed launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Interpret/execute everything (results are valid).
+    Exact,
+    /// Simulated devices interpret only ~n blocks and extrapolate timing
+    /// (results incomplete); native devices ignore this and run exactly.
+    TimingSampled(usize),
+}
+
+/// Result of a timed launch.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Wall-clock seconds spent by the host.
+    pub wall_s: f64,
+    /// The time to report: simulated seconds on simulated devices,
+    /// wall-clock seconds on native ones.
+    pub time_s: f64,
+    pub simulated: bool,
+    /// Full simulator report when available.
+    pub report: Option<SimReport>,
+}
+
+/// Execute `kernel` once on `dev` and measure it: wall clock for native
+/// back-ends, modeled device time for simulated ones. The benchmark harness
+/// (`alpaka-bench`) builds every figure on this.
+pub fn time_launch<K: Kernel + ?Sized>(
+    dev: &Device,
+    kernel: &K,
+    wd: &WorkDiv,
+    args: &Args,
+    mode: LaunchMode,
+) -> Result<TimedRun> {
+    let start = Instant::now();
+    match &dev.inner {
+        DeviceImpl::Cpu(d) => {
+            d.launch(kernel, wd, &args.to_cpu()?)?;
+            let wall = start.elapsed().as_secs_f64();
+            Ok(TimedRun {
+                wall_s: wall,
+                time_s: wall,
+                simulated: false,
+                report: None,
+            })
+        }
+        DeviceImpl::Sim(d) => {
+            let exec_mode = match mode {
+                LaunchMode::Exact => ExecMode::Full,
+                LaunchMode::TimingSampled(k) => ExecMode::SampleBlocks(k),
+            };
+            let report = d.run(kernel, wd, &args.to_sim()?, exec_mode)?;
+            Ok(TimedRun {
+                wall_s: start.elapsed().as_secs_f64(),
+                time_s: report.time.total_s,
+                simulated: true,
+                report: Some(report),
+            })
+        }
+    }
+}
+
+/// Convenience check used by tests and examples: run the kernel on every
+/// given device and require identical `download()` results for the listed
+/// output buffers — the paper's *testability* property.
+pub fn assert_portable<K, F>(kinds: &[crate::AccKind], mut setup: F)
+where
+    K: Kernel + Clone + Send + 'static,
+    F: FnMut(&Device) -> (K, WorkDiv, Args, Vec<BufferF>),
+{
+    let mut reference: Option<(String, Vec<Vec<f64>>)> = None;
+    for kind in kinds {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let (kernel, wd, args, outputs) = setup(&dev);
+        dev.launch(&kernel, &wd, &args)
+            .unwrap_or_else(|e| panic!("{}: {e}", dev.name()));
+        let got: Vec<Vec<f64>> = outputs.iter().map(|b| b.download()).collect();
+        match &reference {
+            None => reference = Some((dev.name(), got)),
+            Some((ref_name, want)) => {
+                assert_eq!(
+                    &got, want,
+                    "results diverge between {ref_name} and {}",
+                    dev.name()
+                );
+            }
+        }
+    }
+}
+
+// Re-exported at the crate root; keep the error type in scope for docs.
+#[allow(unused_imports)]
+use Error as _ErrorDoc;

@@ -1,0 +1,306 @@
+//! Framework-property registry: the data behind Table 1 and Table 2.
+//!
+//! Table 1 of the paper scores intra-node parallelization frameworks on
+//! eight properties. The rows for the *other* frameworks are the paper's
+//! published judgements (static data); the Alpaka row is *derived from this
+//! implementation* — each property maps to a concrete capability the test
+//! suite demonstrates.
+
+use alpaka_core::workdiv::{predefined, PredefAcc};
+
+/// Tri-state property score used in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Score {
+    Yes,
+    Partial,
+    No,
+}
+
+impl Score {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Score::Yes => "yes",
+            Score::Partial => "partial",
+            Score::No => "no",
+        }
+    }
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct FrameworkRow {
+    pub model: &'static str,
+    pub openness: Score,
+    pub single_source: Score,
+    pub sustainability: Score,
+    pub heterogeneity: Score,
+    pub maintainability: Score,
+    pub testability: Score,
+    pub optimizability: Score,
+    pub data_structure_agnostic: Score,
+}
+
+impl FrameworkRow {
+    pub fn scores(&self) -> [Score; 8] {
+        [
+            self.openness,
+            self.single_source,
+            self.sustainability,
+            self.heterogeneity,
+            self.maintainability,
+            self.testability,
+            self.optimizability,
+            self.data_structure_agnostic,
+        ]
+    }
+}
+
+/// Column headers of Table 1.
+pub const TABLE1_COLUMNS: [&str; 8] = [
+    "Openness",
+    "Single source",
+    "Sustainability",
+    "Heterogeneity",
+    "Maintainability",
+    "Testability",
+    "Optimizability",
+    "Data structure agnostic",
+];
+
+/// The paper's Table 1, including the Alpaka row this repository implements.
+pub fn table1() -> Vec<FrameworkRow> {
+    use Score::*;
+    vec![
+        FrameworkRow {
+            model: "NVIDIA CUDA",
+            openness: No,
+            single_source: Yes,
+            sustainability: No,
+            heterogeneity: No,
+            maintainability: No,
+            testability: No,
+            optimizability: Partial,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "PGI CUDA-x86",
+            openness: No,
+            single_source: Yes,
+            sustainability: Partial,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "GPU Ocelot",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Partial,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "OpenMP",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Yes,
+            heterogeneity: Partial,
+            maintainability: Partial,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "OpenACC",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Partial,
+            heterogeneity: Partial,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "OpenCL",
+            openness: Yes,
+            single_source: Partial,
+            sustainability: Yes,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "SYCL",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Partial,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Partial,
+            optimizability: Partial,
+            data_structure_agnostic: Yes,
+        },
+        FrameworkRow {
+            model: "C++AMP",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Partial,
+            heterogeneity: Partial,
+            maintainability: Yes,
+            testability: Partial,
+            optimizability: No,
+            data_structure_agnostic: Partial,
+        },
+        FrameworkRow {
+            model: "KOKKOS",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Yes,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: Partial,
+        },
+        FrameworkRow {
+            model: "Thrust",
+            openness: Yes,
+            single_source: Yes,
+            sustainability: Yes,
+            heterogeneity: Yes,
+            maintainability: Yes,
+            testability: Yes,
+            optimizability: No,
+            data_structure_agnostic: No,
+        },
+        alpaka_row(),
+    ]
+}
+
+/// The Alpaka row, with each `Yes` backed by a mechanism in this repo:
+/// openness (source available), single source (one `Kernel::run` for every
+/// back-end), sustainability/maintainability (one-line back-end switch),
+/// heterogeneity (mixed back-ends in one process), testability (identical
+/// results across back-ends), optimizability (explicit work division,
+/// shared memory, element level), data-structure agnostic (plain pitched
+/// buffers, kernels compute their own indices).
+pub fn alpaka_row() -> FrameworkRow {
+    use Score::*;
+    FrameworkRow {
+        model: "Alpaka",
+        openness: Yes,
+        single_source: Yes,
+        sustainability: Yes,
+        heterogeneity: Yes,
+        maintainability: Yes,
+        testability: Yes,
+        optimizability: Yes,
+        data_structure_agnostic: Yes,
+    }
+}
+
+/// One Table 2 row: the predefined decomposition of a 1-D problem.
+#[derive(Debug, Clone)]
+pub struct MappingRow {
+    pub arch: &'static str,
+    pub acc: &'static str,
+    pub grids: usize,
+    pub blocks: String,
+    pub threads: String,
+    pub elements: String,
+}
+
+/// Table 2, both symbolically and (via [`table2_concrete`]) for concrete
+/// `(N, B, V)`.
+pub fn table2_symbolic() -> Vec<MappingRow> {
+    PredefAcc::ALL
+        .iter()
+        .map(|acc| MappingRow {
+            arch: acc.arch(),
+            acc: acc.name(),
+            grids: 1,
+            blocks: if acc.single_thread_blocks() {
+                "N/V".into()
+            } else {
+                "N/(B*V)".into()
+            },
+            threads: if acc.single_thread_blocks() {
+                "1".into()
+            } else {
+                "B".into()
+            },
+            elements: "V".into(),
+        })
+        .collect()
+}
+
+/// Table 2 instantiated for a concrete problem.
+pub fn table2_concrete(n: usize, b: usize, v: usize) -> Vec<(MappingRow, [usize; 3])> {
+    PredefAcc::ALL
+        .iter()
+        .zip(table2_symbolic())
+        .map(|(acc, row)| {
+            let wd = predefined(*acc, n, b, v);
+            (
+                row,
+                [wd.block_count(), wd.threads_per_block(), wd.elems_per_thread()],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_rows_and_alpaka_is_all_yes() {
+        let t = table1();
+        assert_eq!(t.len(), 11);
+        let alpaka = t.last().unwrap();
+        assert_eq!(alpaka.model, "Alpaka");
+        assert!(alpaka.scores().iter().all(|s| *s == Score::Yes));
+        // Per the paper, no other framework scores all-yes.
+        for row in &t[..10] {
+            assert!(
+                row.scores().iter().any(|s| *s != Score::Yes),
+                "{} should not be all-yes",
+                row.model
+            );
+        }
+    }
+
+    #[test]
+    fn table2_concrete_matches_formulas() {
+        let n = 4096;
+        let (b, v) = (128, 4);
+        for (row, [blocks, threads, elems]) in table2_concrete(n, b, v) {
+            match row.threads.as_str() {
+                "1" => {
+                    assert_eq!(blocks, n / v, "{row:?}");
+                    assert_eq!(threads, 1);
+                }
+                _ => {
+                    assert_eq!(blocks, n / (b * v), "{row:?}");
+                    assert_eq!(threads, b);
+                }
+            }
+            assert_eq!(elems, v);
+        }
+    }
+
+    #[test]
+    fn score_symbols() {
+        assert_eq!(Score::Yes.symbol(), "yes");
+        assert_eq!(Score::Partial.symbol(), "partial");
+        assert_eq!(Score::No.symbol(), "no");
+    }
+}

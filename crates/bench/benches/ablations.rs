@@ -1,0 +1,82 @@
+//! Wall-clock ablations on the native CPU back-ends:
+//! * tiling vs naive DGEMM (cache blocking effect),
+//! * block-synchronization strategy cost (threads vs block-team vs fibers)
+//!   on a barrier-heavy reduction.
+
+use alpaka::{AccKind, Args, BufLayout, Device, WorkDiv};
+use alpaka_bench::GemmData;
+use alpaka_kernels::host::random_vec;
+use alpaka_kernels::{DgemmNaive, DgemmTiled, ReduceBlocks};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tiling(c: &mut Criterion) {
+    let n = 192usize;
+    let data = GemmData::new(n);
+    let dev = Device::with_workers(AccKind::CpuBlocks, 1);
+    let mut group = c.benchmark_group("cpu_tiling_ablation");
+    let setup = |dev: &Device| {
+        let ab = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        let bb = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        let cb = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        ab.upload(&data.a).unwrap();
+        bb.upload(&data.b).unwrap();
+        cb.upload(&data.c).unwrap();
+        let args = Args::new()
+            .buf_f(&ab)
+            .buf_f(&bb)
+            .buf_f(&cb)
+            .scalar_f(1.0)
+            .scalar_f(0.0)
+            .scalar_i(n as i64)
+            .scalar_i(n as i64)
+            .scalar_i(n as i64)
+            .scalar_i(ab.layout().pitch as i64)
+            .scalar_i(bb.layout().pitch as i64)
+            .scalar_i(cb.layout().pitch as i64);
+        args
+    };
+    let args = setup(&dev);
+    group.bench_function(BenchmarkId::new("naive", n), |b| {
+        let wd = DgemmNaive::workdiv(n, 4);
+        b.iter(|| dev.launch(&DgemmNaive, &wd, &args).unwrap());
+    });
+    for e in [16usize, 32, 64] {
+        let kern = DgemmTiled { t: 1, e };
+        let wd = kern.workdiv(n, n);
+        group.bench_function(BenchmarkId::new("tiled", e * e), |b| {
+            b.iter(|| dev.launch(&kern, &wd, &args).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sync_strategies(c: &mut Criterion) {
+    let n = 4096usize;
+    let data = random_vec(n, 9);
+    let block = 64usize;
+    let blocks = n / block;
+    let mut group = c.benchmark_group("block_sync_ablation");
+    for (label, kind) in [
+        ("threads_per_block", AccKind::CpuThreads),
+        ("thread_team", AccKind::CpuBlockThreads),
+        ("fibers", AccKind::CpuFibers),
+    ] {
+        let dev = Device::with_workers(kind, 2);
+        let input = dev.alloc_f64(BufLayout::d1(n));
+        let out = dev.alloc_f64(BufLayout::d1(blocks));
+        input.upload(&data).unwrap();
+        let wd = WorkDiv::d1(blocks, block, 1);
+        let args = Args::new().buf_f(&input).buf_f(&out).scalar_i(n as i64);
+        group.bench_function(BenchmarkId::new(label, block), |b| {
+            b.iter(|| dev.launch(&ReduceBlocks { block }, &wd, &args).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tiling, bench_sync_strategies
+}
+criterion_main!(benches);

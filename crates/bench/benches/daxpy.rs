@@ -1,0 +1,44 @@
+//! DAXPY wall-clock benches: abstraction (per back-end) vs native Rust.
+
+use alpaka::{AccKind, Args, BufLayout, Device};
+use alpaka_kernels::host::random_vec;
+use alpaka_kernels::native::native_daxpy;
+use alpaka_kernels::DaxpyKernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_daxpy(c: &mut Criterion) {
+    let n = 1 << 16;
+    let x = random_vec(n, 1);
+    let y0 = random_vec(n, 2);
+    let mut group = c.benchmark_group("daxpy");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("native_rust", n), |b| {
+        let mut y = y0.clone();
+        b.iter(|| native_daxpy(2.5, &x, &mut y, 1));
+    });
+
+    for (label, kind) in [
+        ("alpaka_cpu_serial", AccKind::CpuSerial),
+        ("alpaka_cpu_blocks", AccKind::CpuBlocks),
+    ] {
+        let dev = Device::with_workers(kind, 1);
+        let xb = dev.alloc_f64(BufLayout::d1(n));
+        let yb = dev.alloc_f64(BufLayout::d1(n));
+        xb.upload(&x).unwrap();
+        yb.upload(&y0).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new().buf_f(&xb).buf_f(&yb).scalar_f(2.5).scalar_i(n as i64);
+        group.bench_function(BenchmarkId::new(label, n), |b| {
+            b.iter(|| dev.launch(&DaxpyKernel, &wd, &args).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_daxpy
+}
+criterion_main!(benches);

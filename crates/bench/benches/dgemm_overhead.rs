@@ -1,0 +1,55 @@
+//! DGEMM zero-overhead bench (the Fig. 5 CPU comparison under criterion):
+//! the naive Alpaka kernel on the block-pool back-end vs the same
+//! algorithm as plain multithreaded Rust.
+
+use alpaka::{AccKind, Args, BufLayout, Device};
+use alpaka_bench::GemmData;
+use alpaka_kernels::native::native_dgemm;
+use alpaka_kernels::DgemmNaive;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_dgemm(c: &mut Criterion) {
+    for n in [64usize, 128] {
+        let data = GemmData::new(n);
+        let flops = 2 * n * n * n;
+        let mut group = c.benchmark_group(format!("dgemm_n{n}"));
+        group.throughput(Throughput::Elements(flops as u64));
+
+        group.bench_function(BenchmarkId::new("native_rust", n), |b| {
+            let mut cm = data.c.clone();
+            b.iter(|| native_dgemm(n, n, n, 1.0, &data.a, &data.b, 0.0, &mut cm, 1));
+        });
+
+        let dev = Device::with_workers(AccKind::CpuBlocks, 1);
+        let ab = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        let bb = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        let cb = dev.alloc_f64(BufLayout::d2(n, n, 8));
+        ab.upload(&data.a).unwrap();
+        bb.upload(&data.b).unwrap();
+        cb.upload(&data.c).unwrap();
+        let wd = DgemmNaive::workdiv(n, 4);
+        let args = Args::new()
+            .buf_f(&ab)
+            .buf_f(&bb)
+            .buf_f(&cb)
+            .scalar_f(1.0)
+            .scalar_f(0.0)
+            .scalar_i(n as i64)
+            .scalar_i(n as i64)
+            .scalar_i(n as i64)
+            .scalar_i(ab.layout().pitch as i64)
+            .scalar_i(bb.layout().pitch as i64)
+            .scalar_i(cb.layout().pitch as i64);
+        group.bench_function(BenchmarkId::new("alpaka_cpu_blocks", n), |b| {
+            b.iter(|| dev.launch(&DgemmNaive, &wd, &args).unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dgemm
+}
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. IR optimization passes on/off (the zero-overhead claim's mechanism),
+//! 2. coalesced vs strided global access on the GPU model,
+//! 3. shared-memory tiling vs naive global access,
+//! 4. occupancy (resident warps) sensitivity of the latency-hiding model,
+//! 5. shared-memory bank conflicts (transpose tile padding).
+
+use alpaka::{LaunchMode, WorkDiv};
+use alpaka_bench::*;
+use alpaka_core::kernel::Kernel;
+use alpaka_core::ops::{KernelOps, KernelOpsExt};
+use alpaka_kernels::{DaxpyKernel, DgemmNaive, DgemmTiled, DgemmTiledCuda};
+use alpaka_kir::{optimize, trace_kernel_spec, SpecConsts};
+use alpaka_sim::{run_kernel_launch, DeviceMem, DeviceSpec, ExecMode, SimArgs};
+
+fn main() {
+    ablation_passes();
+    ablation_coalescing();
+    ablation_tiling();
+    ablation_occupancy();
+    ablation_bank_conflicts();
+}
+
+/// 1. What the optimizer removes, and what it buys at run time.
+fn ablation_passes() {
+    println!("# Ablation 1 — IR optimization passes on/off (DAXPY, sim K20)\n");
+    let spec_consts = SpecConsts {
+        thread_elem_extent: Some([1, 1, 1]),
+        block_thread_extent: Some([1, 1, 128]),
+    };
+    let raw = trace_kernel_spec(&DaxpyKernel, 1, spec_consts);
+    let mut opt = raw.clone();
+    optimize(&mut opt);
+
+    let spec = DeviceSpec::k20();
+    let n = 1 << 14;
+    let run = |prog: &alpaka_kir::Program| {
+        let mut mem = DeviceMem::new();
+        let x = mem.alloc_f(n);
+        let y = mem.alloc_f(n);
+        let args = SimArgs {
+            bufs_f: vec![x, y],
+            bufs_i: vec![],
+            params_f: vec![2.0],
+            params_i: vec![n as i64],
+        };
+        run_kernel_launch(
+            &spec,
+            &mut mem,
+            prog,
+            &WorkDiv::d1(n / 128, 128, 1),
+            &args,
+            ExecMode::Full,
+        )
+        .unwrap()
+    };
+    let r_raw = run(&raw);
+    let r_opt = run(&opt);
+    let mut t = Table::new(&["Variant", "static instrs", "issued warp-instrs", "t_sim [s]"]);
+    t.row(vec![
+        "unoptimized trace".into(),
+        raw.instr_count().to_string(),
+        (r_raw.stats.scalar_issue + r_raw.stats.vec_issue).to_string(),
+        format!("{:.6}", r_raw.time.total_s),
+    ]);
+    t.row(vec![
+        "optimized".into(),
+        opt.instr_count().to_string(),
+        (r_opt.stats.scalar_issue + r_opt.stats.vec_issue).to_string(),
+        format!("{:.6}", r_opt.time.total_s),
+    ]);
+    t.print();
+    println!();
+}
+
+/// 2. Coalescing: unit-stride vs 32-stride warp gathers.
+fn ablation_coalescing() {
+    println!("# Ablation 2 — global-memory coalescing (sim K20)\n");
+    #[derive(Clone)]
+    struct Gather {
+        stride: i64,
+    }
+    impl Kernel for Gather {
+        fn name(&self) -> &str {
+            "gather"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let src = o.buf_f(0);
+            let dst = o.buf_f(1);
+            let i = o.linear_global_thread_idx();
+            let s = o.lit_i(self.stride);
+            let si = o.mul_i(i, s);
+            let v = o.ld_gf(src, si);
+            o.st_gf(dst, i, v);
+        }
+    }
+    let spec = DeviceSpec::k20();
+    let threads = 1 << 14;
+    let mut t = Table::new(&["stride", "transactions", "DRAM bytes", "t_sim [s]"]);
+    for stride in [1i64, 2, 8, 32] {
+        let mut mem = DeviceMem::new();
+        let src = mem.alloc_f(threads * stride as usize);
+        let dst = mem.alloc_f(threads);
+        let args = SimArgs {
+            bufs_f: vec![src, dst],
+            bufs_i: vec![],
+            params_f: vec![],
+            params_i: vec![],
+        };
+        let prog = alpaka_kir::trace_kernel(&Gather { stride }, 1);
+        let r = run_kernel_launch(
+            &spec,
+            &mut mem,
+            &prog,
+            &WorkDiv::d1(threads / 128, 128, 1),
+            &args,
+            ExecMode::Full,
+        )
+        .unwrap();
+        t.row(vec![
+            stride.to_string(),
+            r.stats.mem_transactions.to_string(),
+            r.stats.dram_bytes.to_string(),
+            format!("{:.6}", r.time.total_s),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// 3. Tiling: naive vs CUDA-style shared-memory vs hierarchical tiling.
+fn ablation_tiling() {
+    println!("# Ablation 3 — shared-memory tiling (DGEMM n=128, sim K20)\n");
+    let n = 128usize;
+    let data = GemmData::new(n);
+    let dev = dev_sim_k20();
+    let mut t = Table::new(&["Kernel", "t_sim [s]", "DRAM bytes", "GFLOPS"]);
+    let fl = gemm_flops(n, n, n);
+    let mut add = |label: &str, run: alpaka::TimedRun| {
+        let stats = run.report.as_ref().unwrap().stats;
+        t.row(vec![
+            label.into(),
+            format!("{:.6}", run.time_s),
+            stats.dram_bytes.to_string(),
+            format!("{:.1}", gflops(fl, run.time_s)),
+        ]);
+    };
+    let (naive, _) = time_gemm(
+        &dev,
+        &DgemmNaive,
+        &WorkDiv::d1(n.div_ceil(128).max(1), 128, 1),
+        &data,
+        LaunchMode::Exact,
+    );
+    add("naive (no tiling)", naive);
+    let k = DgemmTiledCuda { ts: 16 };
+    let (cuda, _) = time_gemm(&dev, &k, &k.workdiv(n, n), &data, LaunchMode::Exact);
+    add("CUDA-style tiled (ts=16)", cuda);
+    let k = DgemmTiled { t: 16, e: 2 };
+    let (hier, _) = time_gemm(&dev, &k, &k.workdiv(n, n), &data, LaunchMode::Exact);
+    add("hierarchical tiled (t=16, e=2)", hier);
+    t.print();
+    println!();
+}
+
+/// 4. Occupancy: same kernel, block sizes from 64 to 512 threads.
+fn ablation_occupancy() {
+    println!("# Ablation 4 — occupancy / latency hiding (tiled DGEMM, sim K20)\n");
+    let n = 128usize;
+    let data = GemmData::new(n);
+    let dev = dev_sim_k20();
+    let mut t = Table::new(&["ts (block = ts^2)", "threads/block", "mem efficiency", "t_sim [s]"]);
+    for ts in [4usize, 8, 16] {
+        let k = DgemmTiledCuda { ts };
+        let (run, _) = time_gemm(&dev, &k, &k.workdiv(n, n), &data, LaunchMode::Exact);
+        let eff = run.report.as_ref().unwrap().time.mem_efficiency;
+        t.row(vec![
+            ts.to_string(),
+            (ts * ts).to_string(),
+            format!("{eff:.3}"),
+            format!("{:.6}", run.time_s),
+        ]);
+    }
+    t.print();
+}
+
+/// 5. Bank conflicts: transpose with unpadded vs padded shared tiles.
+fn ablation_bank_conflicts() {
+    use alpaka_kernels::transpose::{transpose_workdiv, TransposePadded, TransposeTiled};
+    println!("\n# Ablation 5 — shared-memory bank conflicts (transpose 128x128, sim K20)\n");
+    let (rows, cols) = (128usize, 128usize);
+    let dev = dev_sim_k20();
+    let data = alpaka_kernels::host::random_matrix(rows, cols, 5);
+    let mut t = Table::new(&["Variant", "bank-conflict cycles", "t_sim [s]"]);
+    let mut run = |label: &str, padded: bool| {
+        let input = dev.alloc_f64(alpaka::BufLayout::d2(rows, cols, 8));
+        let out = dev.alloc_f64(alpaka::BufLayout::d2(cols, rows, 8));
+        input.upload(&data).unwrap();
+        let wd = transpose_workdiv(rows, cols, 32);
+        let args = alpaka::Args::new()
+            .buf_f(&input)
+            .buf_f(&out)
+            .scalar_i(rows as i64)
+            .scalar_i(cols as i64)
+            .scalar_i(input.layout().pitch as i64)
+            .scalar_i(out.layout().pitch as i64);
+        let timed = if padded {
+            alpaka::time_launch(&dev, &TransposePadded { ts: 32 }, &wd, &args, LaunchMode::Exact)
+        } else {
+            alpaka::time_launch(&dev, &TransposeTiled { ts: 32 }, &wd, &args, LaunchMode::Exact)
+        }
+        .unwrap();
+        let r = timed.report.unwrap();
+        t.row(vec![
+            label.into(),
+            r.stats.bank_conflict_cycles.to_string(),
+            format!("{:.6}", timed.time_s),
+        ]);
+    };
+    run("tiled, unpadded (ts x ts)", false);
+    run("tiled, padded (ts x ts+1)", true);
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Reproduce Fig. 4: the instruction streams of the Alpaka DAXPY and the
+//! native CUDA-style DAXPY are identical after compilation.
+//!
+//! The Alpaka kernel is the fully generic one (hierarchy queries + element
+//! loop); tracing specializes the element extent to 1 exactly as the CUDA
+//! accelerator's template parameters do, and the alpaka-kir passes play the
+//! role of nvcc. The printed streams are diffed line by line.
+
+use alpaka_kernels::{DaxpyKernel, DaxpyNativeStyle};
+use alpaka_kir::{optimize, print_stream, trace_kernel, trace_kernel_spec, SpecConsts};
+
+fn main() {
+    let spec = SpecConsts {
+        thread_elem_extent: Some([1, 1, 1]),
+        ..Default::default()
+    };
+    let mut alpaka_prog = trace_kernel_spec(&DaxpyKernel, 1, spec);
+    let before = alpaka_prog.instr_count();
+    let stats = optimize(&mut alpaka_prog);
+    let mut native_prog = trace_kernel(&DaxpyNativeStyle, 1);
+    optimize(&mut native_prog);
+
+    let alpaka_stream = print_stream(&alpaka_prog);
+    let native_stream = print_stream(&native_prog);
+
+    println!("# Fig. 4 — zero-overhead abstraction: compiled instruction streams\n");
+    println!("## Alpaka DAXPY (generic kernel, element extent specialized to 1)\n");
+    print!("{alpaka_stream}");
+    println!("\n## Native CUDA-style DAXPY (hand-written index math)\n");
+    print!("{native_stream}");
+
+    println!("\n## Diff");
+    let mut differences = 0;
+    for (i, (a, b)) in alpaka_stream.lines().zip(native_stream.lines()).enumerate() {
+        if a != b {
+            println!("line {i}: `{a}` vs `{b}`");
+            differences += 1;
+        }
+    }
+    let la = alpaka_stream.lines().count();
+    let lb = native_stream.lines().count();
+    if la != lb {
+        println!("stream lengths differ: {la} vs {lb}");
+        differences += 1;
+    }
+    if differences == 0 {
+        println!("streams are IDENTICAL ({la} instructions/statements).");
+    }
+    println!(
+        "\nAbstraction residue removed by the optimizer: {} instructions before, {} after\n\
+         (unrolled {} loops, aliased {} identities, folded {} constants, DCE removed {}).",
+        before,
+        alpaka_prog.instr_count(),
+        stats.unrolled,
+        stats.aliased,
+        stats.folded,
+        stats.removed,
+    );
+    assert_eq!(alpaka_stream, native_stream, "Fig. 4 reproduction failed");
+    println!("\nPaper: \"the PTX code is the same up to one non-coherent-cache load\" — reproduced (exactly identical here).");
+}

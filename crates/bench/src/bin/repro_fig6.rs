@@ -1,0 +1,64 @@
+//! Reproduce Fig. 6: a native-style kernel mapped to the *opposite*
+//! back-end performs poorly — Alpaka is not naively performance-portable.
+//!
+//! * The CUDA-style tiled kernel (tiny tiles, barrier per tile) on a CPU
+//!   thread back-end, vs. native multithreaded Rust.
+//! * The OpenMP-style naive row kernel (one thread per row, strided
+//!   accesses, no shared memory) on the simulated K80, vs. the tiled
+//!   kernel's simulated time.
+
+use alpaka::{AccKind, Device, LaunchMode};
+use alpaka_bench::*;
+use alpaka_kernels::native::native_dgemm;
+use alpaka_kernels::{DgemmNaive, DgemmTiledCuda};
+
+fn main() {
+    let workers = host_workers();
+    println!("# Fig. 6 — native-style kernels on swapped back-ends\n");
+    let mut t = Table::new(&["Mapping", "n", "t_native [s]", "t_swapped [s]", "speedup vs native"]);
+
+    // ---- CUDA-style kernel on the CPU thread-team back-end ----
+    let cpu = Device::with_workers(AccKind::CpuBlockThreads, workers);
+    for n in [64usize, 128] {
+        let data = GemmData::new(n);
+        let t_native = median_wall(3, || {
+            let mut c = data.c.clone();
+            native_dgemm(n, n, n, 1.0, &data.a, &data.b, 0.0, &mut c, workers);
+            std::hint::black_box(&c);
+        });
+        let ts = 8;
+        let wd = DgemmTiledCuda { ts }.workdiv(n, n);
+        let (t_swapped, _) = bench_gemm(&cpu, &DgemmTiledCuda { ts }, &wd, &data, 1);
+        t.row(vec![
+            "CUDA-style tiled on CpuBlockThreads".into(),
+            n.to_string(),
+            format!("{t_native:.4}"),
+            format!("{t_swapped:.4}"),
+            format!("{:.4}", t_native / t_swapped),
+        ]);
+    }
+
+    // ---- OpenMP-style naive kernel on the simulated GPU ----
+    let gpu = dev_sim_k80();
+    for n in [128usize, 256] {
+        let data = GemmData::new(n);
+        // The "native" GPU time: the tiled kernel.
+        let wd_tiled = DgemmTiledCuda { ts: 16 }.workdiv(n, n);
+        let (tiled, _) = time_gemm(&gpu, &DgemmTiledCuda { ts: 16 }, &wd_tiled, &data, LaunchMode::Exact);
+        // The swapped kernel: one thread per row (B = 128 threads).
+        let wd_naive = alpaka::WorkDiv::d1(n.div_ceil(128).max(1), 128, 1);
+        let (naive, _) = time_gemm(&gpu, &DgemmNaive, &wd_naive, &data, LaunchMode::Exact);
+        t.row(vec![
+            "OMP-style naive on SimK80".into(),
+            n.to_string(),
+            format!("{:.6}", tiled.time_s),
+            format!("{:.6}", naive.time_s),
+            format!("{:.4}", tiled.time_s / naive.time_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper: swapped kernels reach less than 0.2 of native speed.\n\
+         Shape check: every speedup above should be well below 1 (ideally < 0.2)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Reproduce Fig. 8: the *single-source* hierarchically tiled DGEMM kernel
+//! competes with (and can beat) the native implementations on every
+//! back-end, with the elements-per-thread choice as the tuning knob.
+//!
+//! * GPU (simulated K80): tiling with 1 vs 4 elements per thread, relative
+//!   to the native CUDA-style kernel.
+//! * CPU (real, block pool): tiling with 256 vs 4096 elements per thread,
+//!   relative to the native multithreaded naive implementation.
+
+use alpaka::LaunchMode;
+use alpaka_bench::*;
+use alpaka_kernels::native::native_dgemm;
+use alpaka_kernels::{DgemmTiled, DgemmTiledCuda};
+
+fn main() {
+    let workers = host_workers();
+    println!("# Fig. 8 — single-source tiling kernel vs native implementations\n");
+    let mut t = Table::new(&["Series", "n", "t_native [s]", "t_tiled [s]", "speedup vs native"]);
+
+    // ---- GPU (simulated K80) ----
+    let gpu = dev_sim_k80();
+    for n in [128usize, 256] {
+        let data = GemmData::new(n);
+        let wd_native = DgemmTiledCuda { ts: 16 }.workdiv(n, n);
+        let (native, _) =
+            time_gemm(&gpu, &DgemmTiledCuda { ts: 16 }, &wd_native, &data, LaunchMode::Exact);
+        for (label, kern) in [
+            ("Alpaka(SimK80) tiling 1 element", DgemmTiled { t: 16, e: 1 }),
+            ("Alpaka(SimK80) tiling 4 elements", DgemmTiled { t: 16, e: 2 }),
+        ] {
+            let wd = kern.workdiv(n, n);
+            let (tiled, _) = time_gemm(&gpu, &kern, &wd, &data, LaunchMode::Exact);
+            t.row(vec![
+                label.into(),
+                n.to_string(),
+                format!("{:.6}", native.time_s),
+                format!("{:.6}", tiled.time_s),
+                format!("{:.3}", native.time_s / tiled.time_s),
+            ]);
+        }
+    }
+
+    // ---- CPU (real block-pool back-end) ----
+    let cpu = dev_cpu_blocks();
+    for n in [256usize, 512] {
+        let data = GemmData::new(n);
+        let t_native = median_wall(3, || {
+            let mut c = data.c.clone();
+            native_dgemm(n, n, n, 1.0, &data.a, &data.b, 0.0, &mut c, workers);
+            std::hint::black_box(&c);
+        });
+        for (label, kern) in [
+            ("Alpaka(CpuBlocks) tiling 256 elements", DgemmTiled { t: 1, e: 16 }),
+            ("Alpaka(CpuBlocks) tiling 4k elements", DgemmTiled { t: 1, e: 64 }),
+        ] {
+            let wd = kern.workdiv(n, n);
+            let (t_tiled, _) = bench_gemm(&cpu, &kern, &wd, &data, 3);
+            t.row(vec![
+                label.into(),
+                n.to_string(),
+                format!("{t_native:.4}"),
+                format!("{t_tiled:.4}"),
+                format!("{:.3}", t_native / t_tiled),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: the single-source tiling kernel competes with and even\n\
+         outperforms the native implementations (speedups ~1–4).\n\
+         Shape check: speedups should be >= ~0.9, and the larger element\n\
+         counts should help on the CPU."
+    );
+}

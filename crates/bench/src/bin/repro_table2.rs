@@ -1,0 +1,36 @@
+//! Reproduce Table 2: predefined accelerator work divisions for a 1-D
+//! problem of size N with B threads per block and V elements per thread.
+
+use alpaka::registry::{table2_concrete, table2_symbolic};
+use alpaka_bench::Table;
+
+fn main() {
+    println!("# Table 2 — predefined accelerators (symbolic)\n");
+    let mut t = Table::new(&["Arch", "Acc", "Grid", "Block", "Thread", "Element"]);
+    for row in table2_symbolic() {
+        t.row(vec![
+            row.arch.into(),
+            row.acc.into(),
+            row.grids.to_string(),
+            row.blocks.clone(),
+            row.threads.clone(),
+            row.elements.clone(),
+        ]);
+    }
+    t.print();
+
+    let (n, b, v) = (1 << 20, 128, 4);
+    println!("\n# Concrete instantiation: N = {n}, B = {b}, V = {v}\n");
+    let mut t = Table::new(&["Arch", "Acc", "Blocks", "Threads/block", "Elems/thread", "Covered"]);
+    for (row, [blocks, threads, elems]) in table2_concrete(n, b, v) {
+        t.row(vec![
+            row.arch.into(),
+            row.acc.into(),
+            blocks.to_string(),
+            threads.to_string(),
+            elems.to_string(),
+            (blocks * threads * elems >= n).to_string(),
+        ]);
+    }
+    t.print();
+}

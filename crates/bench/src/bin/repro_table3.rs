@@ -1,0 +1,39 @@
+//! Reproduce Table 3: the evaluation hardware, as simulated device specs.
+//! The "th. double peak" column must match the paper's per-device values
+//! (derived from its per-node numbers).
+
+use alpaka_bench::Table;
+use alpaka_sim::DeviceSpec;
+
+fn main() {
+    println!("# Table 3 — simulated devices standing in for the paper's hardware\n");
+    let mut t = Table::new(&[
+        "Device",
+        "Kind",
+        "SMs/Cores",
+        "Warp",
+        "SIMD f64",
+        "Clock GHz",
+        "Peak GFLOPS",
+        "Mem GB/s",
+        "Shared KiB",
+    ]);
+    for s in DeviceSpec::table3() {
+        t.row(vec![
+            s.name.clone(),
+            s.kind.as_str().into(),
+            s.sms.to_string(),
+            s.warp_width.to_string(),
+            s.simd_width.to_string(),
+            format!("{:.3}", s.clock_ghz),
+            format!("{:.0}", s.peak_gflops()),
+            format!("{:.0}", s.mem_bw_gbs),
+            (s.shared_mem_per_block / 1024).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper (per device): Opteron 6276 = 120, E5-2609 = 75, E5-2630v3 = 270,\n\
+         K20 = 1170, K80 (per GK210) = 1450 GFLOPS."
+    );
+}

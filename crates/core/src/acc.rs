@@ -1,0 +1,117 @@
+//! Accelerator capability descriptors.
+//!
+//! An *accelerator* in the paper's model is the mapping of the abstract
+//! grid/block/thread/element hierarchy onto a concrete device. Back-ends
+//! advertise their mapping constraints through [`AccCaps`] so that host code
+//! (and the work-division helpers) can validate and auto-select divisions.
+
+use crate::error::{Error, Result};
+
+/// The broad class of device an accelerator executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host-style device: few fat cores, caches, SIMD units.
+    Cpu,
+    /// Accelerator-style device: many slim cores grouped into SMs, warps.
+    Gpu,
+}
+
+impl DeviceKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "CPU",
+            DeviceKind::Gpu => "GPU",
+        }
+    }
+}
+
+/// Capabilities of a concrete accelerator implementation.
+///
+/// These are the constraints the explicit mapping of Section 3.3 has to
+/// respect: a level that an accelerator cannot exploit is collapsed to
+/// extent one (e.g. `requires_single_thread_blocks` for the serial and
+/// block-pool back-ends, exactly like Alpaka's `AccCpuSerial` and
+/// OpenMP2-blocks accelerators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccCaps {
+    /// Human-readable accelerator name, e.g. `AccCpuSerial`.
+    pub name: String,
+    /// Device class this accelerator maps onto.
+    pub kind: DeviceKind,
+    /// Maximum product of block-thread extents.
+    pub max_threads_per_block: usize,
+    /// If true the block-thread level is collapsed: every block must have
+    /// exactly one thread (element-level parallelism still applies).
+    pub requires_single_thread_blocks: bool,
+    /// Lock-step width of the device (warp size on GPUs, SIMD lanes on
+    /// CPUs, 1 when there is no lock-step execution).
+    pub warp_width: usize,
+    /// Bytes of block-shared memory available.
+    pub shared_mem_per_block: usize,
+    /// How many blocks the device can genuinely execute in parallel
+    /// (worker count for pools, SM count for GPUs, 1 for serial).
+    pub concurrent_blocks: usize,
+    /// Whether asynchronous (non-blocking) queues are supported.
+    pub supports_async_queues: bool,
+}
+
+impl AccCaps {
+    /// A permissive default used by tests and the serial accelerator.
+    pub fn serial() -> Self {
+        AccCaps {
+            name: "AccCpuSerial".into(),
+            kind: DeviceKind::Cpu,
+            max_threads_per_block: 1,
+            requires_single_thread_blocks: true,
+            warp_width: 1,
+            shared_mem_per_block: 1 << 20,
+            concurrent_blocks: 1,
+            supports_async_queues: true,
+        }
+    }
+
+    /// Validate that a thread-per-block count is acceptable.
+    pub fn check_block_threads(&self, threads: usize) -> Result<()> {
+        if self.requires_single_thread_blocks && threads != 1 {
+            return Err(Error::InvalidWorkDiv(format!(
+                "{} collapses the block-thread level: blocks must have exactly 1 \
+                 thread, got {threads}",
+                self.name
+            )));
+        }
+        if threads == 0 {
+            return Err(Error::InvalidWorkDiv("zero threads per block".into()));
+        }
+        if threads > self.max_threads_per_block {
+            return Err(Error::InvalidWorkDiv(format!(
+                "{} supports at most {} threads per block, got {threads}",
+                self.name, self.max_threads_per_block
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_rejects_multi_thread_blocks() {
+        let caps = AccCaps::serial();
+        assert!(caps.check_block_threads(1).is_ok());
+        assert!(caps.check_block_threads(2).is_err());
+        assert!(caps.check_block_threads(0).is_err());
+    }
+
+    #[test]
+    fn max_threads_enforced() {
+        let caps = AccCaps {
+            requires_single_thread_blocks: false,
+            max_threads_per_block: 1024,
+            ..AccCaps::serial()
+        };
+        assert!(caps.check_block_threads(1024).is_ok());
+        assert!(caps.check_block_threads(1025).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Host memory buffers and the pitched-layout vocabulary shared by all
+//! back-ends.
+//!
+//! Alpaka's memory model is deliberately simple (Section 3.4.4): a buffer is
+//! a plain pointer plus residing device, extent, *pitch* and dimension.
+//! There is no hidden data movement; deep copies between memory levels are
+//! explicit queue operations. Rows of multi-dimensional buffers are aligned
+//! ("Alpaka aligning rows to optimum memory boundaries", Section 4.2), and
+//! the pitch is exposed so kernels can compute linear indices themselves —
+//! the *data structure agnostic* property.
+
+use core::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// Default row alignment in bytes for pitched allocations (a cache line).
+pub const ROW_ALIGN_BYTES: usize = 64;
+
+/// Element types storable in device buffers. Sealed: the DSL is monomorphic
+/// over `f64` and `i64` words.
+pub trait Elem: Copy + Send + Sync + PartialEq + core::fmt::Debug + 'static {
+    const ZERO: Self;
+    const NAME: &'static str;
+    fn to_bits64(self) -> u64;
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Elem for f64 {
+    const ZERO: Self = 0.0;
+    const NAME: &'static str = "f64";
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Elem for i64 {
+    const ZERO: Self = 0;
+    const NAME: &'static str = "i64";
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+/// Extents (up to 3-D, canonical `[z, y, x]`) plus the row pitch in
+/// *elements*. `pitch >= extents[2]`; rows are `pitch` apart in the linear
+/// element space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufLayout {
+    pub dim: usize,
+    pub extents: [usize; 3],
+    pub pitch: usize,
+}
+
+impl BufLayout {
+    /// 1-D layout: `n` contiguous elements (pitch == n).
+    pub fn d1(n: usize) -> Self {
+        BufLayout {
+            dim: 1,
+            extents: [1, 1, n],
+            pitch: n,
+        }
+    }
+
+    /// 2-D layout `(rows, cols)` with rows padded to `ROW_ALIGN_BYTES`.
+    pub fn d2(rows: usize, cols: usize, elem_size: usize) -> Self {
+        BufLayout {
+            dim: 2,
+            extents: [1, rows, cols],
+            pitch: align_row(cols, elem_size),
+        }
+    }
+
+    /// 3-D layout `(depth, rows, cols)` with padded rows.
+    pub fn d3(depth: usize, rows: usize, cols: usize, elem_size: usize) -> Self {
+        BufLayout {
+            dim: 3,
+            extents: [depth, rows, cols],
+            pitch: align_row(cols, elem_size),
+        }
+    }
+
+    /// 2-D layout with no padding (`pitch == cols`). Used when a kernel
+    /// wants a dense linear index space.
+    pub fn d2_dense(rows: usize, cols: usize) -> Self {
+        BufLayout {
+            dim: 2,
+            extents: [1, rows, cols],
+            pitch: cols,
+        }
+    }
+
+    /// Number of *logical* elements (without row padding).
+    pub fn dense_len(&self) -> usize {
+        self.extents[0] * self.extents[1] * self.extents[2]
+    }
+
+    /// Number of elements that must be allocated, including row padding.
+    pub fn alloc_len(&self) -> usize {
+        if self.extents[2] == 0 {
+            0
+        } else {
+            self.extents[0] * self.extents[1] * self.pitch
+        }
+    }
+
+    /// Linear (padded) index of element `(z, y, x)`.
+    #[inline]
+    pub fn index(&self, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(z < self.extents[0] && y < self.extents[1] && x < self.extents[2]);
+        (z * self.extents[1] + y) * self.pitch + x
+    }
+
+    /// Whether two layouts describe the same logical region (pitch may
+    /// differ — copies handle that row by row).
+    pub fn same_region(&self, other: &BufLayout) -> bool {
+        self.extents == other.extents
+    }
+}
+
+fn align_row(cols: usize, elem_size: usize) -> usize {
+    let per_line = (ROW_ALIGN_BYTES / elem_size).max(1);
+    cols.div_ceil(per_line) * per_line
+}
+
+/// Interior-mutable, shareable storage for host buffers.
+///
+/// # Safety contract
+/// Exactly the CUDA/Alpaka contract: device code (kernel threads) may write
+/// disjoint elements concurrently or use atomics; the host must not access
+/// the buffer while an operation using it is enqueued and unfinished.
+/// Synchronization is established by the queue (`wait`) / block barriers.
+struct HostMem<E> {
+    cell: UnsafeCell<Box<[E]>>,
+}
+
+// SAFETY: access discipline documented above; all concurrent mutation goes
+// through raw pointers to distinct elements or CAS atomics.
+unsafe impl<E: Send> Send for HostMem<E> {}
+unsafe impl<E: Send> Sync for HostMem<E> {}
+
+/// A host-resident buffer of `E` with pitched layout. Cloning is shallow
+/// (both handles alias the same storage), matching device-buffer handle
+/// semantics of the paper's API.
+pub struct HostBuf<E: Elem> {
+    layout: BufLayout,
+    mem: Arc<HostMem<E>>,
+}
+
+impl<E: Elem> Clone for HostBuf<E> {
+    fn clone(&self) -> Self {
+        HostBuf {
+            layout: self.layout,
+            mem: Arc::clone(&self.mem),
+        }
+    }
+}
+
+impl<E: Elem> core::fmt::Debug for HostBuf<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "HostBuf<{}>({:?})", E::NAME, self.layout)
+    }
+}
+
+impl<E: Elem> HostBuf<E> {
+    /// Allocate a zero-initialized buffer with the given layout
+    /// (`mem::buf::alloc` in Listing 4).
+    pub fn alloc(layout: BufLayout) -> Self {
+        let data = vec![E::ZERO; layout.alloc_len()].into_boxed_slice();
+        HostBuf {
+            layout,
+            mem: Arc::new(HostMem {
+                cell: UnsafeCell::new(data),
+            }),
+        }
+    }
+
+    /// Allocate a 1-D buffer initialized from `data`.
+    pub fn from_vec(data: Vec<E>) -> Self {
+        let layout = BufLayout::d1(data.len());
+        HostBuf {
+            layout,
+            mem: Arc::new(HostMem {
+                cell: UnsafeCell::new(data.into_boxed_slice()),
+            }),
+        }
+    }
+
+    /// Allocate a pitched 2-D buffer and fill it row-by-row from a dense
+    /// row-major slice.
+    pub fn from_dense_2d(rows: usize, cols: usize, dense: &[E]) -> Result<Self> {
+        if dense.len() != rows * cols {
+            return Err(Error::BadBuffer(format!(
+                "dense data has {} elements, expected {}",
+                dense.len(),
+                rows * cols
+            )));
+        }
+        let buf = Self::alloc(BufLayout::d2(rows, cols, core::mem::size_of::<E>()));
+        buf.write_dense(dense)?;
+        Ok(buf)
+    }
+
+    pub fn layout(&self) -> BufLayout {
+        self.layout
+    }
+
+    /// Raw base pointer (device-code view of the buffer).
+    pub fn ptr(&self) -> *mut E {
+        // SAFETY: pointer extraction only; dereferencing is governed by the
+        // HostMem contract.
+        unsafe { (*self.mem.cell.get()).as_mut_ptr() }
+    }
+
+    /// Length of the padded allocation in elements.
+    pub fn alloc_len(&self) -> usize {
+        self.layout.alloc_len()
+    }
+
+    /// Host view of the padded storage. Caller must ensure no device
+    /// operation is concurrently writing (enforced by `Queue::wait`).
+    pub fn as_slice(&self) -> &[E] {
+        // SAFETY: see HostMem contract.
+        unsafe { &*self.mem.cell.get() }
+    }
+
+    /// Mutable host view; same contract as [`Self::as_slice`], plus the
+    /// caller must be the only host-side accessor (guaranteed when used
+    /// between queue synchronizations on one host thread).
+    #[allow(clippy::mut_from_ref)]
+    pub fn as_mut_slice(&self) -> &mut [E] {
+        // SAFETY: see HostMem contract.
+        unsafe { &mut *self.mem.cell.get() }
+    }
+
+    /// Copy the logical (unpadded) contents out as a dense row-major vector.
+    pub fn to_dense(&self) -> Vec<E> {
+        let l = self.layout;
+        let src = self.as_slice();
+        let mut out = Vec::with_capacity(l.dense_len());
+        for z in 0..l.extents[0] {
+            for y in 0..l.extents[1] {
+                let row = (z * l.extents[1] + y) * l.pitch;
+                out.extend_from_slice(&src[row..row + l.extents[2]]);
+            }
+        }
+        out
+    }
+
+    /// Overwrite the logical contents from a dense row-major slice.
+    pub fn write_dense(&self, dense: &[E]) -> Result<()> {
+        let l = self.layout;
+        if dense.len() != l.dense_len() {
+            return Err(Error::BadBuffer(format!(
+                "dense data has {} elements, expected {}",
+                dense.len(),
+                l.dense_len()
+            )));
+        }
+        let dst = self.as_mut_slice();
+        let mut src_off = 0;
+        for z in 0..l.extents[0] {
+            for y in 0..l.extents[1] {
+                let row = (z * l.extents[1] + y) * l.pitch;
+                dst[row..row + l.extents[2]]
+                    .copy_from_slice(&dense[src_off..src_off + l.extents[2]]);
+                src_off += l.extents[2];
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill every logical element with `v` (padding untouched).
+    pub fn fill(&self, v: E) {
+        let l = self.layout;
+        let dst = self.as_mut_slice();
+        for z in 0..l.extents[0] {
+            for y in 0..l.extents[1] {
+                let row = (z * l.extents[1] + y) * l.pitch;
+                dst[row..row + l.extents[2]].iter_mut().for_each(|e| *e = v);
+            }
+        }
+    }
+
+    /// True if both handles alias the same storage.
+    pub fn same_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.mem, &other.mem)
+    }
+}
+
+/// Deep copy of the logical region between two (possibly differently
+/// pitched) buffers — `mem::view::copy` of Listing 4, host-to-host flavour.
+/// Back-ends reuse this row-walk for their own memory spaces.
+pub fn copy_region<E: Elem>(dst: &HostBuf<E>, src: &HostBuf<E>) -> Result<()> {
+    if !dst.layout().same_region(&src.layout()) {
+        return Err(Error::BadCopy(format!(
+            "extent mismatch: src {:?} vs dst {:?}",
+            src.layout().extents,
+            dst.layout().extents
+        )));
+    }
+    let sl = src.layout();
+    let dl = dst.layout();
+    let s = src.as_slice();
+    let d = dst.as_mut_slice();
+    for z in 0..sl.extents[0] {
+        for y in 0..sl.extents[1] {
+            let srow = (z * sl.extents[1] + y) * sl.pitch;
+            let drow = (z * dl.extents[1] + y) * dl.pitch;
+            d[drow..drow + sl.extents[2]].copy_from_slice(&s[srow..srow + sl.extents[2]]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitch_aligns_rows() {
+        // 10 f64 per row -> 64-byte lines hold 8 f64 -> pitch 16.
+        let l = BufLayout::d2(10, 10, 8);
+        assert_eq!(l.pitch, 16);
+        assert_eq!(l.alloc_len(), 160);
+        assert_eq!(l.dense_len(), 100);
+        // Already aligned stays put.
+        assert_eq!(BufLayout::d2(4, 8, 8).pitch, 8);
+    }
+
+    #[test]
+    fn index_respects_pitch() {
+        let l = BufLayout::d2(3, 5, 8);
+        assert_eq!(l.index(0, 0, 0), 0);
+        assert_eq!(l.index(0, 1, 0), l.pitch);
+        assert_eq!(l.index(0, 2, 4), 2 * l.pitch + 4);
+    }
+
+    #[test]
+    fn dense_roundtrip_through_pitched_buffer() {
+        let rows = 7;
+        let cols = 5;
+        let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+        let buf = HostBuf::from_dense_2d(rows, cols, &data).unwrap();
+        assert!(buf.layout().pitch > cols); // actually padded
+        assert_eq!(buf.to_dense(), data);
+    }
+
+    #[test]
+    fn copy_between_different_pitches() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let padded = HostBuf::from_dense_2d(3, 4, &data).unwrap();
+        let dense = HostBuf::<f64>::alloc(BufLayout::d2_dense(3, 4));
+        copy_region(&dense, &padded).unwrap();
+        assert_eq!(dense.to_dense(), data);
+        // And back the other way.
+        let padded2 = HostBuf::<f64>::alloc(BufLayout::d2(3, 4, 8));
+        copy_region(&padded2, &dense).unwrap();
+        assert_eq!(padded2.to_dense(), data);
+    }
+
+    #[test]
+    fn copy_extent_mismatch_errors() {
+        let a = HostBuf::<f64>::alloc(BufLayout::d1(8));
+        let b = HostBuf::<f64>::alloc(BufLayout::d1(9));
+        assert!(copy_region(&a, &b).is_err());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = HostBuf::from_vec(vec![1.0f64, 2.0]);
+        let b = a.clone();
+        b.as_mut_slice()[0] = 5.0;
+        assert_eq!(a.as_slice()[0], 5.0);
+        assert!(a.same_storage(&b));
+    }
+
+    #[test]
+    fn fill_leaves_padding_alone() {
+        let buf = HostBuf::<f64>::alloc(BufLayout::d2(2, 3, 8));
+        buf.as_mut_slice().iter_mut().for_each(|v| *v = -1.0);
+        buf.fill(2.0);
+        assert_eq!(buf.to_dense(), vec![2.0; 6]);
+        // Padding retains the sentinel.
+        assert_eq!(buf.as_slice()[3], -1.0);
+    }
+
+    #[test]
+    fn elem_bits_roundtrip() {
+        assert_eq!(f64::from_bits64((1.5f64).to_bits64()), 1.5);
+        assert_eq!(i64::from_bits64((-7i64).to_bits64()), -7);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types shared by all back-ends.
+
+use core::fmt;
+
+/// Errors produced by the abstraction layer and its back-ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A work division violates a capability of the target accelerator
+    /// (e.g. too many threads per block, or a back-end that requires a
+    /// block-thread extent of one).
+    InvalidWorkDiv(String),
+    /// A kernel argument slot was accessed with the wrong type or was not
+    /// bound at launch.
+    BadArg(String),
+    /// Buffer extents/pitch do not permit the requested operation.
+    BadBuffer(String),
+    /// A copy between incompatible devices or mismatching extents.
+    BadCopy(String),
+    /// The kernel itself misbehaved (out-of-bounds access detected by a
+    /// checking back-end, shared-memory misuse, ...).
+    KernelFault(String),
+    /// Device-level failure (simulated device exhausted memory, queue
+    /// worker died, ...).
+    Device(String),
+    /// Feature not supported by this back-end.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWorkDiv(m) => write!(f, "invalid work division: {m}"),
+            Error::BadArg(m) => write!(f, "bad kernel argument: {m}"),
+            Error::BadBuffer(m) => write!(f, "bad buffer: {m}"),
+            Error::BadCopy(m) => write!(f, "bad copy: {m}"),
+            Error::KernelFault(m) => write!(f, "kernel fault: {m}"),
+            Error::Device(m) => write!(f, "device error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidWorkDiv("threads 2048 > max 1024".into());
+        assert!(e.to_string().contains("work division"));
+        assert!(e.to_string().contains("2048"));
+    }
+}

@@ -1,0 +1,325 @@
+//! N-dimensional extent/index vectors and index-space mapping.
+//!
+//! This is the analogue of Alpaka's `Vec<Dim, Size>` together with
+//! `core::mapIdx`: every level of the parallelization hierarchy is
+//! unrestricted in its dimensionality (we support 1–3 dims, as the paper's
+//! examples do), and indices can be mapped between extents of different
+//! dimensionality (e.g. linearizing a 2-D thread index, Listing 3).
+
+use core::fmt;
+use core::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// An `D`-dimensional vector of `usize` used for extents and indices.
+///
+/// Component 0 is the slowest-varying ("y" in 2-D row-major terms comes
+/// first); linearization is row-major over the component order, matching the
+/// paper's mapping of matrices onto 1-D buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vecn<const D: usize>(pub [usize; D]);
+
+pub type Vec1 = Vecn<1>;
+pub type Vec2 = Vecn<2>;
+pub type Vec3 = Vecn<3>;
+
+impl<const D: usize> Vecn<D> {
+    /// A vector with every component equal to `v`.
+    #[inline]
+    pub const fn splat(v: usize) -> Self {
+        Vecn([v; D])
+    }
+
+    /// The all-zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// The all-one vector (the neutral extent).
+    #[inline]
+    pub const fn one() -> Self {
+        Self::splat(1)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Product of all components — the total number of points in the extent.
+    #[inline]
+    pub fn product(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Checked product, guarding against overflow when building huge
+    /// iteration spaces.
+    pub fn checked_product(&self) -> Option<usize> {
+        self.0
+            .iter()
+            .try_fold(1usize, |acc, &v| acc.checked_mul(v))
+    }
+
+    /// True if any component is zero (an empty index space).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().any(|&v| v == 0)
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = (*o).min(b);
+        }
+        Vecn(out)
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = (*o).max(b);
+        }
+        Vecn(out)
+    }
+
+    /// True if `idx` lies inside this extent in every component.
+    pub fn contains(&self, idx: Self) -> bool {
+        self.0.iter().zip(idx.0).all(|(&e, i)| i < e)
+    }
+
+    /// Row-major linearization of `idx` within this extent
+    /// (`mapIdx<1>` in the paper's Listing 3).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `idx` is out of bounds.
+    #[inline]
+    pub fn linearize(&self, idx: Self) -> usize {
+        debug_assert!(self.contains(idx), "index {idx:?} out of extent {self:?}");
+        let mut lin = 0usize;
+        for d in 0..D {
+            lin = lin * self.0[d] + idx.0[d];
+        }
+        lin
+    }
+
+    /// Inverse of [`Self::linearize`]: map a linear index back to the
+    /// multi-dimensional point (`mapIdx<D>` applied to a 1-D index).
+    #[inline]
+    pub fn delinearize(&self, mut lin: usize) -> Self {
+        let mut out = [0usize; D];
+        for d in (0..D).rev() {
+            let e = self.0[d];
+            debug_assert!(e > 0, "delinearize within empty extent");
+            out[d] = lin % e;
+            lin /= e;
+        }
+        debug_assert!(lin == 0, "linear index out of extent");
+        Vecn(out)
+    }
+
+    /// Iterate over every point of the extent in row-major order.
+    pub fn iter_points(&self) -> impl Iterator<Item = Vecn<D>> + '_ {
+        let total = self.product();
+        let ext = *self;
+        (0..total).map(move |lin| ext.delinearize(lin))
+    }
+
+    /// Pad (or truncate) to a canonical 3-component `[z, y, x]`-style array
+    /// used internally by the back-ends. Missing slow dimensions become 1.
+    pub fn to3(&self) -> [usize; 3] {
+        let mut out = [1usize; 3];
+        let off = 3 - D.min(3);
+        for d in 0..D.min(3) {
+            out[off + d] = self.0[d];
+        }
+        out
+    }
+}
+
+impl<const D: usize> fmt::Debug for Vecn<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vec{}{:?}", D, self.0)
+    }
+}
+
+impl<const D: usize> fmt::Display for Vecn<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> Index<usize> for Vecn<D> {
+    type Output = usize;
+    #[inline]
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Vecn<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut usize {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> From<[usize; D]> for Vecn<D> {
+    fn from(a: [usize; D]) -> Self {
+        Vecn(a)
+    }
+}
+
+impl From<usize> for Vec1 {
+    fn from(v: usize) -> Self {
+        Vecn([v])
+    }
+}
+
+impl<const D: usize> Add for Vecn<D> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(rhs.0) {
+            *o += b;
+        }
+        Vecn(out)
+    }
+}
+
+impl<const D: usize> Sub for Vecn<D> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(rhs.0) {
+            *o -= b;
+        }
+        Vecn(out)
+    }
+}
+
+impl<const D: usize> Mul for Vecn<D> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(rhs.0) {
+            *o *= b;
+        }
+        Vecn(out)
+    }
+}
+
+/// Map a point from one index space to another of equal cardinality by
+/// linearizing in `from` and delinearizing in `to`. This is the general
+/// `mapIdx` the paper exposes for converting between dimensionalities.
+pub fn map_idx<const DF: usize, const DT: usize>(
+    idx: Vecn<DF>,
+    from: Vecn<DF>,
+    to: Vecn<DT>,
+) -> Vecn<DT> {
+    debug_assert_eq!(
+        from.product(),
+        to.product(),
+        "map_idx requires equal cardinality"
+    );
+    to.delinearize(from.linearize(idx))
+}
+
+/// Ceiling division helper used throughout work-division computations.
+#[inline]
+pub const fn div_ceil(a: usize, b: usize) -> usize {
+    if b == 0 {
+        0
+    } else {
+        (a + b - 1) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_and_empty() {
+        assert_eq!(Vecn([3, 4, 5]).product(), 60);
+        assert!(Vecn([3, 0]).is_empty());
+        assert!(!Vecn([1]).is_empty());
+        assert_eq!(Vec2::splat(7).product(), 49);
+    }
+
+    #[test]
+    fn linearize_roundtrip_2d() {
+        let ext = Vecn([4, 6]);
+        for lin in 0..24 {
+            let p = ext.delinearize(lin);
+            assert_eq!(ext.linearize(p), lin);
+        }
+    }
+
+    #[test]
+    fn linearize_is_row_major() {
+        let ext = Vecn([2, 3]);
+        assert_eq!(ext.linearize(Vecn([0, 0])), 0);
+        assert_eq!(ext.linearize(Vecn([0, 2])), 2);
+        assert_eq!(ext.linearize(Vecn([1, 0])), 3);
+        assert_eq!(ext.linearize(Vecn([1, 2])), 5);
+    }
+
+    #[test]
+    fn map_idx_between_dims() {
+        let from = Vecn([4, 4]);
+        let to = Vecn([16]);
+        assert_eq!(map_idx(Vecn([2, 1]), from, to), Vecn([9]));
+        let back = map_idx(Vecn([9]), to, from);
+        assert_eq!(back, Vecn([2, 1]));
+    }
+
+    #[test]
+    fn iter_points_covers_everything_once() {
+        let ext = Vecn([3, 2, 2]);
+        let pts: std::vec::Vec<_> = ext.iter_points().collect();
+        assert_eq!(pts.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for p in pts {
+            assert!(ext.contains(p));
+            assert!(seen.insert(p.0));
+        }
+    }
+
+    #[test]
+    fn to3_pads_slow_dims() {
+        assert_eq!(Vecn([5]).to3(), [1, 1, 5]);
+        assert_eq!(Vecn([4, 5]).to3(), [1, 4, 5]);
+        assert_eq!(Vecn([3, 4, 5]).to3(), [3, 4, 5]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Vecn([1, 2]) + Vecn([3, 4]), Vecn([4, 6]));
+        assert_eq!(Vecn([5, 6]) - Vecn([1, 2]), Vecn([4, 4]));
+        assert_eq!(Vecn([2, 3]) * Vecn([4, 5]), Vecn([8, 15]));
+    }
+
+    #[test]
+    fn div_ceil_edges() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+        assert_eq!(div_ceil(5, 0), 0);
+    }
+
+    #[test]
+    fn checked_product_overflow() {
+        assert_eq!(Vecn([usize::MAX, 2]).checked_product(), None);
+        assert_eq!(Vecn([3, 4]).checked_product(), Some(12));
+    }
+}

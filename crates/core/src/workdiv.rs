@@ -1,0 +1,256 @@
+//! Work division: the extents of every level of the parallelization
+//! hierarchy (`WorkDivMembers` in the paper, Listing 2), plus the predefined
+//! accelerator mappings of Table 2 and validation against accelerator
+//! capabilities.
+
+use crate::acc::AccCaps;
+use crate::error::{Error, Result};
+use crate::vec::{div_ceil, Vecn};
+
+/// The extents of the grid (in blocks), each block (in threads) and each
+/// thread (in elements). Stored canonically as `[z, y, x]` triples so the
+/// back-ends do not need to be generic over dimensionality; `dim` records
+/// the user-facing dimensionality (1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkDiv {
+    pub dim: usize,
+    pub blocks: [usize; 3],
+    pub threads: [usize; 3],
+    pub elems: [usize; 3],
+}
+
+impl WorkDiv {
+    /// One-dimensional work division (Listing 5: 256 blocks × 16 threads ×
+    /// 1 element would be `WorkDiv::d1(256, 16, 1)`).
+    pub fn d1(blocks: usize, threads: usize, elems: usize) -> Self {
+        WorkDiv {
+            dim: 1,
+            blocks: [1, 1, blocks],
+            threads: [1, 1, threads],
+            elems: [1, 1, elems],
+        }
+    }
+
+    /// Two-dimensional work division from `(y, x)` pairs (Listing 2).
+    pub fn d2(blocks: Vecn<2>, threads: Vecn<2>, elems: Vecn<2>) -> Self {
+        WorkDiv {
+            dim: 2,
+            blocks: blocks.to3(),
+            threads: threads.to3(),
+            elems: elems.to3(),
+        }
+    }
+
+    /// Three-dimensional work division from `(z, y, x)` triples.
+    pub fn d3(blocks: Vecn<3>, threads: Vecn<3>, elems: Vecn<3>) -> Self {
+        WorkDiv {
+            dim: 3,
+            blocks: blocks.to3(),
+            threads: threads.to3(),
+            elems: elems.to3(),
+        }
+    }
+
+    /// Total number of blocks in the grid.
+    pub fn block_count(&self) -> usize {
+        self.blocks.iter().product()
+    }
+
+    /// Total number of threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.threads.iter().product()
+    }
+
+    /// Total number of elements per thread.
+    pub fn elems_per_thread(&self) -> usize {
+        self.elems.iter().product()
+    }
+
+    /// Total number of elements in the whole grid — the size of the global
+    /// element index space.
+    pub fn global_elem_count(&self) -> usize {
+        self.block_count() * self.threads_per_block() * self.elems_per_thread()
+    }
+
+    /// Global thread extent per canonical axis.
+    pub fn global_thread_extent(&self) -> [usize; 3] {
+        [
+            self.blocks[0] * self.threads[0],
+            self.blocks[1] * self.threads[1],
+            self.blocks[2] * self.threads[2],
+        ]
+    }
+
+    /// Validate against the target accelerator's capabilities and basic
+    /// sanity (no zero extents, no overflow).
+    pub fn validate(&self, caps: &AccCaps) -> Result<()> {
+        if !(1..=3).contains(&self.dim) {
+            return Err(Error::InvalidWorkDiv(format!(
+                "dimensionality {} outside 1..=3",
+                self.dim
+            )));
+        }
+        for (lvl, arr) in [
+            ("blocks", self.blocks),
+            ("threads", self.threads),
+            ("elements", self.elems),
+        ] {
+            if arr.iter().any(|&v| v == 0) {
+                return Err(Error::InvalidWorkDiv(format!("zero extent in {lvl}")));
+            }
+        }
+        caps.check_block_threads(self.threads_per_block())?;
+        let total = self
+            .block_count()
+            .checked_mul(self.threads_per_block())
+            .and_then(|v| v.checked_mul(self.elems_per_thread()));
+        if total.is_none() {
+            return Err(Error::InvalidWorkDiv("index space overflows usize".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The predefined accelerators of Table 2. Each one fixes how a 1-D problem
+/// of size `N` is decomposed given a threads-per-block choice `B` and an
+/// elements-per-thread choice `V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredefAcc {
+    /// GPU / CUDA-style: `N/(B·V)` blocks × `B` threads × `V` elements.
+    GpuCuda,
+    /// CPU / OpenMP-2 over blocks: `N/V` blocks × 1 thread × `V` elements.
+    CpuOmpBlock,
+    /// CPU / OpenMP-2 over threads: `N/(B·V)` blocks × `B` threads × `V`.
+    CpuOmpThread,
+    /// CPU / C++11-std-thread style: same shape as `CpuOmpThread`.
+    CpuStdThread,
+    /// CPU / sequential: `N/V` blocks × 1 thread × `V` elements.
+    CpuSerial,
+    /// MIC / OpenMP-2 over blocks (Table 2 lists the MIC rows separately;
+    /// the shapes coincide with the CPU rows).
+    MicOmpBlock,
+    /// MIC / OpenMP-2 over threads.
+    MicOmpThread,
+}
+
+impl PredefAcc {
+    pub const ALL: [PredefAcc; 7] = [
+        PredefAcc::GpuCuda,
+        PredefAcc::CpuOmpBlock,
+        PredefAcc::CpuOmpThread,
+        PredefAcc::CpuStdThread,
+        PredefAcc::CpuSerial,
+        PredefAcc::MicOmpBlock,
+        PredefAcc::MicOmpThread,
+    ];
+
+    pub fn arch(&self) -> &'static str {
+        match self {
+            PredefAcc::GpuCuda => "GPU",
+            PredefAcc::CpuOmpBlock
+            | PredefAcc::CpuOmpThread
+            | PredefAcc::CpuStdThread
+            | PredefAcc::CpuSerial => "CPU",
+            PredefAcc::MicOmpBlock | PredefAcc::MicOmpThread => "MIC",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredefAcc::GpuCuda => "CUDA",
+            PredefAcc::CpuOmpBlock | PredefAcc::MicOmpBlock => "OpenMP block",
+            PredefAcc::CpuOmpThread | PredefAcc::MicOmpThread => "OpenMP thread",
+            PredefAcc::CpuStdThread => "C++11 thread",
+            PredefAcc::CpuSerial => "Sequential",
+        }
+    }
+
+    /// Whether this mapping collapses the block-thread level to extent 1.
+    pub fn single_thread_blocks(&self) -> bool {
+        matches!(
+            self,
+            PredefAcc::CpuOmpBlock | PredefAcc::CpuSerial | PredefAcc::MicOmpBlock
+        )
+    }
+}
+
+/// Build the Table 2 work division for `acc` on a 1-D problem of size `n`
+/// with `b` threads per block and `v` elements per thread. `b` is ignored
+/// (treated as 1) for mappings that collapse the block-thread level. Sizes
+/// that do not divide evenly are rounded up — the kernel guards the tail
+/// (exactly as the paper's DAXPY does).
+pub fn predefined(acc: PredefAcc, n: usize, b: usize, v: usize) -> WorkDiv {
+    assert!(v > 0, "elements per thread must be positive");
+    if acc.single_thread_blocks() {
+        WorkDiv::d1(div_ceil(n, v).max(1), 1, v)
+    } else {
+        assert!(b > 0, "threads per block must be positive");
+        WorkDiv::d1(div_ceil(n, b * v).max(1), b, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_exact_division() {
+        let n = 1 << 20;
+        let (b, v) = (128, 4);
+        let cuda = predefined(PredefAcc::GpuCuda, n, b, v);
+        assert_eq!(cuda.block_count(), n / (b * v));
+        assert_eq!(cuda.threads_per_block(), b);
+        assert_eq!(cuda.elems_per_thread(), v);
+
+        let ompb = predefined(PredefAcc::CpuOmpBlock, n, b, v);
+        assert_eq!(ompb.block_count(), n / v);
+        assert_eq!(ompb.threads_per_block(), 1);
+
+        let seq = predefined(PredefAcc::CpuSerial, n, b, v);
+        assert_eq!(seq.block_count(), n / v);
+        assert_eq!(seq.threads_per_block(), 1);
+        assert_eq!(seq.elems_per_thread(), v);
+
+        for acc in PredefAcc::ALL {
+            let wd = predefined(acc, n, b, v);
+            assert!(wd.global_elem_count() >= n, "{acc:?} must cover the space");
+        }
+    }
+
+    #[test]
+    fn tail_is_rounded_up() {
+        let wd = predefined(PredefAcc::GpuCuda, 1000, 128, 1);
+        assert_eq!(wd.block_count(), 8); // ceil(1000/128)
+        assert!(wd.global_elem_count() >= 1000);
+    }
+
+    #[test]
+    fn validate_catches_zero_and_overflow() {
+        let caps = AccCaps {
+            requires_single_thread_blocks: false,
+            max_threads_per_block: 1024,
+            ..AccCaps::serial()
+        };
+        let mut wd = WorkDiv::d1(8, 16, 1);
+        assert!(wd.validate(&caps).is_ok());
+        wd.threads = [1, 1, 0];
+        assert!(wd.validate(&caps).is_err());
+        let huge = WorkDiv::d1(usize::MAX / 2, 4, 4);
+        assert!(huge.validate(&caps).is_err());
+    }
+
+    #[test]
+    fn validate_respects_single_thread_rule() {
+        let caps = AccCaps::serial();
+        assert!(WorkDiv::d1(16, 1, 8).validate(&caps).is_ok());
+        assert!(WorkDiv::d1(16, 2, 8).validate(&caps).is_err());
+    }
+
+    #[test]
+    fn d2_maps_to_canonical_axes() {
+        let wd = WorkDiv::d2(Vecn([8, 16]), Vecn([1, 1]), Vecn([1, 1]));
+        assert_eq!(wd.blocks, [1, 8, 16]);
+        assert_eq!(wd.block_count(), 128);
+        assert_eq!(wd.global_thread_extent(), [1, 8, 16]);
+    }
+}

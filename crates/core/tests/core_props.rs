@@ -1,0 +1,142 @@
+//! Property tests on the core vocabulary: index spaces, work divisions,
+//! pitched buffer layouts and copies.
+
+use alpaka_core::buffer::{copy_region, BufLayout, HostBuf};
+use alpaka_core::vec::{div_ceil, map_idx, Vecn};
+use alpaka_core::workdiv::{predefined, PredefAcc, WorkDiv};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn linearize_delinearize_roundtrip_3d(
+        z in 1usize..9, y in 1usize..9, x in 1usize..9, pick in any::<usize>()
+    ) {
+        let ext = Vecn([z, y, x]);
+        let lin = pick % ext.product();
+        prop_assert_eq!(ext.linearize(ext.delinearize(lin)), lin);
+    }
+
+    #[test]
+    fn linearize_is_monotone_in_row_major_order(
+        y in 1usize..9, x in 1usize..9
+    ) {
+        let ext = Vecn([y, x]);
+        let mut last = None;
+        for p in ext.iter_points() {
+            let lin = ext.linearize(p);
+            if let Some(prev) = last {
+                prop_assert_eq!(lin, prev + 1);
+            } else {
+                prop_assert_eq!(lin, 0);
+            }
+            last = Some(lin);
+        }
+    }
+
+    #[test]
+    fn map_idx_is_a_bijection(
+        a in 1usize..7, b in 1usize..7, c in 1usize..7
+    ) {
+        // 3-D <-> 1-D with the same cardinality.
+        let from = Vecn([a, b, c]);
+        let to = Vecn([a * b * c]);
+        let mut seen = std::collections::HashSet::new();
+        for p in from.iter_points() {
+            let q = map_idx(p, from, to);
+            prop_assert!(seen.insert(q.0[0]));
+            prop_assert_eq!(map_idx(q, to, from), p);
+        }
+        prop_assert_eq!(seen.len(), from.product());
+    }
+
+    #[test]
+    fn div_ceil_is_minimal_cover(a in 0usize..10_000, b in 1usize..100) {
+        let q = div_ceil(a, b);
+        prop_assert!(q * b >= a);
+        if q > 0 {
+            prop_assert!((q - 1) * b < a);
+        }
+    }
+
+    #[test]
+    fn predefined_mappings_cover_and_validate(
+        n in 1usize..1_000_000,
+        b_pow in 0u32..10,
+        v in 1usize..100
+    ) {
+        let b = 1usize << b_pow;
+        for acc in PredefAcc::ALL {
+            let wd = predefined(acc, n, b, v);
+            prop_assert!(wd.global_elem_count() >= n);
+            // Over-provisioning is bounded: less than one extra block row.
+            let spare = wd.global_elem_count() - n;
+            let per_block = wd.threads_per_block() * wd.elems_per_thread();
+            prop_assert!(spare < per_block,
+                "{acc:?}: {spare} spare >= {per_block} per block");
+        }
+    }
+
+    #[test]
+    fn workdiv_products_are_consistent(
+        bz in 1usize..5, by in 1usize..5, bx in 1usize..5,
+        ty in 1usize..5, tx in 1usize..5,
+        ey in 1usize..5, ex in 1usize..5
+    ) {
+        let wd = WorkDiv::d3(
+            Vecn([bz, by, bx]),
+            Vecn([1, ty, tx]),
+            Vecn([1, ey, ex]),
+        );
+        prop_assert_eq!(wd.block_count(), bz * by * bx);
+        prop_assert_eq!(wd.threads_per_block(), ty * tx);
+        prop_assert_eq!(wd.elems_per_thread(), ey * ex);
+        prop_assert_eq!(
+            wd.global_elem_count(),
+            wd.block_count() * wd.threads_per_block() * wd.elems_per_thread()
+        );
+    }
+
+    #[test]
+    fn pitched_layout_invariants(rows in 1usize..40, cols in 1usize..40) {
+        let l = BufLayout::d2(rows, cols, 8);
+        prop_assert!(l.pitch >= cols);
+        prop_assert_eq!(l.pitch % 8, 0); // 64-byte lines / 8-byte elems
+        prop_assert_eq!(l.dense_len(), rows * cols);
+        prop_assert_eq!(l.alloc_len(), rows * l.pitch);
+        // Row starts are pitch apart; elements within a row contiguous.
+        for r in 0..rows.min(4) {
+            prop_assert_eq!(l.index(0, r, 0), r * l.pitch);
+            if cols > 1 {
+                prop_assert_eq!(l.index(0, r, 1), r * l.pitch + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip_and_cross_pitch_copy(
+        rows in 1usize..20, cols in 1usize..20, seed in any::<u64>()
+    ) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) % 1000) as f64)
+            .collect();
+        let padded = HostBuf::from_dense_2d(rows, cols, &data).unwrap();
+        prop_assert_eq!(padded.to_dense(), data.clone());
+        // Copy into a dense-layout buffer and back.
+        let dense = HostBuf::<f64>::alloc(BufLayout::d2_dense(rows, cols));
+        copy_region(&dense, &padded).unwrap();
+        prop_assert_eq!(dense.to_dense(), data.clone());
+        let padded2 = HostBuf::<f64>::alloc(BufLayout::d2(rows, cols, 8));
+        copy_region(&padded2, &dense).unwrap();
+        prop_assert_eq!(padded2.to_dense(), data);
+    }
+
+    #[test]
+    fn to3_preserves_product(d1 in 1usize..9, d2 in 1usize..9) {
+        let v1 = Vecn([d1]);
+        let v2 = Vecn([d1, d2]);
+        prop_assert_eq!(v1.to3().iter().product::<usize>(), v1.product());
+        prop_assert_eq!(v2.to3().iter().product::<usize>(), v2.product());
+    }
+}

@@ -1,0 +1,616 @@
+//! The native CPU accelerators: five different mappings of the abstract
+//! grid/block/thread/element hierarchy onto host hardware (Section 3.3 and
+//! Table 2 of the paper).
+//!
+//! | Accelerator        | Alpaka analogue        | blocks      | block threads |
+//! |--------------------|------------------------|-------------|----------------|
+//! | `Serial`           | `AccCpuSerial`         | sequential  | collapsed (1)  |
+//! | `Blocks`           | `AccCpuOmp2Blocks`     | worker pool | collapsed (1)  |
+//! | `Threads`          | `AccCpuThreads`        | sequential  | OS threads + barrier (spawned per block) |
+//! | `BlockThreads`     | `AccCpuOmp2Threads`    | sequential  | persistent thread team + barrier |
+//! | `Fibers`           | `AccCpuFibers`         | sequential  | cooperative fibers, one at a time |
+
+use std::sync::Arc;
+
+use alpaka_core::acc::{AccCaps, DeviceKind};
+use alpaka_core::buffer::{BufLayout, HostBuf};
+use alpaka_core::error::{Error, Result};
+use alpaka_core::kernel::Kernel;
+use alpaka_core::vec::Vecn;
+use alpaka_core::workdiv::WorkDiv;
+
+use crate::exec::{run_thread, CpuArgs, LaunchGeometry, ResolvedArgs, SharedBlock};
+use crate::pool::{panic_message, Pool};
+use crate::sync::{BarrierSync, FiberSync, NoopSync};
+
+/// Which CPU accelerator strategy a device uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuAccKind {
+    Serial,
+    Blocks,
+    Threads,
+    BlockThreads,
+    Fibers,
+}
+
+impl CpuAccKind {
+    pub const ALL: [CpuAccKind; 5] = [
+        CpuAccKind::Serial,
+        CpuAccKind::Blocks,
+        CpuAccKind::Threads,
+        CpuAccKind::BlockThreads,
+        CpuAccKind::Fibers,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuAccKind::Serial => "AccCpuSerial",
+            CpuAccKind::Blocks => "AccCpuBlocks",
+            CpuAccKind::Threads => "AccCpuThreads",
+            CpuAccKind::BlockThreads => "AccCpuBlockThreads",
+            CpuAccKind::Fibers => "AccCpuFibers",
+        }
+    }
+}
+
+/// A host device running one accelerator strategy. Cloning shares the
+/// worker pool.
+#[derive(Clone)]
+pub struct CpuDevice {
+    kind: CpuAccKind,
+    workers: usize,
+    pool: Option<Arc<Pool>>,
+}
+
+impl CpuDevice {
+    /// Device with one worker per available hardware thread.
+    pub fn new(kind: CpuAccKind) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(kind, workers)
+    }
+
+    /// Device with an explicit worker count (block-parallel kinds only use
+    /// it for the pool; the others for capability reporting).
+    pub fn with_workers(kind: CpuAccKind, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let pool = match kind {
+            CpuAccKind::Blocks => Some(Arc::new(Pool::new(workers))),
+            _ => None,
+        };
+        CpuDevice {
+            kind,
+            workers,
+            pool,
+        }
+    }
+
+    pub fn kind(&self) -> CpuAccKind {
+        self.kind
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Capability descriptor of this accelerator.
+    pub fn caps(&self) -> AccCaps {
+        let single = matches!(self.kind, CpuAccKind::Serial | CpuAccKind::Blocks);
+        AccCaps {
+            name: self.kind.name().into(),
+            kind: DeviceKind::Cpu,
+            max_threads_per_block: if single { 1 } else { 1024 },
+            requires_single_thread_blocks: single,
+            warp_width: 1,
+            shared_mem_per_block: 1 << 20,
+            concurrent_blocks: match self.kind {
+                CpuAccKind::Blocks => self.workers,
+                _ => 1,
+            },
+            supports_async_queues: true,
+        }
+    }
+
+    /// Allocate a zeroed f64 buffer on this device (host memory).
+    pub fn alloc_f64(&self, layout: BufLayout) -> HostBuf<f64> {
+        HostBuf::alloc(layout)
+    }
+
+    /// Allocate a zeroed i64 buffer on this device (host memory).
+    pub fn alloc_i64(&self, layout: BufLayout) -> HostBuf<i64> {
+        HostBuf::alloc(layout)
+    }
+
+    /// Execute `kernel` over the whole grid synchronously (the queue types
+    /// build on this).
+    pub fn launch<K: Kernel + ?Sized>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        args: &CpuArgs,
+    ) -> Result<()> {
+        wd.validate(&self.caps())?;
+        let geo = LaunchGeometry::from_workdiv(wd);
+        let resolved = args.resolve();
+        let fault = |msg: String| Error::KernelFault(format!("{}: {msg}", kernel.name()));
+        match self.kind {
+            CpuAccKind::Serial => {
+                run_serial(kernel, &geo, &resolved).map_err(fault)?;
+            }
+            CpuAccKind::Blocks => {
+                let pool = self.pool.as_ref().expect("Blocks device owns a pool");
+                run_blocks(pool, kernel, &geo, &resolved).map_err(fault)?;
+            }
+            CpuAccKind::Threads => {
+                run_threads(kernel, &geo, &resolved).map_err(fault)?;
+            }
+            CpuAccKind::BlockThreads => {
+                run_block_threads(kernel, &geo, &resolved).map_err(fault)?;
+            }
+            CpuAccKind::Fibers => {
+                run_fibers(kernel, &geo, &resolved).map_err(fault)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Debug for CpuDevice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CpuDevice({}, workers={})", self.kind.name(), self.workers)
+    }
+}
+
+fn block_coords(geo: &LaunchGeometry, lin: usize) -> [usize; 3] {
+    let ext = Vecn([
+        geo.grid[0] as usize,
+        geo.grid[1] as usize,
+        geo.grid[2] as usize,
+    ]);
+    ext.delinearize(lin).0
+}
+
+fn thread_coords(geo: &LaunchGeometry, lin: usize) -> [usize; 3] {
+    let ext = Vecn([
+        geo.block[0] as usize,
+        geo.block[1] as usize,
+        geo.block[2] as usize,
+    ]);
+    ext.delinearize(lin).0
+}
+
+fn block_count(geo: &LaunchGeometry) -> usize {
+    (geo.grid[0] * geo.grid[1] * geo.grid[2]) as usize
+}
+
+fn threads_per_block(geo: &LaunchGeometry) -> usize {
+    (geo.block[0] * geo.block[1] * geo.block[2]) as usize
+}
+
+fn catching(f: impl FnOnce()) -> std::result::Result<(), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+fn run_serial<K: Kernel + ?Sized>(
+    kernel: &K,
+    geo: &LaunchGeometry,
+    args: &ResolvedArgs,
+) -> std::result::Result<(), String> {
+    let shared = SharedBlock::new();
+    catching(|| {
+        for b in 0..block_count(geo) {
+            if b > 0 {
+                shared.reset();
+            }
+            run_thread(kernel, geo, block_coords(geo, b), [0, 0, 0], args, &shared, &NoopSync);
+        }
+    })
+}
+
+fn run_blocks<K: Kernel + ?Sized>(
+    pool: &Pool,
+    kernel: &K,
+    geo: &LaunchGeometry,
+    args: &ResolvedArgs,
+) -> std::result::Result<(), String> {
+    pool.run_indexed(block_count(geo), |b| {
+        let shared = SharedBlock::new();
+        run_thread(kernel, geo, block_coords(geo, b), [0, 0, 0], args, &shared, &NoopSync);
+    })
+}
+
+fn run_threads<K: Kernel + ?Sized>(
+    kernel: &K,
+    geo: &LaunchGeometry,
+    args: &ResolvedArgs,
+) -> std::result::Result<(), String> {
+    let t = threads_per_block(geo);
+    let mut first_err: Option<String> = None;
+    for b in 0..block_count(geo) {
+        let bidx = block_coords(geo, b);
+        let shared = SharedBlock::new();
+        let sync = BarrierSync::new(t);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t);
+            for tid in 0..t {
+                let shared = &shared;
+                let sync = &sync;
+                handles.push(scope.spawn(move || {
+                    catching(|| {
+                        run_thread(kernel, geo, bidx, thread_coords(geo, tid), args, shared, sync)
+                    })
+                }));
+            }
+            for h in handles {
+                if let Err(msg) = h.join().unwrap_or_else(|p| Err(panic_message(p))) {
+                    if first_err.is_none() {
+                        first_err = Some(msg);
+                    }
+                }
+            }
+        });
+        if let Some(msg) = first_err {
+            return Err(msg);
+        }
+    }
+    Ok(())
+}
+
+fn run_block_threads<K: Kernel + ?Sized>(
+    kernel: &K,
+    geo: &LaunchGeometry,
+    args: &ResolvedArgs,
+) -> std::result::Result<(), String> {
+    let t = threads_per_block(geo);
+    let blocks = block_count(geo);
+    let shared = SharedBlock::new();
+    let sync = BarrierSync::new(t);
+    // Separate barrier for inter-block orchestration so a kernel panic in
+    // one member surfaces instead of deadlocking: members that panic stop
+    // participating, which the barrier would wait for — so we keep the
+    // whole team's blocks loop inside the catch.
+    let team_barrier = std::sync::Barrier::new(t);
+    let mut first_err: Option<String> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t);
+        for tid in 0..t {
+            let shared = &shared;
+            let sync = &sync;
+            let team_barrier = &team_barrier;
+            handles.push(scope.spawn(move || {
+                catching(|| {
+                    let tcoord = thread_coords(geo, tid);
+                    for b in 0..blocks {
+                        run_thread(kernel, geo, block_coords(geo, b), tcoord, args, shared, sync);
+                        let r = team_barrier.wait();
+                        if r.is_leader() {
+                            shared.reset();
+                        }
+                        team_barrier.wait();
+                    }
+                })
+            }));
+        }
+        for h in handles {
+            if let Err(msg) = h.join().unwrap_or_else(|p| Err(panic_message(p))) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
+        }
+    });
+    match first_err {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+fn run_fibers<K: Kernel + ?Sized>(
+    kernel: &K,
+    geo: &LaunchGeometry,
+    args: &ResolvedArgs,
+) -> std::result::Result<(), String> {
+    let t = threads_per_block(geo);
+    for b in 0..block_count(geo) {
+        let bidx = block_coords(geo, b);
+        let shared = SharedBlock::new();
+        let sync = FiberSync::new(t);
+        let mut first_err: Option<String> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t);
+            for tid in 0..t {
+                let shared = &shared;
+                let sync = &sync;
+                handles.push(scope.spawn(move || {
+                    sync.enter(tid);
+                    let r = catching(|| {
+                        run_thread(kernel, geo, bidx, thread_coords(geo, tid), args, shared, sync)
+                    });
+                    sync.exit(tid);
+                    r
+                }));
+            }
+            for h in handles {
+                if let Err(msg) = h.join().unwrap_or_else(|p| Err(panic_message(p))) {
+                    if first_err.is_none() {
+                        first_err = Some(msg);
+                    }
+                }
+            }
+        });
+        if let Some(msg) = first_err {
+            return Err(msg);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+    use alpaka_core::workdiv::{predefined, PredefAcc};
+
+    /// `y[i] = a*x[i] + y[i]` with element loop and tail guard.
+    struct Daxpy;
+    impl Kernel for Daxpy {
+        fn name(&self) -> &str {
+            "daxpy"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let x = o.buf_f(0);
+            let y = o.buf_f(1);
+            let a = o.param_f(0);
+            let n = o.param_i(0);
+            let gid = o.global_thread_idx(0);
+            let v = o.thread_elem_extent(0);
+            let base = o.mul_i(gid, v);
+            o.for_elements(0, |o, e| {
+                let i = o.add_i(base, e);
+                let c = o.lt_i(i, n);
+                o.if_(c, |o| {
+                    let xv = o.ld_gf(x, i);
+                    let yv = o.ld_gf(y, i);
+                    let r = o.fma_f(xv, a, yv);
+                    o.st_gf(y, i, r);
+                });
+            });
+        }
+    }
+
+    fn daxpy_on(kind: CpuAccKind, wd: WorkDiv, n: usize) {
+        let dev = CpuDevice::with_workers(kind, 4);
+        let x = HostBuf::from_vec((0..n).map(|i| i as f64).collect());
+        let y = HostBuf::from_vec(vec![1.0; n]);
+        let args = CpuArgs::new()
+            .buf_f(&x)
+            .buf_f(&y)
+            .scalar_f(2.0)
+            .scalar_i(n as i64);
+        dev.launch(&Daxpy, &wd, &args).unwrap();
+        for i in 0..n {
+            assert_eq!(y.as_slice()[i], 2.0 * i as f64 + 1.0, "i={i} on {kind:?}");
+        }
+    }
+
+    #[test]
+    fn daxpy_on_serial() {
+        daxpy_on(CpuAccKind::Serial, predefined(PredefAcc::CpuSerial, 1000, 1, 8), 1000);
+    }
+
+    #[test]
+    fn daxpy_on_blocks_pool() {
+        daxpy_on(CpuAccKind::Blocks, predefined(PredefAcc::CpuOmpBlock, 1000, 1, 16), 1000);
+    }
+
+    #[test]
+    fn daxpy_on_threads() {
+        daxpy_on(CpuAccKind::Threads, WorkDiv::d1(4, 8, 8), 250);
+    }
+
+    #[test]
+    fn daxpy_on_block_threads() {
+        daxpy_on(CpuAccKind::BlockThreads, WorkDiv::d1(4, 8, 8), 250);
+    }
+
+    #[test]
+    fn daxpy_on_fibers() {
+        daxpy_on(CpuAccKind::Fibers, WorkDiv::d1(4, 4, 16), 250);
+    }
+
+    #[test]
+    fn serial_rejects_multithread_blocks() {
+        let dev = CpuDevice::new(CpuAccKind::Serial);
+        let err = dev
+            .launch(&Daxpy, &WorkDiv::d1(4, 2, 1), &CpuArgs::new())
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidWorkDiv(_)));
+    }
+
+    /// Tree reduction in shared memory — exercises barriers hard.
+    struct BlockReduce;
+    impl Kernel for BlockReduce {
+        fn name(&self) -> &str {
+            "block_reduce"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let input = o.buf_f(0);
+            let out = o.buf_f(1);
+            let n = o.param_i(0);
+            let sh = o.shared_f(64);
+            let tid = o.thread_idx(0);
+            let bdim = o.block_thread_extent(0);
+            let bid = o.block_idx(0);
+            let g = o.mul_i(bid, bdim);
+            let gid = o.add_i(g, tid);
+            // Load (0 beyond n).
+            let zero = o.lit_f(0.0);
+            let c = o.lt_i(gid, n);
+            let loaded = o.var_f(zero);
+            o.if_(c, |o| {
+                let v = o.ld_gf(input, gid);
+                o.vset_f(loaded, v);
+            });
+            let lv = o.vget_f(loaded);
+            o.st_sf(sh, tid, lv);
+            o.sync_block_threads();
+            // Tree reduce: s = bdim/2, /2, ...
+            let two = o.lit_i(2);
+            let s0 = o.div_i(bdim, two);
+            let s = o.var_i(s0);
+            o.while_(
+                |o| {
+                    let sv = o.vget_i(s);
+                    let zero = o.lit_i(0);
+                    o.gt_i(sv, zero)
+                },
+                |o| {
+                    let sv = o.vget_i(s);
+                    let in_half = o.lt_i(tid, sv);
+                    o.if_(in_half, |o| {
+                        let other = o.add_i(tid, sv);
+                        let a = o.ld_sf(sh, tid);
+                        let b = o.ld_sf(sh, other);
+                        let sum = o.add_f(a, b);
+                        o.st_sf(sh, tid, sum);
+                    });
+                    o.sync_block_threads();
+                    let two = o.lit_i(2);
+                    let nx = o.div_i(sv, two);
+                    o.vset_i(s, nx);
+                },
+            );
+            let zero_i = o.lit_i(0);
+            let is0 = o.eq_i(tid, zero_i);
+            o.if_(is0, |o| {
+                let zero_i = o.lit_i(0);
+                let total = o.ld_sf(sh, zero_i);
+                o.st_gf(out, bid, total);
+            });
+        }
+    }
+
+    fn reduce_on(kind: CpuAccKind) {
+        let n = 256usize;
+        let blocks = 4;
+        let dev = CpuDevice::with_workers(kind, 4);
+        let input = HostBuf::from_vec((0..n).map(|i| i as f64).collect());
+        let out = HostBuf::<f64>::alloc(BufLayout::d1(blocks));
+        let args = CpuArgs::new()
+            .buf_f(&input)
+            .buf_f(&out)
+            .scalar_i(n as i64);
+        dev.launch(&BlockReduce, &WorkDiv::d1(blocks, 64, 1), &args)
+            .unwrap();
+        let total: f64 = out.as_slice().iter().sum();
+        assert_eq!(total, (n * (n - 1) / 2) as f64, "{kind:?}");
+    }
+
+    #[test]
+    fn shared_memory_reduction_threads() {
+        reduce_on(CpuAccKind::Threads);
+    }
+
+    #[test]
+    fn shared_memory_reduction_block_threads() {
+        reduce_on(CpuAccKind::BlockThreads);
+    }
+
+    #[test]
+    fn shared_memory_reduction_fibers() {
+        reduce_on(CpuAccKind::Fibers);
+    }
+
+    #[test]
+    fn kernel_panic_becomes_error() {
+        struct Bad;
+        impl Kernel for Bad {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0); // unbound slot -> panic
+                let i = o.lit_i(0);
+                let _ = o.ld_gf(b, i);
+            }
+        }
+        for kind in CpuAccKind::ALL {
+            let dev = CpuDevice::with_workers(kind, 2);
+            let err = dev.launch(&Bad, &WorkDiv::d1(2, 1, 1), &CpuArgs::new());
+            assert!(err.is_err(), "{kind:?} must surface the panic");
+        }
+    }
+
+    #[test]
+    fn caps_match_strategy() {
+        assert!(CpuDevice::new(CpuAccKind::Serial)
+            .caps()
+            .requires_single_thread_blocks);
+        assert!(CpuDevice::new(CpuAccKind::Blocks)
+            .caps()
+            .requires_single_thread_blocks);
+        assert!(!CpuDevice::new(CpuAccKind::Threads)
+            .caps()
+            .requires_single_thread_blocks);
+        assert_eq!(
+            CpuDevice::with_workers(CpuAccKind::Blocks, 7)
+                .caps()
+                .concurrent_blocks,
+            7
+        );
+    }
+
+    #[test]
+    fn atomics_across_blocks() {
+        struct CountAll;
+        impl Kernel for CountAll {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let counter = o.buf_i(0);
+                let zero = o.lit_i(0);
+                let one = o.lit_i(1);
+                let _ = o.atomic_add_gi(counter, zero, one);
+            }
+        }
+        for kind in CpuAccKind::ALL {
+            let dev = CpuDevice::with_workers(kind, 4);
+            let counter = HostBuf::from_vec(vec![0i64]);
+            let wd = if matches!(kind, CpuAccKind::Serial | CpuAccKind::Blocks) {
+                WorkDiv::d1(64, 1, 1)
+            } else {
+                WorkDiv::d1(8, 8, 1)
+            };
+            let args = CpuArgs::new().buf_i(&counter);
+            dev.launch(&CountAll, &wd, &args).unwrap();
+            assert_eq!(counter.as_slice()[0], 64, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn two_dimensional_launch() {
+        struct Fill2d;
+        impl Kernel for Fill2d {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let out = o.buf_f(0);
+                let pitch = o.param_i(0);
+                let row = o.global_thread_idx(0);
+                let col = o.global_thread_idx(1);
+                let off = o.mul_i(row, pitch);
+                let idx = o.add_i(off, col);
+                let r = o.i2f(row);
+                let c = o.i2f(col);
+                let hundred = o.lit_f(100.0);
+                let v = o.fma_f(r, hundred, c);
+                o.st_gf(out, idx, v);
+            }
+        }
+        let dev = CpuDevice::new(CpuAccKind::Serial);
+        let buf = HostBuf::<f64>::alloc(BufLayout::d2(4, 6, 8));
+        let pitch = buf.layout().pitch;
+        let wd = WorkDiv::d2(Vecn([4, 6]), Vecn([1, 1]), Vecn([1, 1]));
+        let args = CpuArgs::new().buf_f(&buf).scalar_i(pitch as i64);
+        dev.launch(&Fill2d, &wd, &args).unwrap();
+        for r in 0..4 {
+            for c in 0..6 {
+                assert_eq!(buf.as_slice()[r * pitch + c], (r * 100 + c) as f64);
+            }
+        }
+    }
+}

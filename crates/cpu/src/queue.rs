@@ -1,0 +1,290 @@
+//! CPU queues (streams): in-order work queues per device (Section 3.4.5).
+//!
+//! * **Blocking** queues execute each enqueued operation on the calling
+//!   host thread (`StreamCpuSync` analogue).
+//! * **Non-blocking** queues hand operations to a dedicated worker thread
+//!   that drains them strictly in order (`StreamCpuAsync` analogue); the
+//!   host resumes immediately and synchronizes with `wait()` or an event.
+
+use std::sync::Arc;
+use std::thread;
+
+use alpaka_core::buffer::{copy_region, Elem, HostBuf};
+use alpaka_core::error::{Error, Result};
+use alpaka_core::kernel::Kernel;
+use alpaka_core::queue::{HostEvent, QueueBehavior};
+use alpaka_core::workdiv::WorkDiv;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::acc::CpuDevice;
+use crate::exec::CpuArgs;
+
+type Task = Box<dyn FnOnce() -> Result<()> + Send + 'static>;
+
+struct AsyncState {
+    pending: Mutex<usize>,
+    idle: Condvar,
+    error: Mutex<Option<Error>>,
+}
+
+enum Inner {
+    Blocking,
+    Async {
+        tx: Sender<Task>,
+        state: Arc<AsyncState>,
+        _worker: Arc<WorkerHandle>,
+    },
+}
+
+struct WorkerHandle(Option<thread::JoinHandle<()>>);
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.0.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An in-order work queue bound to one CPU device.
+pub struct CpuQueue {
+    device: CpuDevice,
+    behavior: QueueBehavior,
+    inner: Inner,
+}
+
+impl CpuQueue {
+    pub fn new(device: CpuDevice, behavior: QueueBehavior) -> Self {
+        let inner = match behavior {
+            QueueBehavior::Blocking => Inner::Blocking,
+            QueueBehavior::NonBlocking => {
+                let (tx, rx) = unbounded::<Task>();
+                let state = Arc::new(AsyncState {
+                    pending: Mutex::new(0),
+                    idle: Condvar::new(),
+                    error: Mutex::new(None),
+                });
+                let wstate = Arc::clone(&state);
+                let handle = thread::Builder::new()
+                    .name("alpaka-queue".into())
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            let r = task();
+                            if let Err(e) = r {
+                                let mut slot = wstate.error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                            let mut p = wstate.pending.lock();
+                            *p -= 1;
+                            if *p == 0 {
+                                wstate.idle.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn queue worker");
+                Inner::Async {
+                    tx,
+                    state,
+                    _worker: Arc::new(WorkerHandle(Some(handle))),
+                }
+            }
+        };
+        CpuQueue {
+            device,
+            behavior,
+            inner,
+        }
+    }
+
+    pub fn behavior(&self) -> QueueBehavior {
+        self.behavior
+    }
+
+    pub fn device(&self) -> &CpuDevice {
+        &self.device
+    }
+
+    fn submit(&self, task: Task) -> Result<()> {
+        match &self.inner {
+            Inner::Blocking => task(),
+            Inner::Async { tx, state, .. } => {
+                {
+                    let mut p = state.pending.lock();
+                    *p += 1;
+                }
+                tx.send(task)
+                    .map_err(|_| Error::Device("queue worker terminated".into()))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Enqueue a kernel execution (the executor of Listing 5: accelerator +
+    /// work division + kernel + arguments).
+    pub fn enqueue_kernel<K: Kernel + Send + 'static>(
+        &self,
+        kernel: K,
+        wd: WorkDiv,
+        args: CpuArgs,
+    ) -> Result<()> {
+        let device = self.device.clone();
+        self.submit(Box::new(move || device.launch(&kernel, &wd, &args)))
+    }
+
+    /// Enqueue a deep copy between two buffers (`mem::view::copy`).
+    pub fn enqueue_copy<E: Elem>(&self, dst: &HostBuf<E>, src: &HostBuf<E>) -> Result<()> {
+        let dst = dst.clone();
+        let src = src.clone();
+        self.submit(Box::new(move || copy_region(&dst, &src)))
+    }
+
+    /// Enqueue a fill of every logical element.
+    pub fn enqueue_fill<E: Elem>(&self, buf: &HostBuf<E>, v: E) -> Result<()> {
+        let buf = buf.clone();
+        self.submit(Box::new(move || {
+            buf.fill(v);
+            Ok(())
+        }))
+    }
+
+    /// Enqueue an event: it is signaled once all previously enqueued
+    /// operations completed.
+    pub fn enqueue_event(&self, ev: &HostEvent) -> Result<()> {
+        let ev = ev.clone();
+        self.submit(Box::new(move || {
+            ev.signal();
+            Ok(())
+        }))
+    }
+
+    /// Block until the queue is drained; returns the first error any
+    /// operation produced since the last `wait`.
+    pub fn wait(&self) -> Result<()> {
+        match &self.inner {
+            Inner::Blocking => Ok(()),
+            Inner::Async { state, .. } => {
+                let mut p = state.pending.lock();
+                while *p != 0 {
+                    state.idle.wait(&mut p);
+                }
+                drop(p);
+                match state.error.lock().take() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::CpuAccKind;
+    use alpaka_core::buffer::BufLayout;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+    struct AddOne;
+    impl Kernel for AddOne {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let i = o.global_thread_idx(0);
+            let n = o.param_i(0);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let v = o.ld_gf(b, i);
+                let one = o.lit_f(1.0);
+                let r = o.add_f(v, one);
+                o.st_gf(b, i, r);
+            });
+        }
+    }
+
+    #[test]
+    fn blocking_queue_runs_inline() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::Blocking);
+        let buf = HostBuf::from_vec(vec![0.0; 8]);
+        let args = CpuArgs::new().buf_f(&buf).scalar_i(8);
+        q.enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args).unwrap();
+        assert_eq!(buf.as_slice(), &[1.0; 8]);
+        q.wait().unwrap();
+    }
+
+    #[test]
+    fn async_queue_preserves_order() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Blocks, 2);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let buf = HostBuf::from_vec(vec![0.0; 128]);
+        let args = CpuArgs::new().buf_f(&buf).scalar_i(128);
+        // Three dependent increments — order matters.
+        for _ in 0..3 {
+            q.enqueue_kernel(AddOne, WorkDiv::d1(128, 1, 1), args.clone())
+                .unwrap();
+        }
+        q.wait().unwrap();
+        assert_eq!(buf.as_slice(), &vec![3.0; 128][..]);
+    }
+
+    #[test]
+    fn async_queue_copy_then_kernel() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let src = HostBuf::from_vec(vec![5.0; 16]);
+        let dst = HostBuf::<f64>::alloc(BufLayout::d1(16));
+        q.enqueue_copy(&dst, &src).unwrap();
+        let args = CpuArgs::new().buf_f(&dst).scalar_i(16);
+        q.enqueue_kernel(AddOne, WorkDiv::d1(16, 1, 1), args).unwrap();
+        q.wait().unwrap();
+        assert_eq!(dst.as_slice(), &[6.0; 16]);
+    }
+
+    #[test]
+    fn event_signals_after_prior_work() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let buf = HostBuf::from_vec(vec![0.0; 4]);
+        let ev = HostEvent::new();
+        let args = CpuArgs::new().buf_f(&buf).scalar_i(4);
+        q.enqueue_kernel(AddOne, WorkDiv::d1(4, 1, 1), args).unwrap();
+        q.enqueue_event(&ev).unwrap();
+        ev.wait();
+        assert_eq!(buf.as_slice(), &[1.0; 4]);
+        q.wait().unwrap();
+    }
+
+    #[test]
+    fn errors_surface_at_wait() {
+        struct Bad;
+        impl Kernel for Bad {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let i = o.lit_i(999);
+                let v = o.lit_f(1.0);
+                o.st_gf(b, i, v);
+            }
+        }
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let buf = HostBuf::from_vec(vec![0.0; 4]);
+        let args = CpuArgs::new().buf_f(&buf);
+        q.enqueue_kernel(Bad, WorkDiv::d1(1, 1, 1), args).unwrap();
+        let err = q.wait().unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)));
+        // Error is cleared after being taken.
+        q.wait().unwrap();
+    }
+
+    #[test]
+    fn fill_enqueues_in_order() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let buf = HostBuf::<f64>::alloc(BufLayout::d1(8));
+        q.enqueue_fill(&buf, 7.5).unwrap();
+        q.wait().unwrap();
+        assert_eq!(buf.as_slice(), &[7.5; 8]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Host reference implementations and workload generators.
+//!
+//! Every device kernel in this crate has a sequential host reference here;
+//! cross-back-end tests compare device results against these. Workloads
+//! follow the paper's setup: dense square matrices filled with random
+//! values in `[0, 10]` (Section 4.2), seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random vector with entries in `[0, 10)` (the paper's value range).
+pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0.0..10.0)).collect()
+}
+
+/// Random dense row-major matrix with entries in `[0, 10)`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    random_vec(rows * cols, seed)
+}
+
+/// `y <- alpha * x + y`.
+pub fn daxpy_ref(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `C <- alpha * A * B + beta * C` on dense row-major matrices:
+/// A is m x k, B is k x n, C is m x n.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_ref(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc = a[i * k + p].mul_add(b[p * n + j], acc);
+            }
+            c[i * n + j] = alpha.mul_add(acc, beta * c[i * n + j]);
+        }
+    }
+}
+
+/// Sum of all elements.
+pub fn reduce_ref(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// One 5-point Jacobi step on an `rows x cols` grid (boundary copied).
+pub fn jacobi_ref(rows: usize, cols: usize, src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    dst.copy_from_slice(src);
+    for i in 1..rows.saturating_sub(1) {
+        for j in 1..cols.saturating_sub(1) {
+            dst[i * cols + j] = 0.25
+                * (src[(i - 1) * cols + j]
+                    + src[(i + 1) * cols + j]
+                    + src[i * cols + j - 1]
+                    + src[i * cols + j + 1]);
+        }
+    }
+}
+
+/// All-pairs gravitational accelerations with Plummer softening.
+/// Positions/masses: `pos = [x0,y0,z0,m0, x1,...]` (AoS, 4 per body);
+/// output `acc = [ax0,ay0,az0, ...]` (3 per body).
+pub fn nbody_accel_ref(pos: &[f64], acc: &mut [f64], softening2: f64) {
+    let n = pos.len() / 4;
+    assert_eq!(acc.len(), n * 3);
+    for i in 0..n {
+        let (xi, yi, zi) = (pos[i * 4], pos[i * 4 + 1], pos[i * 4 + 2]);
+        let mut ax = 0.0;
+        let mut ay = 0.0;
+        let mut az = 0.0;
+        for j in 0..n {
+            let dx = pos[j * 4] - xi;
+            let dy = pos[j * 4 + 1] - yi;
+            let dz = pos[j * 4 + 2] - zi;
+            let r2 = dx * dx + dy * dy + dz * dz + softening2;
+            let inv = 1.0 / (r2 * r2.sqrt());
+            let s = pos[j * 4 + 3] * inv;
+            ax += dx * s;
+            ay += dy * s;
+            az += dz * s;
+        }
+        acc[i * 3] = ax;
+        acc[i * 3 + 1] = ay;
+        acc[i * 3 + 2] = az;
+    }
+}
+
+/// Relative Frobenius error between two equally-sized slices.
+pub fn rel_err(got: &[f64], want: &[f64]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (g, w) in got.iter().zip(want) {
+        num += (g - w) * (g - w);
+        den += w * w;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_in_range() {
+        let a = random_matrix(8, 8, 42);
+        let b = random_matrix(8, 8, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..10.0).contains(&v)));
+        let c = random_matrix(8, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dgemm_ref_identity() {
+        // A * I = A.
+        let m = 4;
+        let a = random_matrix(m, m, 1);
+        let mut eye = vec![0.0; m * m];
+        for i in 0..m {
+            eye[i * m + i] = 1.0;
+        }
+        let mut c = vec![0.0; m * m];
+        dgemm_ref(m, m, m, 1.0, &a, &eye, 0.0, &mut c);
+        assert!(rel_err(&c, &a) < 1e-14);
+    }
+
+    #[test]
+    fn dgemm_ref_beta_accumulates() {
+        let mut c = vec![1.0; 4];
+        let a = vec![0.0; 4];
+        let b = vec![0.0; 4];
+        dgemm_ref(2, 2, 2, 1.0, &a, &b, 2.0, &mut c);
+        assert_eq!(c, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn jacobi_ref_keeps_boundary() {
+        let src: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 16];
+        jacobi_ref(4, 4, &src, &mut dst);
+        assert_eq!(dst[0], 0.0);
+        assert_eq!(dst[3], 3.0);
+        assert_eq!(dst[5], 0.25 * (1.0 + 9.0 + 4.0 + 6.0));
+    }
+
+    #[test]
+    fn nbody_two_bodies_attract() {
+        // Two unit masses on the x axis pull toward each other. A nonzero
+        // softening keeps the self-interaction term finite (zero).
+        let pos = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        let mut acc = vec![0.0; 6];
+        nbody_accel_ref(&pos, &mut acc, 1e-12);
+        assert!(acc[0] > 0.0); // body 0 pulled +x
+        assert!(acc[3] < 0.0); // body 1 pulled -x
+        assert!((acc[0] + acc[3]).abs() < 1e-12); // Newton's third law
+    }
+
+    #[test]
+    fn rel_err_basics() {
+        assert_eq!(rel_err(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(rel_err(&[1.1], &[1.0]) > 0.09);
+    }
+}

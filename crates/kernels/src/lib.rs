@@ -1,0 +1,33 @@
+//! # alpaka-kernels
+//!
+//! Single-source kernel zoo for the Alpaka reproduction. Every kernel is
+//! written once against `alpaka_core::ops::KernelOps` and runs unchanged on
+//! all back-ends (native CPU accelerators and simulated devices); each has a
+//! sequential host reference in [`host`] and, where the paper's evaluation
+//! needs one, a non-abstracted baseline in [`native`].
+
+pub mod daxpy;
+pub mod dgemm;
+pub mod dot;
+pub mod histogram;
+pub mod host;
+pub mod montecarlo;
+pub mod native;
+pub mod nbody;
+pub mod reduce;
+pub mod scan;
+pub mod spmv;
+pub mod stencil;
+pub mod transpose;
+
+pub use daxpy::{DaxpyKernel, DaxpyNativeStyle, VecAddKernel};
+pub use dgemm::{DgemmNaive, DgemmTiled, DgemmTiledCuda};
+pub use dot::DotKernel;
+pub use histogram::{HistogramGlobalAtomics, HistogramShared};
+pub use montecarlo::{pi_estimate, MonteCarloPi};
+pub use nbody::NBodyAccel;
+pub use reduce::{ReduceAtomic, ReduceBlocks};
+pub use scan::{device_exclusive_scan, ScanAddOffsets, ScanBlocks};
+pub use spmv::{CsrMatrix, SpmvScalar};
+pub use stencil::JacobiStep;
+pub use transpose::{TransposeNaive, TransposePadded, TransposeTiled};

@@ -1,0 +1,572 @@
+//! Reference scalar evaluator.
+//!
+//! Executes a [`Program`] for a *single* virtual thread with explicit
+//! special-register values, checking every memory access. It defines the
+//! semantics of the IR: the optimizer's property tests run programs before
+//! and after transformation through this evaluator and require bit-identical
+//! memory effects. (The full SIMT execution with warps, divergence and
+//! timing lives in `alpaka-sim`; it shares the scalar op semantics via
+//! [`crate::semantics`].)
+
+use crate::ir::*;
+use crate::semantics as sem;
+
+/// Scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sc {
+    F(f64),
+    I(i64),
+    B(bool),
+}
+
+impl Sc {
+    pub fn as_f(self) -> f64 {
+        match self {
+            Sc::F(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+    pub fn as_i(self) -> i64 {
+        match self {
+            Sc::I(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+    pub fn as_b(self) -> bool {
+        match self {
+            Sc::B(v) => v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+/// Global memory visible to the evaluator (buffer slot -> contents).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalMem {
+    pub bufs_f: Vec<Vec<f64>>,
+    pub bufs_i: Vec<Vec<i64>>,
+}
+
+/// Values of the special index registers for the evaluated thread,
+/// canonical `[z, y, x]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecialValues {
+    pub grid_blocks: [i64; 3],
+    pub block_threads: [i64; 3],
+    pub thread_elems: [i64; 3],
+    pub block_idx: [i64; 3],
+    pub thread_idx: [i64; 3],
+}
+
+impl Default for SpecialValues {
+    fn default() -> Self {
+        SpecialValues {
+            grid_blocks: [1; 3],
+            block_threads: [1; 3],
+            thread_elems: [1; 3],
+            block_idx: [0; 3],
+            thread_idx: [0; 3],
+        }
+    }
+}
+
+impl SpecialValues {
+    fn get(&self, r: SpecialReg) -> i64 {
+        match r {
+            SpecialReg::GridBlockExtent(a) => self.grid_blocks[a as usize],
+            SpecialReg::BlockThreadExtent(a) => self.block_threads[a as usize],
+            SpecialReg::ThreadElemExtent(a) => self.thread_elems[a as usize],
+            SpecialReg::BlockIdx(a) => self.block_idx[a as usize],
+            SpecialReg::ThreadIdx(a) => self.thread_idx[a as usize],
+        }
+    }
+}
+
+/// Inputs for one evaluation.
+pub struct EvalInputs<'a> {
+    pub params_f: &'a [f64],
+    pub params_i: &'a [i64],
+    pub special: SpecialValues,
+}
+
+struct Interp<'a, 'm> {
+    p: &'a Program,
+    inp: &'a EvalInputs<'a>,
+    mem: &'m mut EvalMem,
+    regs: Vec<Sc>,
+    vars: Vec<Sc>,
+    sh_f: Vec<Vec<f64>>,
+    sh_i: Vec<Vec<i64>>,
+    loc_f: Vec<Vec<f64>>,
+    /// Instruction budget to bound accidental infinite while loops.
+    fuel: u64,
+}
+
+impl Interp<'_, '_> {
+    fn set(&mut self, v: ValId, val: Sc) {
+        self.regs[v.0 as usize] = val;
+    }
+    fn get(&self, v: ValId) -> Sc {
+        self.regs[v.0 as usize]
+    }
+    fn gf(&self, v: ValId) -> f64 {
+        self.get(v).as_f()
+    }
+    fn gi(&self, v: ValId) -> i64 {
+        self.get(v).as_i()
+    }
+    fn gb(&self, v: ValId) -> bool {
+        self.get(v).as_b()
+    }
+
+    fn idx(&self, v: ValId, len: usize, what: &str) -> Result<usize, String> {
+        let i = self.gi(v);
+        if i < 0 || i as usize >= len {
+            Err(format!("{what} index {i} out of bounds (len {len})"))
+        } else {
+            Ok(i as usize)
+        }
+    }
+
+    fn burn(&mut self) -> Result<(), String> {
+        if self.fuel == 0 {
+            return Err("instruction budget exhausted (infinite loop?)".into());
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_instr(&mut self, i: &Instr) -> Result<(), String> {
+        self.burn()?;
+        let val = match &i.op {
+            Op::ConstF(v) => Sc::F(*v),
+            Op::ConstI(v) => Sc::I(*v),
+            Op::ConstB(v) => Sc::B(*v),
+            Op::Special(r) => Sc::I(self.inp.special.get(*r)),
+            Op::ParamF(s) => Sc::F(
+                *self
+                    .inp
+                    .params_f
+                    .get(*s as usize)
+                    .ok_or_else(|| format!("f64 param slot {s} unbound"))?,
+            ),
+            Op::ParamI(s) => Sc::I(
+                *self
+                    .inp
+                    .params_i
+                    .get(*s as usize)
+                    .ok_or_else(|| format!("i64 param slot {s} unbound"))?,
+            ),
+            Op::BinF(op, a, b) => Sc::F(sem::fbin(*op, self.gf(*a), self.gf(*b))),
+            Op::UnF(op, a) => Sc::F(sem::fun(*op, self.gf(*a))),
+            Op::Fma(a, b, c) => Sc::F(sem::fma(self.gf(*a), self.gf(*b), self.gf(*c))),
+            Op::BinI(op, a, b) => Sc::I(sem::ibin(*op, self.gi(*a), self.gi(*b))),
+            Op::NegI(a) => Sc::I(self.gi(*a).wrapping_neg()),
+            Op::CmpF(c, a, b) => Sc::B(sem::cmp_f(*c, self.gf(*a), self.gf(*b))),
+            Op::CmpI(c, a, b) => Sc::B(sem::cmp_i(*c, self.gi(*a), self.gi(*b))),
+            Op::BinB(op, a, b) => Sc::B(sem::bbin(*op, self.gb(*a), self.gb(*b))),
+            Op::NotB(a) => Sc::B(!self.gb(*a)),
+            Op::SelF(c, t, e) => Sc::F(if self.gb(*c) { self.gf(*t) } else { self.gf(*e) }),
+            Op::SelI(c, t, e) => Sc::I(if self.gb(*c) { self.gi(*t) } else { self.gi(*e) }),
+            Op::I2F(a) => Sc::F(sem::i2f(self.gi(*a))),
+            Op::F2I(a) => Sc::I(sem::f2i(self.gf(*a))),
+            Op::U2UnitF(a) => Sc::F(sem::u2unit(self.gi(*a))),
+            Op::LdGF { buf, idx } => {
+                let b = self
+                    .mem
+                    .bufs_f
+                    .get(*buf as usize)
+                    .ok_or_else(|| format!("f64 buffer {buf} unbound"))?;
+                let k = self.idx(*idx, b.len(), "ld.global.f64")?;
+                Sc::F(b[k])
+            }
+            Op::LdGI { buf, idx } => {
+                let b = self
+                    .mem
+                    .bufs_i
+                    .get(*buf as usize)
+                    .ok_or_else(|| format!("i64 buffer {buf} unbound"))?;
+                let k = self.idx(*idx, b.len(), "ld.global.s64")?;
+                Sc::I(b[k])
+            }
+            Op::LdSF { sh, idx } => {
+                let a = &self.sh_f[*sh as usize];
+                let k = self.idx(*idx, a.len(), "ld.shared.f64")?;
+                Sc::F(a[k])
+            }
+            Op::LdSI { sh, idx } => {
+                let a = &self.sh_i[*sh as usize];
+                let k = self.idx(*idx, a.len(), "ld.shared.s64")?;
+                Sc::I(a[k])
+            }
+            Op::LdLF { loc, idx } => {
+                let a = &self.loc_f[*loc as usize];
+                let k = self.idx(*idx, a.len(), "ld.local.f64")?;
+                Sc::F(a[k])
+            }
+            Op::LdVarF(v) => self.vars[v.0 as usize],
+            Op::LdVarI(v) => self.vars[v.0 as usize],
+            Op::AtomicGF { op, buf, idx, val } => {
+                let v = self.gf(*val);
+                let b = &mut self.mem.bufs_f[*buf as usize];
+                let len = b.len();
+                let i = self.regs[idx.0 as usize].as_i();
+                if i < 0 || i as usize >= len {
+                    return Err(format!("atomic f64 index {i} out of bounds (len {len})"));
+                }
+                let old = b[i as usize];
+                b[i as usize] = sem::atomic_f(*op, old, v);
+                Sc::F(old)
+            }
+            Op::AtomicGI { op, buf, idx, val } => {
+                let v = self.gi(*val);
+                let b = &mut self.mem.bufs_i[*buf as usize];
+                let len = b.len();
+                let i = self.regs[idx.0 as usize].as_i();
+                if i < 0 || i as usize >= len {
+                    return Err(format!("atomic i64 index {i} out of bounds (len {len})"));
+                }
+                let old = b[i as usize];
+                b[i as usize] = sem::atomic_i(*op, old, v);
+                Sc::I(old)
+            }
+        };
+        self.set(i.dst, val);
+        Ok(())
+    }
+
+    fn exec_block(&mut self, b: &Block) -> Result<(), String> {
+        for s in &b.0 {
+            match s {
+                Stmt::I(i) => self.exec_instr(i)?,
+                Stmt::StGF { buf, idx, val } => {
+                    let v = self.gf(*val);
+                    let len = self.mem.bufs_f[*buf as usize].len();
+                    let k = self.idx(*idx, len, "st.global.f64")?;
+                    self.mem.bufs_f[*buf as usize][k] = v;
+                }
+                Stmt::StGI { buf, idx, val } => {
+                    let v = self.gi(*val);
+                    let len = self.mem.bufs_i[*buf as usize].len();
+                    let k = self.idx(*idx, len, "st.global.s64")?;
+                    self.mem.bufs_i[*buf as usize][k] = v;
+                }
+                Stmt::StLF { loc, idx, val } => {
+                    let v = self.gf(*val);
+                    let len = self.loc_f[*loc as usize].len();
+                    let k = self.idx(*idx, len, "st.local.f64")?;
+                    self.loc_f[*loc as usize][k] = v;
+                }
+                Stmt::StSF { sh, idx, val } => {
+                    let v = self.gf(*val);
+                    let len = self.sh_f[*sh as usize].len();
+                    let k = self.idx(*idx, len, "st.shared.f64")?;
+                    self.sh_f[*sh as usize][k] = v;
+                }
+                Stmt::StSI { sh, idx, val } => {
+                    let v = self.gi(*val);
+                    let len = self.sh_i[*sh as usize].len();
+                    let k = self.idx(*idx, len, "st.shared.s64")?;
+                    self.sh_i[*sh as usize][k] = v;
+                }
+                Stmt::StVarF { var, val } => {
+                    self.vars[var.0 as usize] = Sc::F(self.gf(*val));
+                }
+                Stmt::StVarI { var, val } => {
+                    self.vars[var.0 as usize] = Sc::I(self.gi(*val));
+                }
+                Stmt::Sync => {} // single thread: barrier is a no-op
+                Stmt::Comment(_) => {}
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    if self.gb(*cond) {
+                        self.exec_block(then_b)?;
+                    } else {
+                        self.exec_block(else_b)?;
+                    }
+                }
+                Stmt::ForRange {
+                    counter,
+                    start,
+                    end,
+                    body,
+                    ..
+                } => {
+                    let s0 = self.gi(*start);
+                    let e0 = self.gi(*end);
+                    let mut k = s0;
+                    while k < e0 {
+                        self.burn()?;
+                        self.set(*counter, Sc::I(k));
+                        self.exec_block(body)?;
+                        k += 1;
+                    }
+                }
+                Stmt::While {
+                    cond_block,
+                    cond,
+                    body,
+                } => loop {
+                    self.burn()?;
+                    self.exec_block(cond_block)?;
+                    if !self.gb(*cond) {
+                        break;
+                    }
+                    self.exec_block(body)?;
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate the program for one thread against `mem`. Shared arrays are
+/// zero-initialized per call. Returns an error for out-of-bounds accesses,
+/// unbound parameters or exhausted instruction budget.
+pub fn eval_thread(p: &Program, inp: &EvalInputs<'_>, mem: &mut EvalMem) -> Result<(), String> {
+    eval_thread_fuel(p, inp, mem, 100_000_000)
+}
+
+/// [`eval_thread`] with an explicit instruction budget.
+pub fn eval_thread_fuel(
+    p: &Program,
+    inp: &EvalInputs<'_>,
+    mem: &mut EvalMem,
+    fuel: u64,
+) -> Result<(), String> {
+    let mut it = Interp {
+        p,
+        inp,
+        mem,
+        regs: vec![Sc::I(0); p.n_vals as usize],
+        vars: p
+            .vars
+            .iter()
+            .map(|v| match v.ty {
+                Ty::F64 => Sc::F(0.0),
+                Ty::I64 => Sc::I(0),
+                Ty::Bool => Sc::B(false),
+            })
+            .collect(),
+        sh_f: p
+            .shared
+            .iter()
+            .map(|s| if s.ty == Ty::F64 { vec![0.0; s.len] } else { vec![] })
+            .collect(),
+        sh_i: p
+            .shared
+            .iter()
+            .map(|s| if s.ty == Ty::I64 { vec![0; s.len] } else { vec![] })
+            .collect(),
+        loc_f: p.locals.iter().map(|l| vec![0.0; l.len]).collect(),
+        fuel,
+    };
+    let body = &it.p.body;
+    it.exec_block(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::trace_kernel;
+    use alpaka_core::kernel::Kernel;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+    struct Saxpy;
+    impl Kernel for Saxpy {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let x = o.buf_f(0);
+            let y = o.buf_f(1);
+            let a = o.param_f(0);
+            let n = o.param_i(0);
+            let i = o.global_thread_idx(0);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let xv = o.ld_gf(x, i);
+                let yv = o.ld_gf(y, i);
+                let r = o.fma_f(xv, a, yv);
+                o.st_gf(y, i, r);
+            });
+        }
+    }
+
+    fn run_saxpy_thread(tid: i64, mem: &mut EvalMem) {
+        let p = trace_kernel(&Saxpy, 1);
+        let mut sp = SpecialValues::default();
+        sp.block_threads = [1, 1, 4];
+        sp.thread_idx = [0, 0, tid];
+        let inp = EvalInputs {
+            params_f: &[2.0],
+            params_i: &[4],
+            special: sp,
+        };
+        eval_thread(&p, &inp, mem).unwrap();
+    }
+
+    #[test]
+    fn saxpy_per_thread() {
+        let mut mem = EvalMem {
+            bufs_f: vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]],
+            bufs_i: vec![],
+        };
+        for t in 0..4 {
+            run_saxpy_thread(t, &mut mem);
+        }
+        assert_eq!(mem.bufs_f[1], vec![12.0, 24.0, 36.0, 48.0]);
+    }
+
+    #[test]
+    fn guard_prevents_oob() {
+        // n = 4 but buffers of length 4, threads 0..8: the guard must keep
+        // threads 4..8 from touching memory.
+        let p = trace_kernel(&Saxpy, 1);
+        let mut mem = EvalMem {
+            bufs_f: vec![vec![0.0; 4], vec![0.0; 4]],
+            bufs_i: vec![],
+        };
+        let mut sp = SpecialValues::default();
+        sp.block_threads = [1, 1, 8];
+        sp.thread_idx = [0, 0, 7];
+        let inp = EvalInputs {
+            params_f: &[2.0],
+            params_i: &[4],
+            special: sp,
+        };
+        eval_thread(&p, &inp, &mut mem).unwrap();
+    }
+
+    struct LoopSum;
+    impl Kernel for LoopSum {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            // out[0] = sum_{k<n} k using a var and for_range.
+            let out = o.buf_i(0);
+            let n = o.param_i(0);
+            let zero = o.lit_i(0);
+            let acc = o.var_i(zero);
+            o.for_range(zero, n, |o, k| {
+                let cur = o.vget_i(acc);
+                let nx = o.add_i(cur, k);
+                o.vset_i(acc, nx);
+            });
+            let total = o.vget_i(acc);
+            o.st_gi(out, zero, total);
+        }
+    }
+
+    #[test]
+    fn for_range_with_var() {
+        let p = trace_kernel(&LoopSum, 1);
+        let mut mem = EvalMem {
+            bufs_f: vec![],
+            bufs_i: vec![vec![0]],
+        };
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[10],
+            special: SpecialValues::default(),
+        };
+        eval_thread(&p, &inp, &mut mem).unwrap();
+        assert_eq!(mem.bufs_i[0][0], 45);
+    }
+
+    struct Collatz;
+    impl Kernel for Collatz {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            // out[0] = number of collatz steps from param_i(0).
+            let out = o.buf_i(0);
+            let n0 = o.param_i(0);
+            let x = o.var_i(n0);
+            let zero = o.lit_i(0);
+            let steps = o.var_i(zero);
+            o.while_(
+                |o| {
+                    let xv = o.vget_i(x);
+                    let one = o.lit_i(1);
+                    o.gt_i(xv, one)
+                },
+                |o| {
+                    let xv = o.vget_i(x);
+                    let one = o.lit_i(1);
+                    let two = o.lit_i(2);
+                    let three = o.lit_i(3);
+                    let r = o.rem_i(xv, two);
+                    let is_odd = o.eq_i(r, one);
+                    let half = o.div_i(xv, two);
+                    let trip = o.mul_i(xv, three);
+                    let trip1 = o.add_i(trip, one);
+                    let nx = o.select_i(is_odd, trip1, half);
+                    o.vset_i(x, nx);
+                    let s = o.vget_i(steps);
+                    let s1 = o.add_i(s, one);
+                    o.vset_i(steps, s1);
+                },
+            );
+            let s = o.vget_i(steps);
+            o.st_gi(out, zero, s);
+        }
+    }
+
+    #[test]
+    fn while_loop_collatz() {
+        let p = trace_kernel(&Collatz, 1);
+        let mut mem = EvalMem {
+            bufs_f: vec![],
+            bufs_i: vec![vec![0]],
+        };
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[6],
+            special: SpecialValues::default(),
+        };
+        eval_thread(&p, &inp, &mut mem).unwrap();
+        // 6 -> 3 -> 10 -> 5 -> 16 -> 8 -> 4 -> 2 -> 1 : 8 steps
+        assert_eq!(mem.bufs_i[0][0], 8);
+    }
+
+    #[test]
+    fn oob_store_is_reported() {
+        struct Bad;
+        impl Kernel for Bad {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let i = o.lit_i(100);
+                let v = o.lit_f(1.0);
+                o.st_gf(b, i, v);
+            }
+        }
+        let p = trace_kernel(&Bad, 1);
+        let mut mem = EvalMem {
+            bufs_f: vec![vec![0.0; 4]],
+            bufs_i: vec![],
+        };
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[],
+            special: SpecialValues::default(),
+        };
+        let err = eval_thread(&p, &inp, &mut mem).unwrap_err();
+        assert!(err.contains("out of bounds"));
+    }
+
+    #[test]
+    fn infinite_loop_burns_fuel() {
+        struct Spin;
+        impl Kernel for Spin {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                o.while_(|o| o.lit_b(true), |_| {});
+            }
+        }
+        let p = trace_kernel(&Spin, 1);
+        let mut mem = EvalMem::default();
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[],
+            special: SpecialValues::default(),
+        };
+        let err = eval_thread_fuel(&p, &inp, &mut mem, 1000).unwrap_err();
+        assert!(err.contains("budget"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # alpaka-kir
+//!
+//! Kernel IR substrate for the Alpaka reproduction: a PTX-like virtual ISA
+//! into which single-source kernels (written against
+//! `alpaka_core::ops::KernelOps`) are *traced*, then optimized and executed
+//! by the simulated devices of `alpaka-sim`.
+//!
+//! Pipeline: [`builder::trace_kernel`] → [`passes::optimize`] →
+//! (`alpaka-sim` interpretation). [`printer::print_stream`] renders the
+//! instruction stream used by the paper-Fig.-4 zero-overhead comparison, and
+//! [`eval`] is the single-thread reference evaluator defining the ISA's
+//! semantics.
+
+pub mod builder;
+pub mod eval;
+pub mod ir;
+pub mod passes;
+pub mod printer;
+pub mod semantics;
+pub mod testgen;
+pub mod validate;
+
+pub use builder::{trace_kernel, trace_kernel_spec, IrBuilder, SpecConsts};
+pub use ir::{Block, Instr, Op, Program, Stmt, Ty, ValId, VarId};
+pub use passes::{optimize, PassStats};
+pub use printer::{print_program, print_stream};
+pub use validate::{validate, ValidateError};

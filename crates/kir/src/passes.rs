@@ -1,0 +1,1267 @@
+//! Optimization passes over the IR.
+//!
+//! The paper's zero-overhead claim (Section 4.1 / Fig. 4) rests on the
+//! back-end compiler removing all the meta-programming residue the
+//! abstraction introduces: extent queries that are compile-time constants,
+//! multiplications by an element extent of one, trivial element loops. Here
+//! `nvcc` is replaced by this pass pipeline:
+//!
+//! 1. **constant folding + algebraic simplification** (integer identities
+//!    only — float expressions are never reassociated, keeping results
+//!    bit-identical),
+//! 2. **trivial loop unrolling** for constant trip counts (the `V = 1`
+//!    element loop disappears entirely),
+//! 3. **dead-code elimination** (unused extent queries, empty conditionals),
+//! 4. **renumbering** into canonical order, so two programs computing the
+//!    same stream print identically — which is what `repro-fig4` diffs.
+//!
+//! Passes preserve semantics exactly; the property tests in this crate
+//! prove it by running random programs through [`crate::eval`] before and
+//! after optimization.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::*;
+use crate::semantics as sem;
+
+/// Aggregate statistics of an [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Instructions replaced by constants.
+    pub folded: usize,
+    /// Instructions removed by aliasing to an existing value.
+    pub aliased: usize,
+    /// Loops fully unrolled.
+    pub unrolled: usize,
+    /// Statements removed by DCE (including pruned empty control flow).
+    pub removed: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+/// Full pipeline: fold+unroll and DCE to fixpoint, then renumber.
+pub fn optimize(p: &mut Program) -> PassStats {
+    let mut stats = PassStats::default();
+    for _ in 0..8 {
+        stats.rounds += 1;
+        let f = unroll_and_fold(p, 8, 512);
+        stats.folded += f.folded;
+        stats.aliased += f.aliased;
+        stats.unrolled += f.unrolled;
+        let deduped = cse(p);
+        stats.aliased += deduped;
+        let removed = dce(p);
+        stats.removed += removed;
+        if f.folded + f.aliased + f.unrolled + deduped + removed == 0 {
+            break;
+        }
+    }
+    renumber(p);
+    stats
+}
+
+/// Constant folding only (no unrolling). Returns the number of changes.
+pub fn const_fold(p: &mut Program) -> usize {
+    let f = unroll_and_fold(p, 0, 0);
+    f.folded + f.aliased
+}
+
+// ---------------------------------------------------------------------
+// Fold + unroll
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CVal {
+    F(f64),
+    I(i64),
+    B(bool),
+}
+
+impl CVal {
+    fn to_op(self) -> Op {
+        match self {
+            CVal::F(v) => Op::ConstF(v),
+            CVal::I(v) => Op::ConstI(v),
+            CVal::B(v) => Op::ConstB(v),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldStats {
+    pub folded: usize,
+    pub aliased: usize,
+    pub unrolled: usize,
+}
+
+struct Folder {
+    consts: HashMap<u32, CVal>,
+    alias: HashMap<u32, u32>,
+    next_val: u32,
+    max_trip: i64,
+    max_unroll_instrs: usize,
+    stats: FoldStats,
+}
+
+/// Fold constants, simplify integer identities, splice constant branches
+/// and unroll loops with constant trip count `<= max_trip` whose expansion
+/// stays under `max_unroll_instrs` instructions.
+pub fn unroll_and_fold(p: &mut Program, max_trip: usize, max_unroll_instrs: usize) -> FoldStats {
+    let mut f = Folder {
+        consts: HashMap::new(),
+        alias: HashMap::new(),
+        next_val: p.n_vals,
+        max_trip: max_trip as i64,
+        max_unroll_instrs,
+        stats: FoldStats::default(),
+    };
+    let body = std::mem::take(&mut p.body);
+    let mut out = Vec::new();
+    f.fold_stmts(body.0, &mut out);
+    p.body = Block(out);
+    p.n_vals = f.next_val;
+    f.stats
+}
+
+impl Folder {
+    fn resolve(&self, v: ValId) -> ValId {
+        let mut cur = v.0;
+        // Alias chains are short; guard against accidental cycles anyway.
+        for _ in 0..64 {
+            match self.alias.get(&cur) {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+        ValId(cur)
+    }
+
+    fn cst(&self, v: ValId) -> Option<CVal> {
+        self.consts.get(&self.resolve(v).0).copied()
+    }
+
+    fn cst_i(&self, v: ValId) -> Option<i64> {
+        match self.cst(v) {
+            Some(CVal::I(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    fn cst_b(&self, v: ValId) -> Option<bool> {
+        match self.cst(v) {
+            Some(CVal::B(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    fn fresh(&mut self) -> ValId {
+        let id = ValId(self.next_val);
+        self.next_val += 1;
+        id
+    }
+
+    fn fold_block_owned(&mut self, b: Block) -> Block {
+        let mut out = Vec::new();
+        self.fold_stmts(b.0, &mut out);
+        Block(out)
+    }
+
+    fn fold_stmts(&mut self, stmts: Vec<Stmt>, out: &mut Vec<Stmt>) {
+        for s in stmts {
+            match s {
+                Stmt::I(mut instr) => {
+                    instr.op.map_operands(|v| self.resolve(v));
+                    // Literals seed the constant environment.
+                    if let Some(c) = match instr.op {
+                        Op::ConstF(v) => Some(CVal::F(v)),
+                        Op::ConstI(v) => Some(CVal::I(v)),
+                        Op::ConstB(v) => Some(CVal::B(v)),
+                        _ => None,
+                    } {
+                        self.consts.insert(instr.dst.0, c);
+                        out.push(Stmt::I(instr));
+                    } else if let Some(c) = self.try_fold(&instr.op) {
+                        self.consts.insert(instr.dst.0, c);
+                        instr.op = c.to_op();
+                        self.stats.folded += 1;
+                        out.push(Stmt::I(instr));
+                    } else if let Some(simp) = self.try_simplify(&instr.op) {
+                        match simp {
+                            Simp::Alias(v) => {
+                                self.alias.insert(instr.dst.0, v.0);
+                                self.stats.aliased += 1;
+                                // Instruction dropped: uses are rewritten.
+                            }
+                            Simp::Const(c) => {
+                                self.consts.insert(instr.dst.0, c);
+                                instr.op = c.to_op();
+                                self.stats.folded += 1;
+                                out.push(Stmt::I(instr));
+                            }
+                        }
+                    } else {
+                        out.push(Stmt::I(instr));
+                    }
+                }
+                Stmt::StGF { buf, idx, val } => out.push(Stmt::StGF {
+                    buf,
+                    idx: self.resolve(idx),
+                    val: self.resolve(val),
+                }),
+                Stmt::StGI { buf, idx, val } => out.push(Stmt::StGI {
+                    buf,
+                    idx: self.resolve(idx),
+                    val: self.resolve(val),
+                }),
+                Stmt::StSF { sh, idx, val } => out.push(Stmt::StSF {
+                    sh,
+                    idx: self.resolve(idx),
+                    val: self.resolve(val),
+                }),
+                Stmt::StLF { loc, idx, val } => out.push(Stmt::StLF {
+                    loc,
+                    idx: self.resolve(idx),
+                    val: self.resolve(val),
+                }),
+                Stmt::StSI { sh, idx, val } => out.push(Stmt::StSI {
+                    sh,
+                    idx: self.resolve(idx),
+                    val: self.resolve(val),
+                }),
+                Stmt::StVarF { var, val } => out.push(Stmt::StVarF {
+                    var,
+                    val: self.resolve(val),
+                }),
+                Stmt::StVarI { var, val } => out.push(Stmt::StVarI {
+                    var,
+                    val: self.resolve(val),
+                }),
+                Stmt::Sync => out.push(Stmt::Sync),
+                Stmt::Comment(c) => out.push(Stmt::Comment(c)),
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    let cond = self.resolve(cond);
+                    if let Some(c) = self.cst_b(cond) {
+                        // Constant condition: splice the chosen branch.
+                        let chosen = if c { then_b } else { else_b };
+                        self.stats.folded += 1;
+                        self.fold_stmts(chosen.0, out);
+                    } else {
+                        let t = self.fold_block_owned(then_b);
+                        let e = self.fold_block_owned(else_b);
+                        out.push(Stmt::If {
+                            cond,
+                            then_b: t,
+                            else_b: e,
+                        });
+                    }
+                }
+                Stmt::ForRange {
+                    counter,
+                    start,
+                    end,
+                    body,
+                    vectorize,
+                } => {
+                    let start = self.resolve(start);
+                    let end = self.resolve(end);
+                    if let (Some(s0), Some(e0)) = (self.cst_i(start), self.cst_i(end)) {
+                        let trip = (e0 - s0).max(0);
+                        if trip == 0 {
+                            self.stats.unrolled += 1;
+                            continue; // loop never executes
+                        }
+                        let expansion = body.instr_count().saturating_mul(trip as usize);
+                        if trip <= self.max_trip && expansion <= self.max_unroll_instrs {
+                            self.stats.unrolled += 1;
+                            for k in s0..e0 {
+                                let cid = self.fresh();
+                                let mut map = HashMap::new();
+                                map.insert(counter.0, cid);
+                                let cloned = clone_block_fresh(&body, &mut map, &mut self.next_val);
+                                let mut pre = Vec::with_capacity(cloned.0.len() + 1);
+                                pre.push(Stmt::I(Instr {
+                                    dst: cid,
+                                    op: Op::ConstI(k),
+                                }));
+                                pre.extend(cloned.0);
+                                self.fold_stmts(pre, out);
+                            }
+                            continue;
+                        }
+                    }
+                    let fb = self.fold_block_owned(body);
+                    out.push(Stmt::ForRange {
+                        counter,
+                        start,
+                        end,
+                        body: fb,
+                        vectorize,
+                    });
+                }
+                Stmt::While {
+                    cond_block,
+                    cond,
+                    body,
+                } => {
+                    let cb = self.fold_block_owned(cond_block);
+                    let cond = self.resolve(cond);
+                    let bb = self.fold_block_owned(body);
+                    out.push(Stmt::While {
+                        cond_block: cb,
+                        cond,
+                        body: bb,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fold an op whose operands are all constants. Pure ops only.
+    fn try_fold(&self, op: &Op) -> Option<CVal> {
+        use CVal::*;
+        Some(match op {
+            Op::BinF(o, a, b) => F(sem::fbin(*o, self.f(*a)?, self.f(*b)?)),
+            Op::UnF(o, a) => F(sem::fun(*o, self.f(*a)?)),
+            Op::Fma(a, b, c) => F(sem::fma(self.f(*a)?, self.f(*b)?, self.f(*c)?)),
+            Op::BinI(o, a, b) => I(sem::ibin(*o, self.cst_i(*a)?, self.cst_i(*b)?)),
+            Op::NegI(a) => I(self.cst_i(*a)?.wrapping_neg()),
+            Op::CmpF(c, a, b) => B(sem::cmp_f(*c, self.f(*a)?, self.f(*b)?)),
+            Op::CmpI(c, a, b) => B(sem::cmp_i(*c, self.cst_i(*a)?, self.cst_i(*b)?)),
+            Op::BinB(o, a, b) => B(sem::bbin(*o, self.cst_b(*a)?, self.cst_b(*b)?)),
+            Op::NotB(a) => B(!self.cst_b(*a)?),
+            Op::SelF(c, t, e) => F(if self.cst_b(*c)? {
+                self.f(*t)?
+            } else {
+                self.f(*e)?
+            }),
+            Op::SelI(c, t, e) => I(if self.cst_b(*c)? {
+                self.cst_i(*t)?
+            } else {
+                self.cst_i(*e)?
+            }),
+            Op::I2F(a) => F(sem::i2f(self.cst_i(*a)?)),
+            Op::F2I(a) => I(sem::f2i(self.f(*a)?)),
+            Op::U2UnitF(a) => F(sem::u2unit(self.cst_i(*a)?)),
+            _ => return None,
+        })
+    }
+
+    fn f(&self, v: ValId) -> Option<f64> {
+        match self.cst(v) {
+            Some(CVal::F(x)) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Integer/boolean algebraic identities. Floating point is deliberately
+    /// untouched (no `x + 0.0 -> x`: it is not bit-exact for `-0.0`).
+    fn try_simplify(&self, op: &Op) -> Option<Simp> {
+        use IBin::*;
+        let alias = |v: ValId| Some(Simp::Alias(v));
+        match op {
+            Op::BinI(Add, a, b) => {
+                if self.cst_i(*b) == Some(0) {
+                    alias(*a)
+                } else if self.cst_i(*a) == Some(0) {
+                    alias(*b)
+                } else {
+                    None
+                }
+            }
+            Op::BinI(Sub, a, b) => {
+                if self.cst_i(*b) == Some(0) {
+                    alias(*a)
+                } else {
+                    None
+                }
+            }
+            Op::BinI(Mul, a, b) => {
+                if self.cst_i(*b) == Some(1) {
+                    alias(*a)
+                } else if self.cst_i(*a) == Some(1) {
+                    alias(*b)
+                } else if self.cst_i(*a) == Some(0) || self.cst_i(*b) == Some(0) {
+                    Some(Simp::Const(CVal::I(0)))
+                } else {
+                    None
+                }
+            }
+            Op::BinI(Div, a, b) => {
+                if self.cst_i(*b) == Some(1) {
+                    alias(*a)
+                } else {
+                    None
+                }
+            }
+            Op::BinI(Shl, a, b) | Op::BinI(Shr, a, b) => {
+                if self.cst_i(*b) == Some(0) {
+                    alias(*a)
+                } else {
+                    None
+                }
+            }
+            Op::BinI(And, a, b) => {
+                if self.cst_i(*a) == Some(0) || self.cst_i(*b) == Some(0) {
+                    Some(Simp::Const(CVal::I(0)))
+                } else {
+                    None
+                }
+            }
+            Op::BinI(Or, a, b) | Op::BinI(Xor, a, b) => {
+                if self.cst_i(*b) == Some(0) {
+                    alias(*a)
+                } else if self.cst_i(*a) == Some(0) {
+                    alias(*b)
+                } else {
+                    None
+                }
+            }
+            Op::SelF(c, t, e) | Op::SelI(c, t, e) => {
+                if t == e {
+                    alias(*t)
+                } else {
+                    match self.cst_b(*c) {
+                        Some(true) => alias(*t),
+                        Some(false) => alias(*e),
+                        None => None,
+                    }
+                }
+            }
+            Op::BinB(BBin::And, a, b) => match (self.cst_b(*a), self.cst_b(*b)) {
+                (Some(true), _) => alias(*b),
+                (_, Some(true)) => alias(*a),
+                (Some(false), _) | (_, Some(false)) => Some(Simp::Const(CVal::B(false))),
+                _ => None,
+            },
+            Op::BinB(BBin::Or, a, b) => match (self.cst_b(*a), self.cst_b(*b)) {
+                (Some(false), _) => alias(*b),
+                (_, Some(false)) => alias(*a),
+                (Some(true), _) | (_, Some(true)) => Some(Simp::Const(CVal::B(true))),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+enum Simp {
+    Alias(ValId),
+    Const(CVal),
+}
+
+/// Deep-clone a block with fresh ValIds for every definition; `map` carries
+/// pre-seeded substitutions (the loop counter) and accumulates def renames.
+/// Unmapped operands refer to values defined outside the block and are kept.
+fn clone_block_fresh(b: &Block, map: &mut HashMap<u32, ValId>, next: &mut u32) -> Block {
+    let fresh = |next: &mut u32| {
+        let id = ValId(*next);
+        *next += 1;
+        id
+    };
+    let remap = |v: ValId, map: &HashMap<u32, ValId>| map.get(&v.0).copied().unwrap_or(v);
+    let mut out = Vec::with_capacity(b.0.len());
+    for s in &b.0 {
+        let cloned = match s {
+            Stmt::I(i) => {
+                let mut op = i.op.clone();
+                op.map_operands(|v| remap(v, map));
+                let dst = fresh(next);
+                map.insert(i.dst.0, dst);
+                Stmt::I(Instr { dst, op })
+            }
+            Stmt::StGF { buf, idx, val } => Stmt::StGF {
+                buf: *buf,
+                idx: remap(*idx, map),
+                val: remap(*val, map),
+            },
+            Stmt::StGI { buf, idx, val } => Stmt::StGI {
+                buf: *buf,
+                idx: remap(*idx, map),
+                val: remap(*val, map),
+            },
+            Stmt::StSF { sh, idx, val } => Stmt::StSF {
+                sh: *sh,
+                idx: remap(*idx, map),
+                val: remap(*val, map),
+            },
+            Stmt::StLF { loc, idx, val } => Stmt::StLF {
+                loc: *loc,
+                idx: remap(*idx, map),
+                val: remap(*val, map),
+            },
+            Stmt::StSI { sh, idx, val } => Stmt::StSI {
+                sh: *sh,
+                idx: remap(*idx, map),
+                val: remap(*val, map),
+            },
+            Stmt::StVarF { var, val } => Stmt::StVarF {
+                var: *var,
+                val: remap(*val, map),
+            },
+            Stmt::StVarI { var, val } => Stmt::StVarI {
+                var: *var,
+                val: remap(*val, map),
+            },
+            Stmt::Sync => Stmt::Sync,
+            Stmt::Comment(c) => Stmt::Comment(c.clone()),
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let cond = remap(*cond, map);
+                let t = clone_block_fresh(then_b, map, next);
+                let e = clone_block_fresh(else_b, map, next);
+                Stmt::If {
+                    cond,
+                    then_b: t,
+                    else_b: e,
+                }
+            }
+            Stmt::ForRange {
+                counter,
+                start,
+                end,
+                body,
+                vectorize,
+            } => {
+                let start = remap(*start, map);
+                let end = remap(*end, map);
+                let new_counter = fresh(next);
+                map.insert(counter.0, new_counter);
+                let body = clone_block_fresh(body, map, next);
+                Stmt::ForRange {
+                    counter: new_counter,
+                    start,
+                    end,
+                    body,
+                    vectorize: *vectorize,
+                }
+            }
+            Stmt::While {
+                cond_block,
+                cond,
+                body,
+            } => {
+                let cb = clone_block_fresh(cond_block, map, next);
+                let cond = remap(*cond, map);
+                let bb = clone_block_fresh(body, map, next);
+                Stmt::While {
+                    cond_block: cb,
+                    cond,
+                    body: bb,
+                }
+            }
+        };
+        out.push(cloned);
+    }
+    Block(out)
+}
+
+// ---------------------------------------------------------------------
+// Common-subexpression elimination
+// ---------------------------------------------------------------------
+
+/// Key identifying a pure computation (operands already canonicalized).
+fn cse_key(op: &Op) -> Option<String> {
+    // Pure, memory-independent ops only: constants, specials, parameters
+    // and arithmetic. Loads (global/shared/local/var) depend on mutable
+    // state and are never deduplicated; atomics have side effects.
+    match op {
+        Op::LdGF { .. }
+        | Op::LdGI { .. }
+        | Op::LdSF { .. }
+        | Op::LdSI { .. }
+        | Op::LdLF { .. }
+        | Op::LdVarF(_)
+        | Op::LdVarI(_)
+        | Op::AtomicGF { .. }
+        | Op::AtomicGI { .. } => None,
+        // NaN-carrying float constants hash by bit pattern.
+        Op::ConstF(v) => Some(format!("cf{:016x}", v.to_bits())),
+        other => Some(format!("{other:?}")),
+    }
+}
+
+/// Deduplicate identical pure computations within each lexical scope
+/// (no hoisting across control flow). Returns the number of instructions
+/// removed. Programs traced from generic kernels repeat literals and
+/// extent queries freely; this pass is what keeps that style free.
+pub fn cse(p: &mut Program) -> usize {
+    struct Cse {
+        alias: HashMap<u32, u32>,
+        removed: usize,
+    }
+    impl Cse {
+        fn resolve(&self, v: ValId) -> ValId {
+            let mut cur = v.0;
+            for _ in 0..64 {
+                match self.alias.get(&cur) {
+                    Some(&n) => cur = n,
+                    None => break,
+                }
+            }
+            ValId(cur)
+        }
+
+        fn block(&mut self, b: &mut Block, scope: &mut Vec<(String, ValId)>) {
+            let mark = scope.len();
+            let stmts = std::mem::take(&mut b.0);
+            for mut s in stmts {
+                match &mut s {
+                    Stmt::I(instr) => {
+                        instr.op.map_operands(|v| self.resolve(v));
+                        if let Some(key) = cse_key(&instr.op) {
+                            if let Some((_, existing)) =
+                                scope.iter().rev().find(|(k, _)| *k == key)
+                            {
+                                self.alias.insert(instr.dst.0, existing.0);
+                                self.removed += 1;
+                                continue; // drop the duplicate
+                            }
+                            scope.push((key, instr.dst));
+                        }
+                        b.0.push(s);
+                    }
+                    Stmt::StGF { idx, val, .. }
+                    | Stmt::StGI { idx, val, .. }
+                    | Stmt::StSF { idx, val, .. }
+                    | Stmt::StSI { idx, val, .. }
+                    | Stmt::StLF { idx, val, .. } => {
+                        *idx = self.resolve(*idx);
+                        *val = self.resolve(*val);
+                        b.0.push(s);
+                    }
+                    Stmt::StVarF { val, .. } | Stmt::StVarI { val, .. } => {
+                        *val = self.resolve(*val);
+                        b.0.push(s);
+                    }
+                    Stmt::Sync | Stmt::Comment(_) => b.0.push(s),
+                    Stmt::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    } => {
+                        *cond = self.resolve(*cond);
+                        self.block(then_b, scope);
+                        // The sibling branch must not see then-branch defs.
+                        scope.truncate(mark_of(scope, then_b));
+                        self.block(else_b, scope);
+                        b.0.push(s);
+                    }
+                    Stmt::ForRange {
+                        start, end, body, ..
+                    } => {
+                        *start = self.resolve(*start);
+                        *end = self.resolve(*end);
+                        self.block(body, scope);
+                        b.0.push(s);
+                    }
+                    Stmt::While {
+                        cond_block,
+                        cond,
+                        body,
+                    } => {
+                        self.block(cond_block, scope);
+                        *cond = self.resolve(*cond);
+                        self.block(body, scope);
+                        b.0.push(s);
+                    }
+                }
+            }
+            scope.truncate(mark);
+        }
+    }
+    // Helper kept trivial: nested blocks already truncate their own scope
+    // on exit, so the mark after a child call is simply the current length.
+    fn mark_of(scope: &[(String, ValId)], _b: &Block) -> usize {
+        scope.len()
+    }
+
+    let mut c = Cse {
+        alias: HashMap::new(),
+        removed: 0,
+    };
+    let mut scope = Vec::new();
+    let mut body = std::mem::take(&mut p.body);
+    c.block(&mut body, &mut scope);
+    p.body = body;
+    c.removed
+}
+
+// ---------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------
+
+/// Remove pure instructions whose value is never used, stores to registers
+/// never read, and control statements that became empty. Returns the number
+/// of removed statements.
+pub fn dce(p: &mut Program) -> usize {
+    let mut removed_total = 0;
+    loop {
+        // Registers and local arrays that are ever read.
+        let mut read_vars: HashSet<u32> = HashSet::new();
+        let mut read_locals: HashSet<u32> = HashSet::new();
+        p.body.visit(&mut |s| {
+            if let Stmt::I(i) = s {
+                match i.op {
+                    Op::LdVarF(v) | Op::LdVarI(v) => {
+                        read_vars.insert(v.0);
+                    }
+                    Op::LdLF { loc, .. } => {
+                        read_locals.insert(loc);
+                    }
+                    _ => {}
+                }
+            }
+        });
+
+        // Liveness fixpoint over value ids.
+        let mut live: HashSet<u32> = HashSet::new();
+        loop {
+            let before = live.len();
+            p.body.visit(&mut |s| match s {
+                Stmt::I(i) => {
+                    if i.op.has_side_effect() || live.contains(&i.dst.0) {
+                        i.op.for_each_operand(|v| {
+                            live.insert(v.0);
+                        });
+                    }
+                }
+                Stmt::StGF { idx, val, .. }
+                | Stmt::StSF { idx, val, .. }
+                | Stmt::StGI { idx, val, .. }
+                | Stmt::StSI { idx, val, .. } => {
+                    live.insert(idx.0);
+                    live.insert(val.0);
+                }
+                Stmt::StVarF { var, val } | Stmt::StVarI { var, val } => {
+                    if read_vars.contains(&var.0) {
+                        live.insert(val.0);
+                    }
+                }
+                Stmt::StLF { loc, idx, val } => {
+                    if read_locals.contains(loc) {
+                        live.insert(idx.0);
+                        live.insert(val.0);
+                    }
+                }
+                Stmt::If { cond, .. } => {
+                    live.insert(cond.0);
+                }
+                Stmt::ForRange { start, end, .. } => {
+                    live.insert(start.0);
+                    live.insert(end.0);
+                }
+                Stmt::While { cond, .. } => {
+                    live.insert(cond.0);
+                }
+                Stmt::Sync | Stmt::Comment(_) => {}
+            });
+            if live.len() == before {
+                break;
+            }
+        }
+
+        let removed = prune_block(&mut p.body, &live, &read_vars, &read_locals);
+        removed_total += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+fn prune_block(
+    b: &mut Block,
+    live: &HashSet<u32>,
+    read_vars: &HashSet<u32>,
+    read_locals: &HashSet<u32>,
+) -> usize {
+    let mut removed = 0;
+    let stmts = std::mem::take(&mut b.0);
+    for mut s in stmts {
+        let keep = match &mut s {
+            Stmt::I(i) => i.op.has_side_effect() || live.contains(&i.dst.0),
+            Stmt::StVarF { var, .. } | Stmt::StVarI { var, .. } => read_vars.contains(&var.0),
+            Stmt::StLF { loc, .. } => read_locals.contains(loc),
+            Stmt::If {
+                then_b, else_b, ..
+            } => {
+                removed += prune_block(then_b, live, read_vars, read_locals);
+                removed += prune_block(else_b, live, read_vars, read_locals);
+                !(then_b.is_empty() && else_b.is_empty())
+            }
+            Stmt::ForRange { body, .. } => {
+                removed += prune_block(body, live, read_vars, read_locals);
+                !body.is_empty()
+            }
+            Stmt::While {
+                cond_block, body, ..
+            } => {
+                // A while loop's termination depends on its condition;
+                // never remove it (it may be intentionally non-trivial),
+                // but clean its blocks.
+                removed += prune_block(cond_block, live, read_vars, read_locals);
+                removed += prune_block(body, live, read_vars, read_locals);
+                true
+            }
+            _ => true,
+        };
+        if keep {
+            b.0.push(s);
+        } else {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+// ---------------------------------------------------------------------
+// Renumbering
+// ---------------------------------------------------------------------
+
+/// Renumber all value ids (and register vars) into canonical pre-order so
+/// structurally identical programs print identically.
+pub fn renumber(p: &mut Program) {
+    let mut vmap: HashMap<u32, u32> = HashMap::new();
+    let mut next: u32 = 0;
+    let mut var_order: Vec<u32> = Vec::new();
+    let mut var_seen: HashSet<u32> = HashSet::new();
+    renumber_block(&mut p.body, &mut vmap, &mut next, &mut var_order, &mut var_seen);
+    p.n_vals = next;
+
+    // Compact and reorder vars by first use.
+    let mut var_map: HashMap<u32, u32> = HashMap::new();
+    let mut new_vars = Vec::with_capacity(var_order.len());
+    for (new_id, old_id) in var_order.iter().enumerate() {
+        var_map.insert(*old_id, new_id as u32);
+        new_vars.push(p.vars[*old_id as usize]);
+    }
+    p.vars = new_vars;
+    remap_vars_block(&mut p.body, &var_map);
+}
+
+fn note_var(v: VarId, order: &mut Vec<u32>, seen: &mut HashSet<u32>) {
+    if seen.insert(v.0) {
+        order.push(v.0);
+    }
+}
+
+fn renumber_block(
+    b: &mut Block,
+    vmap: &mut HashMap<u32, u32>,
+    next: &mut u32,
+    var_order: &mut Vec<u32>,
+    var_seen: &mut HashSet<u32>,
+) {
+    let def = |v: &mut ValId, vmap: &mut HashMap<u32, u32>, next: &mut u32| {
+        let id = *next;
+        *next += 1;
+        vmap.insert(v.0, id);
+        *v = ValId(id);
+    };
+    let use_ = |v: &mut ValId, vmap: &HashMap<u32, u32>| {
+        let mapped = vmap
+            .get(&v.0)
+            .unwrap_or_else(|| panic!("renumber: use of undefined {v:?}"));
+        *v = ValId(*mapped);
+    };
+    for s in &mut b.0 {
+        match s {
+            Stmt::I(i) => {
+                i.op.map_operands(|v| {
+                    ValId(
+                        *vmap
+                            .get(&v.0)
+                            .unwrap_or_else(|| panic!("renumber: use of undefined {v:?}")),
+                    )
+                });
+                match i.op {
+                    Op::LdVarF(v) | Op::LdVarI(v) => note_var(v, var_order, var_seen),
+                    _ => {}
+                }
+                def(&mut i.dst, vmap, next);
+            }
+            Stmt::StGF { idx, val, .. }
+            | Stmt::StGI { idx, val, .. }
+            | Stmt::StSF { idx, val, .. }
+            | Stmt::StSI { idx, val, .. }
+            | Stmt::StLF { idx, val, .. } => {
+                use_(idx, vmap);
+                use_(val, vmap);
+            }
+            Stmt::StVarF { var, val } | Stmt::StVarI { var, val } => {
+                note_var(*var, var_order, var_seen);
+                use_(val, vmap);
+            }
+            Stmt::Sync | Stmt::Comment(_) => {}
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                use_(cond, vmap);
+                renumber_block(then_b, vmap, next, var_order, var_seen);
+                renumber_block(else_b, vmap, next, var_order, var_seen);
+            }
+            Stmt::ForRange {
+                counter,
+                start,
+                end,
+                body,
+                ..
+            } => {
+                use_(start, vmap);
+                use_(end, vmap);
+                def(counter, vmap, next);
+                renumber_block(body, vmap, next, var_order, var_seen);
+            }
+            Stmt::While {
+                cond_block,
+                cond,
+                body,
+            } => {
+                renumber_block(cond_block, vmap, next, var_order, var_seen);
+                use_(cond, vmap);
+                renumber_block(body, vmap, next, var_order, var_seen);
+            }
+        }
+    }
+}
+
+fn remap_vars_block(b: &mut Block, var_map: &HashMap<u32, u32>) {
+    for s in &mut b.0 {
+        match s {
+            Stmt::I(i) => match &mut i.op {
+                Op::LdVarF(v) | Op::LdVarI(v) => *v = VarId(var_map[&v.0]),
+                _ => {}
+            },
+            Stmt::StVarF { var, .. } | Stmt::StVarI { var, .. } => *var = VarId(var_map[&var.0]),
+            Stmt::If {
+                then_b, else_b, ..
+            } => {
+                remap_vars_block(then_b, var_map);
+                remap_vars_block(else_b, var_map);
+            }
+            Stmt::ForRange { body, .. } => remap_vars_block(body, var_map),
+            Stmt::While {
+                cond_block, body, ..
+            } => {
+                remap_vars_block(cond_block, var_map);
+                remap_vars_block(body, var_map);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{trace_kernel, trace_kernel_spec, SpecConsts};
+    use crate::printer::print_stream;
+    use crate::validate::validate;
+    use alpaka_core::kernel::Kernel;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+    /// The Alpaka-style DAXPY with the generic element loop.
+    struct AlpakaDaxpy;
+    impl Kernel for AlpakaDaxpy {
+        fn name(&self) -> &str {
+            "daxpy"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let x = o.buf_f(0);
+            let y = o.buf_f(1);
+            let a = o.param_f(0);
+            let n = o.param_i(0);
+            let gid = o.global_thread_idx(0);
+            let v = o.thread_elem_extent(0);
+            let base = o.mul_i(gid, v);
+            o.for_elements(0, |o, e| {
+                let i = o.add_i(base, e);
+                let c = o.lt_i(i, n);
+                o.if_(c, |o| {
+                    let xv = o.ld_gf(x, i);
+                    let yv = o.ld_gf(y, i);
+                    let r = o.fma_f(xv, a, yv);
+                    o.st_gf(y, i, r);
+                });
+            });
+        }
+    }
+
+    /// "Native CUDA" DAXPY: index computed by hand, no element loop.
+    struct NativeDaxpy;
+    impl Kernel for NativeDaxpy {
+        fn name(&self) -> &str {
+            "daxpy"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let x = o.buf_f(0);
+            let y = o.buf_f(1);
+            let a = o.param_f(0);
+            let n = o.param_i(0);
+            let bi = o.block_idx(0);
+            let bd = o.block_thread_extent(0);
+            let ti = o.thread_idx(0);
+            let t = o.mul_i(bi, bd);
+            let i = o.add_i(t, ti);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let xv = o.ld_gf(x, i);
+                let yv = o.ld_gf(y, i);
+                let r = o.fma_f(xv, a, yv);
+                o.st_gf(y, i, r);
+            });
+        }
+    }
+
+    #[test]
+    fn zero_overhead_daxpy_streams_identical() {
+        // The Fig. 4 experiment in miniature: trace the Alpaka kernel with
+        // the element extent specialized to 1 (as the CUDA accelerator
+        // does), optimize, and compare with the hand-written kernel.
+        let spec = SpecConsts {
+            thread_elem_extent: Some([1, 1, 1]),
+            ..Default::default()
+        };
+        let mut alp = trace_kernel_spec(&AlpakaDaxpy, 1, spec);
+        let mut nat = trace_kernel(&NativeDaxpy, 1);
+        optimize(&mut alp);
+        optimize(&mut nat);
+        validate(&alp).unwrap();
+        validate(&nat).unwrap();
+        assert_eq!(print_stream(&alp), print_stream(&nat));
+    }
+
+    #[test]
+    fn optimize_reports_work() {
+        let spec = SpecConsts {
+            thread_elem_extent: Some([1, 1, 1]),
+            ..Default::default()
+        };
+        let mut alp = trace_kernel_spec(&AlpakaDaxpy, 1, spec);
+        let before = alp.instr_count();
+        let stats = optimize(&mut alp);
+        assert!(stats.unrolled >= 1, "element loop should unroll: {stats:?}");
+        assert!(stats.aliased >= 1, "mul-by-one should alias: {stats:?}");
+        assert!(alp.instr_count() < before);
+    }
+
+    #[test]
+    fn optimize_preserves_semantics_daxpy() {
+        use crate::eval::*;
+        let spec = SpecConsts {
+            thread_elem_extent: Some([1, 1, 1]),
+            ..Default::default()
+        };
+        let raw = trace_kernel_spec(&AlpakaDaxpy, 1, spec);
+        let mut opt = raw.clone();
+        optimize(&mut opt);
+        let run = |p: &Program| {
+            let mut mem = EvalMem {
+                bufs_f: vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+                bufs_i: vec![],
+            };
+            for t in 0..3 {
+                let mut sp = SpecialValues::default();
+                sp.block_threads = [1, 1, 3];
+                sp.thread_idx = [0, 0, t];
+                let inp = EvalInputs {
+                    params_f: &[10.0],
+                    params_i: &[3],
+                    special: sp,
+                };
+                eval_thread(p, &inp, &mut mem).unwrap();
+            }
+            mem
+        };
+        assert_eq!(run(&raw), run(&opt));
+    }
+
+    #[test]
+    fn constant_if_is_spliced() {
+        struct K;
+        impl Kernel for K {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let t = o.lit_b(true);
+                let i0 = o.lit_i(0);
+                o.if_else(
+                    t,
+                    |o| {
+                        let v = o.lit_f(1.0);
+                        o.st_gf(b, i0, v);
+                    },
+                    |o| {
+                        let v = o.lit_f(2.0);
+                        o.st_gf(b, i0, v);
+                    },
+                );
+            }
+        }
+        let mut p = trace_kernel(&K, 1);
+        optimize(&mut p);
+        validate(&p).unwrap();
+        let mut ifs = 0;
+        let mut stores = 0;
+        p.body.visit(&mut |s| match s {
+            Stmt::If { .. } => ifs += 1,
+            Stmt::StGF { .. } => stores += 1,
+            _ => {}
+        });
+        assert_eq!(ifs, 0);
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn dce_keeps_atomics() {
+        struct K;
+        impl Kernel for K {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let i0 = o.lit_i(0);
+                let one = o.lit_f(1.0);
+                let _old = o.atomic_add_gf(b, i0, one); // result unused
+                let dead = o.lit_f(42.0);
+                let _dead2 = o.mul_f(dead, dead); // genuinely dead
+            }
+        }
+        let mut p = trace_kernel(&K, 1);
+        optimize(&mut p);
+        let mut atomics = 0;
+        p.body.visit(&mut |s| {
+            if let Stmt::I(i) = s {
+                if i.op.has_side_effect() {
+                    atomics += 1;
+                }
+            }
+        });
+        assert_eq!(atomics, 1);
+        // Only the atomic chain survives: idx + val + atomic = 3 instrs.
+        assert_eq!(p.instr_count(), 3);
+    }
+
+    #[test]
+    fn dce_drops_stores_to_unread_vars() {
+        struct K;
+        impl Kernel for K {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let z = o.lit_f(0.0);
+                let v = o.var_f(z); // never read
+                let w = o.lit_f(3.0);
+                o.vset_f(v, w);
+            }
+        }
+        let mut p = trace_kernel(&K, 1);
+        optimize(&mut p);
+        assert_eq!(p.body.stmt_count(), 0);
+        assert!(p.vars.is_empty());
+    }
+
+    #[test]
+    fn zero_trip_loop_removed() {
+        struct K;
+        impl Kernel for K {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let s = o.lit_i(5);
+                let e = o.lit_i(5);
+                o.for_range(s, e, |o, i| {
+                    let v = o.lit_f(1.0);
+                    o.st_gf(b, i, v);
+                });
+            }
+        }
+        let mut p = trace_kernel(&K, 1);
+        optimize(&mut p);
+        assert_eq!(p.body.stmt_count(), 0);
+    }
+
+    #[test]
+    fn renumber_is_canonical() {
+        // Two traces of the same kernel with different intermediate junk
+        // must print identically after optimize.
+        struct K1;
+        impl Kernel for K1 {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let _junk = o.lit_f(99.0);
+                let i = o.lit_i(0);
+                let v = o.lit_f(7.0);
+                o.st_gf(b, i, v);
+            }
+        }
+        struct K2;
+        impl Kernel for K2 {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_f(0);
+                let i = o.lit_i(0);
+                let v = o.lit_f(7.0);
+                o.st_gf(b, i, v);
+            }
+        }
+        let mut p1 = trace_kernel(&K1, 1);
+        let mut p2 = trace_kernel(&K2, 1);
+        optimize(&mut p1);
+        optimize(&mut p2);
+        assert_eq!(print_stream(&p1), print_stream(&p2));
+    }
+
+    #[test]
+    fn while_loops_survive_optimization() {
+        struct K;
+        impl Kernel for K {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_i(0);
+                let ten = o.lit_i(10);
+                let x = o.var_i(ten);
+                o.while_(
+                    |o| {
+                        let xv = o.vget_i(x);
+                        let zero = o.lit_i(0);
+                        o.gt_i(xv, zero)
+                    },
+                    |o| {
+                        let xv = o.vget_i(x);
+                        let one = o.lit_i(1);
+                        let nx = o.sub_i(xv, one);
+                        o.vset_i(x, nx);
+                    },
+                );
+                let xv = o.vget_i(x);
+                let i0 = o.lit_i(0);
+                o.st_gi(b, i0, xv);
+            }
+        }
+        let mut p = trace_kernel(&K, 1);
+        optimize(&mut p);
+        validate(&p).unwrap();
+        let mut whiles = 0;
+        p.body.visit(&mut |s| {
+            if matches!(s, Stmt::While { .. }) {
+                whiles += 1
+            }
+        });
+        assert_eq!(whiles, 1);
+        // Semantics check.
+        use crate::eval::*;
+        let mut mem = EvalMem {
+            bufs_f: vec![],
+            bufs_i: vec![vec![-1]],
+        };
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[],
+            special: SpecialValues::default(),
+        };
+        eval_thread(&p, &inp, &mut mem).unwrap();
+        assert_eq!(mem.bufs_i[0][0], 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! PTX-style pretty printer.
+//!
+//! The printed instruction stream is the artifact the Fig. 4 experiment
+//! compares: the paper diffs the PTX generated from the Alpaka DAXPY kernel
+//! against the PTX of the native CUDA kernel and finds them identical up to
+//! register names; we diff the printed (renumbered) IR streams instead.
+
+use core::fmt::Write as _;
+
+use crate::ir::*;
+
+/// Render the whole program, header included.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".kernel {} .dims {}", p.name, p.dims);
+    for (i, v) in p.vars.iter().enumerate() {
+        let _ = writeln!(out, ".reg .{} $v{}", v.ty.suffix(), i);
+    }
+    for (i, s) in p.shared.iter().enumerate() {
+        let _ = writeln!(out, ".shared .{} @sh{}[{}]", s.ty.suffix(), i, s.len);
+    }
+    for (i, s) in p.locals.iter().enumerate() {
+        let _ = writeln!(out, ".local .{} @loc{}[{}]", s.ty.suffix(), i, s.len);
+    }
+    let _ = writeln!(out, "{{");
+    print_block(&p.body, 1, &mut out, true);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render only the instruction stream (no header, no comments) — the form
+/// used for stream equality in the zero-overhead experiment.
+pub fn print_stream(p: &Program) -> String {
+    let mut out = String::new();
+    print_block(&p.body, 0, &mut out, false);
+    out
+}
+
+fn ind(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String, comments: bool) {
+    for s in &b.0 {
+        match s {
+            Stmt::Comment(c) => {
+                if comments {
+                    ind(out, depth);
+                    let _ = writeln!(out, "// {c}");
+                }
+            }
+            Stmt::I(i) => {
+                ind(out, depth);
+                let _ = writeln!(out, "{}", fmt_instr(i));
+            }
+            Stmt::StGF { buf, idx, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "st.global.f64 [bf{buf} + {idx:?}], {val:?}");
+            }
+            Stmt::StGI { buf, idx, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "st.global.s64 [bi{buf} + {idx:?}], {val:?}");
+            }
+            Stmt::StLF { loc, idx, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "st.local.f64 [@loc{loc} + {idx:?}], {val:?}");
+            }
+            Stmt::StSF { sh, idx, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "st.shared.f64 [@sh{sh} + {idx:?}], {val:?}");
+            }
+            Stmt::StSI { sh, idx, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "st.shared.s64 [@sh{sh} + {idx:?}], {val:?}");
+            }
+            Stmt::StVarF { var, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "mov.f64 {var:?}, {val:?}");
+            }
+            Stmt::StVarI { var, val } => {
+                ind(out, depth);
+                let _ = writeln!(out, "mov.s64 {var:?}, {val:?}");
+            }
+            Stmt::Sync => {
+                ind(out, depth);
+                let _ = writeln!(out, "bar.sync 0");
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                ind(out, depth);
+                let _ = writeln!(out, "@{cond:?} {{");
+                print_block(then_b, depth + 1, out, comments);
+                if else_b.is_empty() {
+                    ind(out, depth);
+                    let _ = writeln!(out, "}}");
+                } else {
+                    ind(out, depth);
+                    let _ = writeln!(out, "}} else {{");
+                    print_block(else_b, depth + 1, out, comments);
+                    ind(out, depth);
+                    let _ = writeln!(out, "}}");
+                }
+            }
+            Stmt::ForRange {
+                counter,
+                start,
+                end,
+                body,
+                vectorize,
+            } => {
+                ind(out, depth);
+                let v = if *vectorize { ".vec" } else { "" };
+                let _ = writeln!(out, "for{v} {counter:?} in {start:?}..{end:?} {{");
+                print_block(body, depth + 1, out, comments);
+                ind(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+            Stmt::While {
+                cond_block,
+                cond,
+                body,
+            } => {
+                ind(out, depth);
+                let _ = writeln!(out, "while {{");
+                print_block(cond_block, depth + 1, out, comments);
+                ind(out, depth);
+                let _ = writeln!(out, "}} @{cond:?} do {{");
+                print_block(body, depth + 1, out, comments);
+                ind(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+}
+
+fn cmp_name(c: Cmp) -> &'static str {
+    match c {
+        Cmp::Lt => "lt",
+        Cmp::Le => "le",
+        Cmp::Gt => "gt",
+        Cmp::Ge => "ge",
+        Cmp::Eq => "eq",
+    }
+}
+
+fn fmt_instr(i: &Instr) -> String {
+    let d = i.dst;
+    match &i.op {
+        Op::ConstF(v) => format!("mov.f64 {d:?}, {v:e}"),
+        Op::ConstI(v) => format!("mov.s64 {d:?}, {v}"),
+        Op::ConstB(v) => format!("setp.const {d:?}, {v}"),
+        Op::Special(r) => format!("mov.s64 {d:?}, %{}", r.mnemonic()),
+        Op::ParamF(s) => format!("ld.param.f64 {d:?}, [pf{s}]"),
+        Op::ParamI(s) => format!("ld.param.s64 {d:?}, [pi{s}]"),
+        Op::BinF(op, a, b) => {
+            let m = match op {
+                FBin::Add => "add",
+                FBin::Sub => "sub",
+                FBin::Mul => "mul",
+                FBin::Div => "div.rn",
+                FBin::Min => "min",
+                FBin::Max => "max",
+            };
+            format!("{m}.f64 {d:?}, {a:?}, {b:?}")
+        }
+        Op::UnF(op, a) => {
+            let m = match op {
+                FUn::Neg => "neg",
+                FUn::Abs => "abs",
+                FUn::Sqrt => "sqrt.rn",
+                FUn::Exp => "ex2.approx",
+                FUn::Ln => "lg2.approx",
+                FUn::Sin => "sin.approx",
+                FUn::Cos => "cos.approx",
+                FUn::Floor => "cvt.rmi",
+            };
+            format!("{m}.f64 {d:?}, {a:?}")
+        }
+        Op::Fma(a, b, c) => format!("fma.rn.f64 {d:?}, {a:?}, {b:?}, {c:?}"),
+        Op::BinI(op, a, b) => {
+            let m = match op {
+                IBin::Add => "add",
+                IBin::Sub => "sub",
+                IBin::Mul => "mul.lo",
+                IBin::Div => "div",
+                IBin::Rem => "rem",
+                IBin::Min => "min",
+                IBin::Max => "max",
+                IBin::And => "and",
+                IBin::Or => "or",
+                IBin::Xor => "xor",
+                IBin::Shl => "shl",
+                IBin::Shr => "shr.u",
+            };
+            format!("{m}.s64 {d:?}, {a:?}, {b:?}")
+        }
+        Op::NegI(a) => format!("neg.s64 {d:?}, {a:?}"),
+        Op::CmpF(c, a, b) => format!("setp.{}.f64 {d:?}, {a:?}, {b:?}", cmp_name(*c)),
+        Op::CmpI(c, a, b) => format!("setp.{}.s64 {d:?}, {a:?}, {b:?}", cmp_name(*c)),
+        Op::BinB(op, a, b) => {
+            let m = match op {
+                BBin::And => "and",
+                BBin::Or => "or",
+            };
+            format!("{m}.pred {d:?}, {a:?}, {b:?}")
+        }
+        Op::NotB(a) => format!("not.pred {d:?}, {a:?}"),
+        Op::SelF(c, t, e) => format!("selp.f64 {d:?}, {t:?}, {e:?}, {c:?}"),
+        Op::SelI(c, t, e) => format!("selp.s64 {d:?}, {t:?}, {e:?}, {c:?}"),
+        Op::I2F(a) => format!("cvt.rn.f64.s64 {d:?}, {a:?}"),
+        Op::F2I(a) => format!("cvt.rzi.s64.f64 {d:?}, {a:?}"),
+        Op::U2UnitF(a) => format!("cvt.unit.f64.u64 {d:?}, {a:?}"),
+        Op::LdGF { buf, idx } => format!("ld.global.f64 {d:?}, [bf{buf} + {idx:?}]"),
+        Op::LdGI { buf, idx } => format!("ld.global.s64 {d:?}, [bi{buf} + {idx:?}]"),
+        Op::LdLF { loc, idx } => format!("ld.local.f64 {d:?}, [@loc{loc} + {idx:?}]"),
+        Op::LdSF { sh, idx } => format!("ld.shared.f64 {d:?}, [@sh{sh} + {idx:?}]"),
+        Op::LdSI { sh, idx } => format!("ld.shared.s64 {d:?}, [@sh{sh} + {idx:?}]"),
+        Op::LdVarF(v) => format!("mov.f64 {d:?}, {v:?}"),
+        Op::LdVarI(v) => format!("mov.s64 {d:?}, {v:?}"),
+        Op::AtomicGF { op, buf, idx, val } => {
+            let m = match op {
+                AtomicOp::Add => "add",
+                AtomicOp::Min => "min",
+                AtomicOp::Max => "max",
+            };
+            format!("atom.global.{m}.f64 {d:?}, [bf{buf} + {idx:?}], {val:?}")
+        }
+        Op::AtomicGI { op, buf, idx, val } => {
+            let m = match op {
+                AtomicOp::Add => "add",
+                AtomicOp::Min => "min",
+                AtomicOp::Max => "max",
+            };
+            format!("atom.global.{m}.s64 {d:?}, [bi{buf} + {idx:?}], {val:?}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::trace_kernel;
+    use alpaka_core::kernel::Kernel;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+    struct Daxpy;
+    impl Kernel for Daxpy {
+        fn name(&self) -> &str {
+            "daxpy"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            o.comment("y <- a*x + y");
+            let x = o.buf_f(0);
+            let y = o.buf_f(1);
+            let a = o.param_f(0);
+            let n = o.param_i(0);
+            let i = o.global_thread_idx(0);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let xv = o.ld_gf(x, i);
+                let yv = o.ld_gf(y, i);
+                let r = o.fma_f(xv, a, yv);
+                o.st_gf(y, i, r);
+            });
+        }
+    }
+
+    #[test]
+    fn printed_form_contains_expected_mnemonics() {
+        let p = trace_kernel(&Daxpy, 1);
+        let text = print_program(&p);
+        assert!(text.contains(".kernel daxpy"));
+        assert!(text.contains("// y <- a*x + y"));
+        assert!(text.contains("mov.s64"));
+        assert!(text.contains("%ctaid.x"));
+        assert!(text.contains("ld.global.f64"));
+        assert!(text.contains("fma.rn.f64"));
+        assert!(text.contains("st.global.f64"));
+        assert!(text.contains("setp.lt.s64"));
+    }
+
+    #[test]
+    fn stream_form_omits_comments_and_header() {
+        let p = trace_kernel(&Daxpy, 1);
+        let s = print_stream(&p);
+        assert!(!s.contains(".kernel"));
+        assert!(!s.contains("//"));
+        assert!(s.contains("fma.rn.f64"));
+    }
+}

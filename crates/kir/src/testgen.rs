@@ -1,0 +1,287 @@
+//! Random well-formed program generation — test support.
+//!
+//! Used by this crate's pass-preservation property tests and by
+//! `alpaka-sim`'s evaluator/interpreter agreement tests. Programs are
+//! structurally valid by construction: values are referenced only from the
+//! scope defining them, counted loops have constant bounds, and while
+//! loops always count a register down, so every generated program
+//! terminates.
+
+use crate::ir::*;
+
+struct Gen {
+    next_val: u32,
+    vars: Vec<VarInfo>,
+    budget: usize,
+}
+
+#[derive(Clone)]
+struct Scope {
+    fs: Vec<ValId>,
+    is_: Vec<ValId>,
+    bs: Vec<ValId>,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> ValId {
+        let id = ValId(self.next_val);
+        self.next_val += 1;
+        id
+    }
+
+    fn emit(&mut self, b: &mut Block, scope: &mut Scope, op: Op) -> ValId {
+        let dst = self.fresh();
+        match op.result_ty() {
+            Ty::F64 => scope.fs.push(dst),
+            Ty::I64 => scope.is_.push(dst),
+            Ty::Bool => scope.bs.push(dst),
+        }
+        b.0.push(Stmt::I(Instr { dst, op }));
+        dst
+    }
+
+    fn gen_block(
+        &mut self,
+        choices: &mut impl Iterator<Item = u64>,
+        depth: u32,
+        len: usize,
+    ) -> Block {
+        let mut b = Block::default();
+        let mut scope = Scope {
+            fs: vec![],
+            is_: vec![],
+            bs: vec![],
+        };
+        self.emit(&mut b, &mut scope, Op::ConstF(1.5));
+        self.emit(&mut b, &mut scope, Op::ConstI(3));
+        self.emit(&mut b, &mut scope, Op::ConstB(true));
+        for _ in 0..len {
+            if self.budget == 0 {
+                break;
+            }
+            self.gen_stmt(&mut b, &mut scope, choices, depth);
+        }
+        b
+    }
+
+    fn pick<T: Copy>(items: &[T], c: u64) -> T {
+        items[(c as usize) % items.len()]
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_stmt(
+        &mut self,
+        b: &mut Block,
+        scope: &mut Scope,
+        choices: &mut impl Iterator<Item = u64>,
+        depth: u32,
+    ) {
+        self.budget = self.budget.saturating_sub(1);
+        let c = choices.next().unwrap_or(0);
+        let f = Self::pick(&scope.fs, c);
+        let f2 = Self::pick(&scope.fs, c / 7);
+        let i = Self::pick(&scope.is_, c / 3);
+        let i2 = Self::pick(&scope.is_, c / 11);
+        let bo = Self::pick(&scope.bs, c / 5);
+        match c % 14 {
+            0 => {
+                let ops = [FBin::Add, FBin::Sub, FBin::Mul, FBin::Min, FBin::Max];
+                let op = Self::pick(&ops, c / 13);
+                self.emit(b, scope, Op::BinF(op, f, f2));
+            }
+            1 => {
+                let ops = [IBin::Add, IBin::Sub, IBin::Mul, IBin::And, IBin::Xor, IBin::Min];
+                let op = Self::pick(&ops, c / 13);
+                self.emit(b, scope, Op::BinI(op, i, i2));
+            }
+            2 => {
+                self.emit(b, scope, Op::ConstI((c % 17) as i64 - 8));
+            }
+            3 => {
+                self.emit(b, scope, Op::ConstF((c % 100) as f64 / 8.0));
+            }
+            4 => {
+                let cmps = [Cmp::Lt, Cmp::Le, Cmp::Eq, Cmp::Gt];
+                let cmp = Self::pick(&cmps, c / 13);
+                self.emit(b, scope, Op::CmpI(cmp, i, i2));
+            }
+            5 => {
+                self.emit(b, scope, Op::SelF(bo, f, f2));
+            }
+            6 => {
+                self.emit(b, scope, Op::I2F(i));
+            }
+            7 => {
+                let idx_c = self.emit(b, scope, Op::ConstI((c % 16) as i64));
+                b.0.push(Stmt::StGF {
+                    buf: 0,
+                    idx: idx_c,
+                    val: f,
+                });
+            }
+            8 => {
+                let var = VarId(self.vars.len() as u32);
+                self.vars.push(VarInfo { ty: Ty::F64 });
+                b.0.push(Stmt::StVarF { var, val: f });
+                self.emit(b, scope, Op::LdVarF(var));
+            }
+            9 if depth < 2 => {
+                let then_b = self.gen_block(choices, depth + 1, 2);
+                let else_b = self.gen_block(choices, depth + 1, 2);
+                b.0.push(Stmt::If {
+                    cond: bo,
+                    then_b,
+                    else_b,
+                });
+            }
+            10 if depth < 2 => {
+                let start = self.emit(b, scope, Op::ConstI(0));
+                let end = self.emit(b, scope, Op::ConstI((c % 5) as i64));
+                let counter = self.fresh();
+                let mut body = self.gen_block(choices, depth + 1, 2);
+                let dst = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst,
+                    op: Op::BinI(IBin::Add, counter, counter),
+                }));
+                let idx = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst: idx,
+                    op: Op::ConstI((c % 16) as i64),
+                }));
+                let fv = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst: fv,
+                    op: Op::I2F(dst),
+                }));
+                body.0.push(Stmt::StGF {
+                    buf: 0,
+                    idx,
+                    val: fv,
+                });
+                b.0.push(Stmt::ForRange {
+                    counter,
+                    start,
+                    end,
+                    body,
+                    vectorize: c % 2 == 0,
+                });
+            }
+            11 if depth < 2 => {
+                let var = VarId(self.vars.len() as u32);
+                self.vars.push(VarInfo { ty: Ty::I64 });
+                let init = self.emit(b, scope, Op::ConstI((c % 6) as i64));
+                b.0.push(Stmt::StVarI { var, val: init });
+                let mut cond_block = Block::default();
+                let cur = self.fresh();
+                cond_block.0.push(Stmt::I(Instr {
+                    dst: cur,
+                    op: Op::LdVarI(var),
+                }));
+                let zero = self.fresh();
+                cond_block.0.push(Stmt::I(Instr {
+                    dst: zero,
+                    op: Op::ConstI(0),
+                }));
+                let cond = self.fresh();
+                cond_block.0.push(Stmt::I(Instr {
+                    dst: cond,
+                    op: Op::CmpI(Cmp::Gt, cur, zero),
+                }));
+                let mut body = self.gen_block(choices, depth + 1, 2);
+                let cur2 = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst: cur2,
+                    op: Op::LdVarI(var),
+                }));
+                let one = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst: one,
+                    op: Op::ConstI(1),
+                }));
+                let dec = self.fresh();
+                body.0.push(Stmt::I(Instr {
+                    dst: dec,
+                    op: Op::BinI(IBin::Sub, cur2, one),
+                }));
+                body.0.push(Stmt::StVarI { var, val: dec });
+                b.0.push(Stmt::While {
+                    cond_block,
+                    cond,
+                    body,
+                });
+            }
+            12 => {
+                let idx_c = self.emit(b, scope, Op::ConstI((c % 16) as i64));
+                self.emit(
+                    b,
+                    scope,
+                    Op::AtomicGF {
+                        op: AtomicOp::Add,
+                        buf: 0,
+                        idx: idx_c,
+                        val: f,
+                    },
+                );
+            }
+            _ => {
+                self.emit(b, scope, Op::BinF(FBin::Mul, f, f));
+                self.emit(b, scope, Op::BinF(FBin::Mul, f, f));
+            }
+        }
+    }
+}
+
+/// Build a deterministic random program from `seed` words with roughly
+/// `len` top-level statements. Uses global f64 buffer slot 0 (16 elements
+/// are enough for every generated index).
+pub fn gen_program(seed: &[u64], len: usize) -> Program {
+    let mut g = Gen {
+        next_val: 0,
+        vars: vec![],
+        budget: 400,
+    };
+    let seed: Vec<u64> = if seed.is_empty() { vec![1] } else { seed.to_vec() };
+    let mut it = seed
+        .into_iter()
+        .cycle()
+        .enumerate()
+        .map(|(i, v)| v.wrapping_add(i as u64 * 0x9E37_79B9));
+    let body = g.gen_block(&mut it, 0, len);
+    Program {
+        name: "random".into(),
+        dims: 1,
+        body,
+        n_vals: g.next_val,
+        vars: g.vars,
+        shared: vec![],
+        locals: vec![],
+        n_bufs_f: 1,
+        n_bufs_i: 0,
+        n_params_f: 0,
+        n_params_i: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn generated_programs_are_valid() {
+        for s in 0..50u64 {
+            let p = gen_program(&[s, s ^ 0xDEAD, s.wrapping_mul(7)], 12);
+            validate(&p).unwrap_or_else(|e| panic!("seed {s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_program(&[1, 2, 3], 10);
+        let b = gen_program(&[1, 2, 3], 10);
+        assert_eq!(a, b);
+        let c = gen_program(&[4, 5, 6], 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,1195 @@
+//! Block-lockstep SIMT interpreter.
+//!
+//! Executes a traced kernel ([`Program`]) for every block of a launch. All
+//! threads of a block advance through the structured IR together; warps
+//! (lock-step groups of `DeviceSpec::warp_width` lanes) are the accounting
+//! unit for instruction issue, divergence and memory coalescing, exactly as
+//! on real SIMT hardware:
+//!
+//! * `if`/`while` with a varying condition executes both paths under an
+//!   active-lane mask (divergence costs issue slots);
+//! * global accesses of a warp are coalesced into line-sized transactions
+//!   and filtered through the cache model;
+//! * shared accesses are checked for bank conflicts;
+//! * barriers require a full (non-divergent) mask — the CUDA rule;
+//! * *element loops* (`for_elements`) on CPU device models are probed for
+//!   unit-stride access and, when clean, their work is accounted at vector
+//!   (SIMD) throughput — the paper's Section 3.2.4 vectorization story.
+//!
+//! Results are bit-identical to the reference evaluator in
+//! `alpaka_kir::eval` (shared scalar semantics), which cross-backend tests
+//! rely on.
+
+use alpaka_core::acc::DeviceKind;
+use alpaka_core::vec::Vecn;
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_kir::ir::*;
+use alpaka_kir::semantics as sem;
+
+use crate::cache::CacheSim;
+use crate::memory::{DeviceMem, SimBufF, SimBufI};
+use crate::spec::{CacheScope, DeviceSpec};
+use crate::stats::{estimate_time, LaunchStats, TimeBreakdown};
+
+/// Bindings of kernel argument slots to simulated buffers plus scalars.
+#[derive(Debug, Clone, Default)]
+pub struct SimArgs {
+    pub bufs_f: Vec<SimBufF>,
+    pub bufs_i: Vec<SimBufI>,
+    pub params_f: Vec<f64>,
+    pub params_i: Vec<i64>,
+}
+
+/// How much of the grid to interpret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every block — required when the results matter.
+    Full,
+    /// Interpret only ~n evenly spaced blocks and extrapolate the timing
+    /// statistics. Buffer contents are then partial: timing-only runs.
+    SampleBlocks(usize),
+}
+
+/// Outcome of a simulated launch.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub stats: LaunchStats,
+    pub time: TimeBreakdown,
+    /// True when block sampling was used (results incomplete).
+    pub sampled: bool,
+}
+
+const DEFAULT_FUEL: u64 = 50_000_000_000;
+
+enum Caches {
+    None,
+    PerSm(Vec<CacheSim>),
+    Shared(CacheSim),
+}
+
+#[derive(Default)]
+struct RegionAcc {
+    issue: u64,
+    flops: u64,
+    special: u64,
+    /// Element-loop nesting depth within the region.
+    depth: u32,
+    /// Address log of the first two iterations of the outermost loop.
+    iter: u32,
+    addrs0: Vec<u64>,
+    addrs1: Vec<u64>,
+    probe_failed: bool,
+}
+
+impl RegionAcc {
+    fn probing(&self) -> bool {
+        self.iter < 2 && !self.probe_failed
+    }
+
+    fn vectorized(&self) -> bool {
+        if self.probe_failed || self.iter < 2 || self.addrs0.len() != self.addrs1.len() {
+            return false;
+        }
+        if self.addrs0.is_empty() {
+            // Pure-compute loop bodies vectorize trivially.
+            return true;
+        }
+        self.addrs0
+            .iter()
+            .zip(&self.addrs1)
+            .all(|(&a0, &a1)| a1 == a0 || a1 == a0 + 8 || a0 == a1 + 8)
+    }
+}
+
+struct BlockState {
+    lanes: usize,
+    regs: Vec<u64>,
+    vars: Vec<u64>,
+    sh_f: Vec<Vec<f64>>,
+    sh_i: Vec<Vec<i64>>,
+    /// Per-lane thread-private arrays: `loc_f[loc][lane * len + k]`.
+    loc_f: Vec<Vec<f64>>,
+    tid: Vec<[i64; 3]>,
+    bidx: [i64; 3],
+}
+
+impl BlockState {
+    #[inline]
+    fn reg(&self, v: ValId, lane: usize) -> u64 {
+        self.regs[v.0 as usize * self.lanes + lane]
+    }
+    #[inline]
+    fn set_reg(&mut self, v: ValId, lane: usize, bits: u64) {
+        self.regs[v.0 as usize * self.lanes + lane] = bits;
+    }
+    #[inline]
+    fn rf(&self, v: ValId, lane: usize) -> f64 {
+        f64::from_bits(self.reg(v, lane))
+    }
+    #[inline]
+    fn ri(&self, v: ValId, lane: usize) -> i64 {
+        self.reg(v, lane) as i64
+    }
+    #[inline]
+    fn rb(&self, v: ValId, lane: usize) -> bool {
+        self.reg(v, lane) != 0
+    }
+    #[inline]
+    fn sf(&mut self, v: ValId, lane: usize, x: f64) {
+        self.set_reg(v, lane, x.to_bits());
+    }
+    #[inline]
+    fn si(&mut self, v: ValId, lane: usize, x: i64) {
+        self.set_reg(v, lane, x as u64);
+    }
+    #[inline]
+    fn sb(&mut self, v: ValId, lane: usize, x: bool) {
+        self.set_reg(v, lane, x as u64);
+    }
+}
+
+struct Machine<'a> {
+    prog: &'a Program,
+    spec: &'a DeviceSpec,
+    mem: &'a mut DeviceMem,
+    args: &'a SimArgs,
+    grid: [i64; 3],
+    block: [i64; 3],
+    elems: [i64; 3],
+    warp_w: usize,
+    n_warps: usize,
+    stats: LaunchStats,
+    region: Option<RegionAcc>,
+    caches: Caches,
+    cur_sm: usize,
+    fuel: u64,
+}
+
+type R<T> = Result<T, String>;
+
+impl<'a> Machine<'a> {
+    fn burn(&mut self) -> R<()> {
+        if self.fuel == 0 {
+            return Err("simulation instruction budget exhausted (runaway loop?)".into());
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    #[inline]
+    fn add_issue(&mut self, n: u64) {
+        match &mut self.region {
+            Some(r) => r.issue += n,
+            None => self.stats.scalar_issue += n,
+        }
+    }
+
+    #[inline]
+    fn add_flops(&mut self, n: u64) {
+        match &mut self.region {
+            Some(r) => r.flops += n,
+            None => self.stats.scalar_flops += n,
+        }
+    }
+
+    #[inline]
+    fn add_special(&mut self, n: u64) {
+        match &mut self.region {
+            Some(r) => r.special += n,
+            None => self.stats.special_ops += n,
+        }
+    }
+
+    /// Count one issued instruction per warp with any active lane; returns
+    /// the number of active lanes.
+    fn issue(&mut self, mask: &[bool]) -> u64 {
+        let mut active = 0u64;
+        let mut warp_issues = 0u64;
+        for w in 0..self.n_warps {
+            let lo = w * self.warp_w;
+            let hi = (lo + self.warp_w).min(mask.len());
+            let act = mask[lo..hi].iter().filter(|&&m| m).count() as u64;
+            if act > 0 {
+                warp_issues += 1;
+                active += act;
+            }
+        }
+        self.add_issue(warp_issues);
+        active
+    }
+
+    fn note_divergence(&mut self, mask: &[bool], taken: &[bool]) {
+        for w in 0..self.n_warps {
+            let lo = w * self.warp_w;
+            let hi = (lo + self.warp_w).min(mask.len());
+            let mut any_t = false;
+            let mut any_f = false;
+            for l in lo..hi {
+                if mask[l] {
+                    if taken[l] {
+                        any_t = true;
+                    } else {
+                        any_f = true;
+                    }
+                }
+            }
+            if any_t && any_f {
+                self.stats.divergent_branches += 1;
+            }
+        }
+    }
+
+    /// Account a warp-coalesced global access; `addrs` holds (lane, byte
+    /// address) pairs of active lanes in lane order.
+    fn mem_access(&mut self, addrs: &[(usize, u64)]) {
+        let line = self.spec.line_bytes as u64;
+        // Probe log for element-loop vectorization detection.
+        if let Some(r) = &mut self.region {
+            if r.probing() {
+                let log = if r.iter == 0 {
+                    &mut r.addrs0
+                } else {
+                    &mut r.addrs1
+                };
+                for &(_, a) in addrs {
+                    log.push(a);
+                }
+                if log.len() > 4096 {
+                    r.probe_failed = true;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < addrs.len() {
+            let warp = addrs[i].0 / self.warp_w;
+            // Gather this warp's lines.
+            let mut lines: Vec<u64> = Vec::with_capacity(self.warp_w);
+            while i < addrs.len() && addrs[i].0 / self.warp_w == warp {
+                let l = addrs[i].1 / line;
+                if !lines.contains(&l) {
+                    lines.push(l);
+                }
+                i += 1;
+            }
+            for l in lines {
+                self.stats.mem_transactions += 1;
+                let byte = l * line;
+                match &mut self.caches {
+                    Caches::None => self.stats.dram_bytes += line,
+                    Caches::PerSm(cs) => {
+                        if cs[self.cur_sm].access(byte) {
+                            self.stats.cache_hits += 1;
+                        } else {
+                            self.stats.cache_misses += 1;
+                            self.stats.dram_bytes += line;
+                        }
+                    }
+                    Caches::Shared(c) => {
+                        if c.access(byte) {
+                            self.stats.cache_hits += 1;
+                        } else {
+                            self.stats.cache_misses += 1;
+                            self.stats.dram_bytes += line;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Account shared-memory bank conflicts for one warp-wide access.
+    /// `elem_idx` holds (lane, element index) pairs of active lanes.
+    fn shared_access(&mut self, elem_idx: &[(usize, i64)]) {
+        const BANKS: usize = 32;
+        self.stats.shared_accesses += elem_idx.len() as u64;
+        let mut i = 0;
+        while i < elem_idx.len() {
+            let warp = elem_idx[i].0 / self.warp_w;
+            let mut bank_addrs: [Vec<i64>; BANKS] = std::array::from_fn(|_| Vec::new());
+            while i < elem_idx.len() && elem_idx[i].0 / self.warp_w == warp {
+                let idx = elem_idx[i].1;
+                let bank = (idx.rem_euclid(BANKS as i64)) as usize;
+                if !bank_addrs[bank].contains(&idx) {
+                    bank_addrs[bank].push(idx);
+                }
+                i += 1;
+            }
+            let degree = bank_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+            if degree > 1 {
+                self.stats.bank_conflict_cycles += (degree - 1) as u64;
+            }
+        }
+    }
+
+    fn buf_f(&self, slot: u32) -> R<SimBufF> {
+        self.args
+            .bufs_f
+            .get(slot as usize)
+            .copied()
+            .ok_or_else(|| format!("f64 buffer slot {slot} not bound"))
+    }
+
+    fn buf_i(&self, slot: u32) -> R<SimBufI> {
+        self.args
+            .bufs_i
+            .get(slot as usize)
+            .copied()
+            .ok_or_else(|| format!("i64 buffer slot {slot} not bound"))
+    }
+
+    fn special_value(&self, bs: &BlockState, r: SpecialReg, lane: usize) -> i64 {
+        match r {
+            SpecialReg::GridBlockExtent(a) => self.grid[a as usize],
+            SpecialReg::BlockThreadExtent(a) => self.block[a as usize],
+            SpecialReg::ThreadElemExtent(a) => self.elems[a as usize],
+            SpecialReg::BlockIdx(a) => bs.bidx[a as usize],
+            SpecialReg::ThreadIdx(a) => bs.tid[lane][a as usize],
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(&mut self, bs: &mut BlockState, instr: &Instr, mask: &[bool]) -> R<()> {
+        self.burn()?;
+        let active = self.issue(mask);
+        if active == 0 {
+            return Ok(());
+        }
+        let d = instr.dst;
+        match &instr.op {
+            Op::ConstF(v) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.sf(d, l, *v);
+                    }
+                }
+            }
+            Op::ConstI(v) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.si(d, l, *v);
+                    }
+                }
+            }
+            Op::ConstB(v) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.sb(d, l, *v);
+                    }
+                }
+            }
+            Op::Special(r) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let v = self.special_value(bs, *r, l);
+                        bs.si(d, l, v);
+                    }
+                }
+            }
+            Op::ParamF(s) => {
+                let v = *self
+                    .args
+                    .params_f
+                    .get(*s as usize)
+                    .ok_or_else(|| format!("f64 param slot {s} not bound"))?;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.sf(d, l, v);
+                    }
+                }
+            }
+            Op::ParamI(s) => {
+                let v = *self
+                    .args
+                    .params_i
+                    .get(*s as usize)
+                    .ok_or_else(|| format!("i64 param slot {s} not bound"))?;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.si(d, l, v);
+                    }
+                }
+            }
+            Op::BinF(op, a, b) => {
+                let flops = match op {
+                    FBin::Div => 4,
+                    _ => 1,
+                };
+                self.add_flops(active * flops);
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::fbin(*op, bs.rf(*a, l), bs.rf(*b, l));
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::UnF(op, a) => {
+                match op {
+                    FUn::Sqrt | FUn::Exp | FUn::Ln | FUn::Sin | FUn::Cos => {
+                        self.add_special(active)
+                    }
+                    _ => self.add_flops(active),
+                }
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::fun(*op, bs.rf(*a, l));
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::Fma(a, b, c) => {
+                self.add_flops(active * 2);
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::fma(bs.rf(*a, l), bs.rf(*b, l), bs.rf(*c, l));
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::BinI(op, a, b) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::ibin(*op, bs.ri(*a, l), bs.ri(*b, l));
+                        bs.si(d, l, r);
+                    }
+                }
+            }
+            Op::NegI(a) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = bs.ri(*a, l).wrapping_neg();
+                        bs.si(d, l, r);
+                    }
+                }
+            }
+            Op::CmpF(c, a, b) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::cmp_f(*c, bs.rf(*a, l), bs.rf(*b, l));
+                        bs.sb(d, l, r);
+                    }
+                }
+            }
+            Op::CmpI(c, a, b) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::cmp_i(*c, bs.ri(*a, l), bs.ri(*b, l));
+                        bs.sb(d, l, r);
+                    }
+                }
+            }
+            Op::BinB(op, a, b) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::bbin(*op, bs.rb(*a, l), bs.rb(*b, l));
+                        bs.sb(d, l, r);
+                    }
+                }
+            }
+            Op::NotB(a) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = !bs.rb(*a, l);
+                        bs.sb(d, l, r);
+                    }
+                }
+            }
+            Op::SelF(c, t, e) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = if bs.rb(*c, l) {
+                            bs.rf(*t, l)
+                        } else {
+                            bs.rf(*e, l)
+                        };
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::SelI(c, t, e) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = if bs.rb(*c, l) {
+                            bs.ri(*t, l)
+                        } else {
+                            bs.ri(*e, l)
+                        };
+                        bs.si(d, l, r);
+                    }
+                }
+            }
+            Op::I2F(a) => {
+                self.add_flops(active);
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::i2f(bs.ri(*a, l));
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::F2I(a) => {
+                self.add_flops(active);
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::f2i(bs.rf(*a, l));
+                        bs.si(d, l, r);
+                    }
+                }
+            }
+            Op::U2UnitF(a) => {
+                self.add_flops(active * 2);
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let r = sem::u2unit(bs.ri(*a, l));
+                        bs.sf(d, l, r);
+                    }
+                }
+            }
+            Op::LdGF { buf, idx } => {
+                let b = self.buf_f(*buf)?;
+                let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let len = self.mem.f(b).len();
+                        if i < 0 || i as usize >= len {
+                            return Err(format!(
+                                "ld.global.f64: index {i} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = self.mem.f(b)[i as usize];
+                        bs.sf(d, l, v);
+                        addrs.push((l, self.mem.addr_f(b, i as u64)));
+                    }
+                }
+                self.stats.global_loads += active;
+                self.mem_access(&addrs);
+            }
+            Op::LdGI { buf, idx } => {
+                let b = self.buf_i(*buf)?;
+                let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let len = self.mem.i(b).len();
+                        if i < 0 || i as usize >= len {
+                            return Err(format!(
+                                "ld.global.s64: index {i} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = self.mem.i(b)[i as usize];
+                        bs.si(d, l, v);
+                        addrs.push((l, self.mem.addr_i(b, i as u64)));
+                    }
+                }
+                self.stats.global_loads += active;
+                self.mem_access(&addrs);
+            }
+            Op::LdSF { sh, idx } => {
+                let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let arr = &bs.sh_f[*sh as usize];
+                        if i < 0 || i as usize >= arr.len() {
+                            return Err(format!(
+                                "ld.shared.f64: index {i} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        let v = arr[i as usize];
+                        bs.sf(d, l, v);
+                        elems.push((l, i));
+                    }
+                }
+                self.shared_access(&elems);
+            }
+            Op::LdSI { sh, idx } => {
+                let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let arr = &bs.sh_i[*sh as usize];
+                        if i < 0 || i as usize >= arr.len() {
+                            return Err(format!(
+                                "ld.shared.s64: index {i} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        let v = arr[i as usize];
+                        bs.si(d, l, v);
+                        elems.push((l, i));
+                    }
+                }
+                self.shared_access(&elems);
+            }
+            Op::LdLF { loc, idx } => {
+                let len = self.prog.locals[*loc as usize].len;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        if i < 0 || i as usize >= len {
+                            return Err(format!(
+                                "ld.local.f64: index {i} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = bs.loc_f[*loc as usize][l * len + i as usize];
+                        bs.sf(d, l, v);
+                    }
+                }
+            }
+            Op::LdVarF(v) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let bits = bs.vars[v.0 as usize * bs.lanes + l];
+                        bs.set_reg(d, l, bits);
+                    }
+                }
+            }
+            Op::LdVarI(v) => {
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let bits = bs.vars[v.0 as usize * bs.lanes + l];
+                        bs.set_reg(d, l, bits);
+                    }
+                }
+            }
+            Op::AtomicGF { op, buf, idx, val } => {
+                let b = self.buf_f(*buf)?;
+                self.stats.atomics += active;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let len = self.mem.f(b).len();
+                        if i < 0 || i as usize >= len {
+                            return Err(format!(
+                                "atom.global.f64: index {i} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = bs.rf(*val, l);
+                        let cell = &mut self.mem.f_mut(b)[i as usize];
+                        let old = *cell;
+                        *cell = sem::atomic_f(*op, old, v);
+                        bs.sf(d, l, old);
+                    }
+                }
+            }
+            Op::AtomicGI { op, buf, idx, val } => {
+                let b = self.buf_i(*buf)?;
+                self.stats.atomics += active;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        let i = bs.ri(*idx, l);
+                        let len = self.mem.i(b).len();
+                        if i < 0 || i as usize >= len {
+                            return Err(format!(
+                                "atom.global.s64: index {i} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = bs.ri(*val, l);
+                        let cell = &mut self.mem.i_mut(b)[i as usize];
+                        let old = *cell;
+                        *cell = sem::atomic_i(*op, old, v);
+                        bs.si(d, l, old);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, bs: &mut BlockState, block: &Block, mask: &[bool]) -> R<()> {
+        for stmt in &block.0 {
+            match stmt {
+                Stmt::I(instr) => self.exec_instr(bs, instr, mask)?,
+                Stmt::StGF { buf, idx, val } => {
+                    self.burn()?;
+                    let active = self.issue(mask);
+                    if active == 0 {
+                        continue;
+                    }
+                    let b = self.buf_f(*buf)?;
+                    let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            let i = bs.ri(*idx, l);
+                            let len = self.mem.f(b).len();
+                            if i < 0 || i as usize >= len {
+                                return Err(format!(
+                                    "st.global.f64: index {i} out of bounds (len {len})"
+                                ));
+                            }
+                            let v = bs.rf(*val, l);
+                            self.mem.f_mut(b)[i as usize] = v;
+                            addrs.push((l, self.mem.addr_f(b, i as u64)));
+                        }
+                    }
+                    self.stats.global_stores += active;
+                    self.mem_access(&addrs);
+                }
+                Stmt::StGI { buf, idx, val } => {
+                    self.burn()?;
+                    let active = self.issue(mask);
+                    if active == 0 {
+                        continue;
+                    }
+                    let b = self.buf_i(*buf)?;
+                    let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            let i = bs.ri(*idx, l);
+                            let len = self.mem.i(b).len();
+                            if i < 0 || i as usize >= len {
+                                return Err(format!(
+                                    "st.global.s64: index {i} out of bounds (len {len})"
+                                ));
+                            }
+                            let v = bs.ri(*val, l);
+                            self.mem.i_mut(b)[i as usize] = v;
+                            addrs.push((l, self.mem.addr_i(b, i as u64)));
+                        }
+                    }
+                    self.stats.global_stores += active;
+                    self.mem_access(&addrs);
+                }
+                Stmt::StLF { loc, idx, val } => {
+                    self.burn()?;
+                    let active = self.issue(mask);
+                    if active == 0 {
+                        continue;
+                    }
+                    let len = self.prog.locals[*loc as usize].len;
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            let i = bs.ri(*idx, l);
+                            if i < 0 || i as usize >= len {
+                                return Err(format!(
+                                    "st.local.f64: index {i} out of bounds (len {len})"
+                                ));
+                            }
+                            let v = bs.rf(*val, l);
+                            bs.loc_f[*loc as usize][l * len + i as usize] = v;
+                        }
+                    }
+                }
+                Stmt::StSF { sh, idx, val } => {
+                    self.burn()?;
+                    let active = self.issue(mask);
+                    if active == 0 {
+                        continue;
+                    }
+                    let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            let i = bs.ri(*idx, l);
+                            let v = bs.rf(*val, l);
+                            let arr = &mut bs.sh_f[*sh as usize];
+                            if i < 0 || i as usize >= arr.len() {
+                                return Err(format!(
+                                    "st.shared.f64: index {i} out of bounds (len {})",
+                                    arr.len()
+                                ));
+                            }
+                            arr[i as usize] = v;
+                            elems.push((l, i));
+                        }
+                    }
+                    self.shared_access(&elems);
+                }
+                Stmt::StSI { sh, idx, val } => {
+                    self.burn()?;
+                    let active = self.issue(mask);
+                    if active == 0 {
+                        continue;
+                    }
+                    let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            let i = bs.ri(*idx, l);
+                            let v = bs.ri(*val, l);
+                            let arr = &mut bs.sh_i[*sh as usize];
+                            if i < 0 || i as usize >= arr.len() {
+                                return Err(format!(
+                                    "st.shared.s64: index {i} out of bounds (len {})",
+                                    arr.len()
+                                ));
+                            }
+                            arr[i as usize] = v;
+                            elems.push((l, i));
+                        }
+                    }
+                    self.shared_access(&elems);
+                }
+                Stmt::StVarF { var, val } => {
+                    self.burn()?;
+                    self.issue(mask);
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            bs.vars[var.0 as usize * bs.lanes + l] = bs.rf(*val, l).to_bits();
+                        }
+                    }
+                }
+                Stmt::StVarI { var, val } => {
+                    self.burn()?;
+                    self.issue(mask);
+                    for l in 0..bs.lanes {
+                        if mask[l] {
+                            bs.vars[var.0 as usize * bs.lanes + l] = bs.ri(*val, l) as u64;
+                        }
+                    }
+                }
+                Stmt::Sync => {
+                    if mask.iter().any(|&m| !m) {
+                        return Err(
+                            "bar.sync reached inside divergent control flow (the block \
+                             barrier requires all threads of the block)"
+                                .into(),
+                        );
+                    }
+                    self.stats.syncs += self.n_warps as u64;
+                }
+                Stmt::Comment(_) => {}
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    let taken: Vec<bool> = (0..bs.lanes).map(|l| bs.rb(*cond, l)).collect();
+                    self.note_divergence(mask, &taken);
+                    let then_mask: Vec<bool> =
+                        (0..bs.lanes).map(|l| mask[l] && taken[l]).collect();
+                    let else_mask: Vec<bool> =
+                        (0..bs.lanes).map(|l| mask[l] && !taken[l]).collect();
+                    if then_mask.iter().any(|&m| m) {
+                        self.exec_block(bs, then_b, &then_mask)?;
+                    }
+                    if else_mask.iter().any(|&m| m) && !else_b.is_empty() {
+                        self.exec_block(bs, else_b, &else_mask)?;
+                    }
+                }
+                Stmt::ForRange {
+                    counter,
+                    start,
+                    end,
+                    body,
+                    vectorize,
+                } => {
+                    self.exec_for(bs, *counter, *start, *end, body, *vectorize, mask)?;
+                }
+                Stmt::While {
+                    cond_block,
+                    cond,
+                    body,
+                } => {
+                    let mut active = mask.to_vec();
+                    loop {
+                        self.burn()?;
+                        if !active.iter().any(|&m| m) {
+                            break;
+                        }
+                        self.exec_block(bs, cond_block, &active)?;
+                        let taken: Vec<bool> = (0..bs.lanes).map(|l| bs.rb(*cond, l)).collect();
+                        self.note_divergence(&active, &taken);
+                        for l in 0..bs.lanes {
+                            active[l] = active[l] && taken[l];
+                        }
+                        if !active.iter().any(|&m| m) {
+                            break;
+                        }
+                        self.exec_block(bs, body, &active)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_for(
+        &mut self,
+        bs: &mut BlockState,
+        counter: ValId,
+        start: ValId,
+        end: ValId,
+        body: &Block,
+        vectorize: bool,
+        mask: &[bool],
+    ) -> R<()> {
+        // Open a vectorization region for outermost element loops on CPU
+        // device models.
+        let opened_region = vectorize
+            && self.spec.kind == DeviceKind::Cpu
+            && self.spec.simd_width > 1
+            && self.region.is_none();
+        if opened_region {
+            self.region = Some(RegionAcc::default());
+        } else if let Some(r) = &mut self.region {
+            r.depth += 1;
+        }
+
+        let result = self.exec_for_inner(bs, counter, start, end, body, mask, opened_region);
+
+        if opened_region {
+            let r = self.region.take().expect("region open");
+            if r.vectorized() {
+                self.stats.vec_issue += r.issue;
+                self.stats.vec_flops += r.flops;
+                // Special functions do not vectorize on the modeled units.
+                self.stats.special_ops += r.special;
+            } else {
+                self.stats.scalar_issue += r.issue;
+                self.stats.scalar_flops += r.flops;
+                self.stats.special_ops += r.special;
+            }
+        } else if let Some(reg) = &mut self.region {
+            reg.depth = reg.depth.saturating_sub(1);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_for_inner(
+        &mut self,
+        bs: &mut BlockState,
+        counter: ValId,
+        start: ValId,
+        end: ValId,
+        body: &Block,
+        mask: &[bool],
+        probe: bool,
+    ) -> R<()> {
+        // Uniformity check over active lanes.
+        let mut s0 = None;
+        let mut e0 = None;
+        let mut uniform = true;
+        for l in 0..bs.lanes {
+            if mask[l] {
+                let s = bs.ri(start, l);
+                let e = bs.ri(end, l);
+                match (s0, e0) {
+                    (None, None) => {
+                        s0 = Some(s);
+                        e0 = Some(e);
+                    }
+                    (Some(ps), Some(pe)) => {
+                        if ps != s || pe != e {
+                            uniform = false;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let (Some(s0), Some(e0)) = (s0, e0) else {
+            return Ok(()); // no active lanes
+        };
+
+        if uniform {
+            let mut k = s0;
+            while k < e0 {
+                self.burn()?;
+                for l in 0..bs.lanes {
+                    if mask[l] {
+                        bs.si(counter, l, k);
+                    }
+                }
+                self.exec_block(bs, body, mask)?;
+                if probe {
+                    if let Some(r) = &mut self.region {
+                        r.iter += 1;
+                    }
+                }
+                k += 1;
+            }
+        } else {
+            // Per-lane trip counts: iterate with a shrinking mask.
+            if probe {
+                if let Some(r) = &mut self.region {
+                    r.probe_failed = true;
+                }
+            }
+            let mut iter: i64 = 0;
+            loop {
+                self.burn()?;
+                let mut any = false;
+                let active: Vec<bool> = (0..bs.lanes)
+                    .map(|l| {
+                        let a = mask[l] && {
+                            let s = bs.ri(start, l);
+                            let e = bs.ri(end, l);
+                            s + iter < e
+                        };
+                        any |= a;
+                        a
+                    })
+                    .collect();
+                if !any {
+                    break;
+                }
+                self.note_divergence(mask, &active);
+                for l in 0..bs.lanes {
+                    if active[l] {
+                        let s = bs.ri(start, l);
+                        bs.si(counter, l, s + iter);
+                    }
+                }
+                self.exec_block(bs, body, &active)?;
+                iter += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpret a launch of `prog` with work division `wd` on a device
+/// described by `spec`, memory `mem` and argument bindings `args`.
+pub fn run_kernel_launch(
+    spec: &DeviceSpec,
+    mem: &mut DeviceMem,
+    prog: &Program,
+    wd: &WorkDiv,
+    args: &SimArgs,
+    mode: ExecMode,
+) -> Result<SimReport, String> {
+    let threads_per_block = wd.threads_per_block();
+    if threads_per_block > spec.max_threads_per_block {
+        return Err(format!(
+            "{} supports at most {} threads per block, got {threads_per_block}",
+            spec.name, spec.max_threads_per_block
+        ));
+    }
+    if prog.shared_bytes() > spec.shared_mem_per_block {
+        return Err(format!(
+            "kernel needs {} B shared memory, device has {} B per block",
+            prog.shared_bytes(),
+            spec.shared_mem_per_block
+        ));
+    }
+    if prog.dims != wd.dim {
+        return Err(format!(
+            "program traced for {}-D launches, work division is {}-D",
+            prog.dims, wd.dim
+        ));
+    }
+
+    let caches = match spec.cache_scope {
+        CacheScope::None => Caches::None,
+        CacheScope::PerSm => Caches::PerSm(
+            (0..spec.sms)
+                .map(|_| CacheSim::new(spec.cache_kib, spec.cache_assoc, spec.line_bytes))
+                .collect(),
+        ),
+        CacheScope::Shared => Caches::Shared(CacheSim::new(
+            spec.cache_kib,
+            spec.cache_assoc,
+            spec.line_bytes,
+        )),
+    };
+
+    let warp_w = spec.warp_width.max(1);
+    let mut m = Machine {
+        prog,
+        spec,
+        mem,
+        args,
+        grid: wd.blocks.map(|v| v as i64),
+        block: wd.threads.map(|v| v as i64),
+        elems: wd.elems.map(|v| v as i64),
+        warp_w,
+        n_warps: threads_per_block.div_ceil(warp_w),
+        stats: LaunchStats::default(),
+        region: None,
+        caches,
+        cur_sm: 0,
+        fuel: DEFAULT_FUEL,
+    };
+
+    let total_blocks = wd.block_count();
+    let grid_ext = Vecn(wd.blocks);
+    let thread_ext = Vecn(wd.threads);
+
+    let (indices, scale, sampled): (Vec<usize>, f64, bool) = match mode {
+        ExecMode::Full => ((0..total_blocks).collect(), 1.0, false),
+        ExecMode::SampleBlocks(k) => {
+            let k = k.clamp(1, total_blocks);
+            let stride = total_blocks as f64 / k as f64;
+            let mut idx: Vec<usize> = (0..k)
+                .map(|j| ((j as f64 + 0.5) * stride) as usize)
+                .collect();
+            idx.dedup();
+            let scale = total_blocks as f64 / idx.len() as f64;
+            (idx, scale, total_blocks > k)
+        }
+    };
+
+    let lanes = threads_per_block;
+    let mut bs = BlockState {
+        lanes,
+        regs: vec![0; prog.n_vals as usize * lanes],
+        vars: vec![0; prog.vars.len() * lanes],
+        sh_f: prog
+            .shared
+            .iter()
+            .map(|s| {
+                if s.ty == Ty::F64 {
+                    vec![0.0; s.len]
+                } else {
+                    vec![]
+                }
+            })
+            .collect(),
+        sh_i: prog
+            .shared
+            .iter()
+            .map(|s| if s.ty == Ty::I64 { vec![0; s.len] } else { vec![] })
+            .collect(),
+        loc_f: prog
+            .locals
+            .iter()
+            .map(|l| vec![0.0; l.len * lanes])
+            .collect(),
+        tid: (0..lanes).map(|t| thread_ext.delinearize(t).map_i64()).collect(),
+        bidx: [0; 3],
+    };
+
+    let full_mask = vec![true; lanes];
+    for lin in indices {
+        m.cur_sm = lin % spec.sms.max(1);
+        bs.bidx = grid_ext.delinearize(lin).map_i64();
+        for a in &mut bs.sh_f {
+            a.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for a in &mut bs.sh_i {
+            a.iter_mut().for_each(|v| *v = 0);
+        }
+        for a in &mut bs.loc_f {
+            a.iter_mut().for_each(|v| *v = 0.0);
+        }
+        m.exec_block(&mut bs, &prog.body, &full_mask)
+            .map_err(|e| format!("block {:?}: {e}", bs.bidx))?;
+        m.stats.blocks += 1;
+        m.stats.warps += m.n_warps as u64;
+        m.stats.threads += lanes as u64;
+    }
+
+    let stats = if sampled {
+        m.stats.scaled(scale)
+    } else {
+        m.stats
+    };
+    let time = estimate_time(spec, &stats, threads_per_block, prog.shared_bytes());
+    Ok(SimReport {
+        stats,
+        time,
+        sampled,
+    })
+}
+
+trait MapI64 {
+    fn map_i64(self) -> [i64; 3];
+}
+
+impl MapI64 for Vecn<3> {
+    fn map_i64(self) -> [i64; 3] {
+        [self.0[0] as i64, self.0[1] as i64, self.0[2] as i64]
+    }
+}

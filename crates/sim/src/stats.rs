@@ -1,0 +1,292 @@
+//! Launch statistics and the roofline-style timing model.
+//!
+//! The interpreter counts *what the kernel did* (warp-instructions issued,
+//! flops inside and outside vectorized element loops, memory transactions
+//! and their cache outcome, bank conflicts, barriers, atomics, divergence);
+//! [`estimate_time`] converts those counts plus a [`DeviceSpec`] into a
+//! simulated execution time as the maximum of three rooflines (compute,
+//! memory, issue) with an occupancy-based latency-hiding factor.
+//!
+//! This is *not* a cycle-accurate model; it reproduces the shapes the paper
+//! reports (who wins, by what factor, where tiling/elements/coalescing
+//! matter), which is what EXPERIMENTS.md compares.
+
+use crate::spec::DeviceSpec;
+
+/// Raw event counts of one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    pub blocks: u64,
+    pub warps: u64,
+    pub threads: u64,
+    /// Warp-instructions issued outside vectorized element loops.
+    pub scalar_issue: u64,
+    /// Warp-instructions issued inside loops proven vectorizable.
+    pub vec_issue: u64,
+    /// Double-precision flops (FMA = 2) outside vectorized loops.
+    pub scalar_flops: u64,
+    /// Flops inside vectorizable element loops.
+    pub vec_flops: u64,
+    /// Special-function ops (sqrt, exp, ln, sin, cos).
+    pub special_ops: u64,
+    pub global_loads: u64,
+    pub global_stores: u64,
+    /// Memory transactions after coalescing (line-sized).
+    pub mem_transactions: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Bytes that actually went to DRAM (misses x line size; equals
+    /// transactions x line when the device has no cache).
+    pub dram_bytes: u64,
+    pub shared_accesses: u64,
+    /// Extra serialization cycles from shared-memory bank conflicts.
+    pub bank_conflict_cycles: u64,
+    pub syncs: u64,
+    pub atomics: u64,
+    /// Warp-level branches where the active mask split.
+    pub divergent_branches: u64,
+}
+
+impl LaunchStats {
+    pub fn total_flops(&self) -> u64 {
+        self.scalar_flops + self.vec_flops
+    }
+
+    /// Scale all extensive counters by `factor` (block-sampling
+    /// extrapolation).
+    pub fn scaled(&self, factor: f64) -> LaunchStats {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        LaunchStats {
+            blocks: s(self.blocks),
+            warps: s(self.warps),
+            threads: s(self.threads),
+            scalar_issue: s(self.scalar_issue),
+            vec_issue: s(self.vec_issue),
+            scalar_flops: s(self.scalar_flops),
+            vec_flops: s(self.vec_flops),
+            special_ops: s(self.special_ops),
+            global_loads: s(self.global_loads),
+            global_stores: s(self.global_stores),
+            mem_transactions: s(self.mem_transactions),
+            cache_hits: s(self.cache_hits),
+            cache_misses: s(self.cache_misses),
+            dram_bytes: s(self.dram_bytes),
+            shared_accesses: s(self.shared_accesses),
+            bank_conflict_cycles: s(self.bank_conflict_cycles),
+            syncs: s(self.syncs),
+            atomics: s(self.atomics),
+            divergent_branches: s(self.divergent_branches),
+        }
+    }
+
+    pub fn add(&mut self, other: &LaunchStats) {
+        self.blocks += other.blocks;
+        self.warps += other.warps;
+        self.threads += other.threads;
+        self.scalar_issue += other.scalar_issue;
+        self.vec_issue += other.vec_issue;
+        self.scalar_flops += other.scalar_flops;
+        self.vec_flops += other.vec_flops;
+        self.special_ops += other.special_ops;
+        self.global_loads += other.global_loads;
+        self.global_stores += other.global_stores;
+        self.mem_transactions += other.mem_transactions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.dram_bytes += other.dram_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.syncs += other.syncs;
+        self.atomics += other.atomics;
+        self.divergent_branches += other.divergent_branches;
+    }
+}
+
+/// The three roofline terms plus overheads, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    pub compute_s: f64,
+    pub memory_s: f64,
+    pub issue_s: f64,
+    pub overhead_s: f64,
+    /// Load-imbalance factor applied to the binding term (>= 1).
+    pub imbalance: f64,
+    /// Occupancy-derived bandwidth efficiency in (0, 1].
+    pub mem_efficiency: f64,
+    pub total_s: f64,
+}
+
+/// Estimate the launch time. `threads_per_block` and `shared_bytes` feed
+/// the occupancy model.
+pub fn estimate_time(
+    spec: &DeviceSpec,
+    stats: &LaunchStats,
+    threads_per_block: usize,
+    shared_bytes: usize,
+) -> TimeBreakdown {
+    let peak_flops = spec.peak_gflops() * 1e9; // flop/s at full vector issue
+    let simd = spec.simd_width.max(1) as f64;
+
+    // --- compute roofline -------------------------------------------------
+    // Vectorized flops run at peak; scalar flops at peak/simd (a scalar FMA
+    // occupies a full vector unit slot); special functions at peak/8.
+    let compute_s = stats.vec_flops as f64 / peak_flops
+        + stats.scalar_flops as f64 * simd / peak_flops
+        + stats.special_ops as f64 * 8.0 / peak_flops;
+
+    // --- memory roofline --------------------------------------------------
+    let resident = spec.resident_blocks_per_sm(threads_per_block, shared_bytes);
+    let warps_per_block = threads_per_block.div_ceil(spec.warp_width).max(1);
+    let resident_warps = resident * warps_per_block;
+    // GPUs need many resident warps to hide DRAM latency; CPUs prefetch
+    // well with a single thread.
+    let hide_warps = if spec.warp_width > 1 { 16.0 } else { 1.0 };
+    let mem_efficiency = ((resident_warps as f64) / hide_warps).min(1.0).max(0.05);
+    let memory_s = stats.dram_bytes as f64 / (spec.mem_bw_gbs * 1e9 * mem_efficiency);
+
+    // --- issue roofline ---------------------------------------------------
+    // Vector-loop instructions issue once per simd group; shared accesses
+    // and barriers and atomics add serialization cycles.
+    let issue_cycles = stats.scalar_issue as f64
+        + stats.vec_issue as f64 / simd
+        + stats.bank_conflict_cycles as f64
+        + stats.syncs as f64 * 8.0
+        + stats.atomics as f64 * 16.0;
+    let issue_s = issue_cycles / (spec.sms as f64 * spec.issue_rate_per_sm * spec.clock_ghz * 1e9);
+
+    // --- load imbalance ---------------------------------------------------
+    // Residency hides latency but does not multiply throughput: a wave is
+    // one block per SM. Partial waves leave SMs idle (blocks < sms) and
+    // uneven waves leave them idle at the tail.
+    let waves = (stats.blocks as f64 / spec.sms as f64).max(1e-9);
+    let imbalance = (waves.ceil() / waves).clamp(1.0, 16.0);
+
+    let overhead_s = spec.launch_overhead_us * 1e-6;
+    let body = compute_s.max(memory_s).max(issue_s);
+    TimeBreakdown {
+        compute_s,
+        memory_s,
+        issue_s,
+        overhead_s,
+        imbalance,
+        mem_efficiency,
+        total_s: body * imbalance + overhead_s,
+    }
+}
+
+/// Host<->device transfer cost.
+pub fn transfer_time(spec: &DeviceSpec, bytes: usize) -> f64 {
+    spec.transfer_latency_us * 1e-6 + bytes as f64 / (spec.transfer_bw_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flops_only(vec_flops: u64) -> LaunchStats {
+        LaunchStats {
+            blocks: 1024,
+            vec_flops,
+            // One FMA warp-instruction per 32 lanes x 2 flops.
+            vec_issue: vec_flops / 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_tracks_peak() {
+        let spec = DeviceSpec::k20();
+        let flops = 2_000_000_000u64;
+        let t = estimate_time(&spec, &flops_only(flops), 256, 0);
+        let achieved = flops as f64 / t.total_s / 1e9;
+        // A pure-FMA kernel should land within a factor ~2 of peak
+        // (issue overhead + launch overhead keep it below).
+        assert!(achieved > spec.peak_gflops() * 0.3, "{achieved}");
+        assert!(achieved <= spec.peak_gflops() * 1.01, "{achieved}");
+    }
+
+    #[test]
+    fn scalar_flops_are_slower_on_cpu() {
+        let spec = DeviceSpec::e5_2630v3();
+        let mut vec_stats = LaunchStats {
+            blocks: 64,
+            vec_flops: 1_000_000_000,
+            ..Default::default()
+        };
+        let mut scal_stats = LaunchStats {
+            blocks: 64,
+            scalar_flops: 1_000_000_000,
+            ..Default::default()
+        };
+        vec_stats.vec_issue = vec_stats.vec_flops;
+        scal_stats.scalar_issue = scal_stats.scalar_flops;
+        let tv = estimate_time(&spec, &vec_stats, 1, 0).total_s;
+        let ts = estimate_time(&spec, &scal_stats, 1, 0).total_s;
+        assert!(
+            ts > tv * 2.0,
+            "scalar ({ts}) must be well slower than vectorized ({tv})"
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_tracks_bandwidth() {
+        let spec = DeviceSpec::k20();
+        let stats = LaunchStats {
+            blocks: 8192,
+            dram_bytes: 10_000_000_000,
+            ..Default::default()
+        };
+        // Plenty of resident warps -> full bandwidth.
+        let t = estimate_time(&spec, &stats, 256, 0);
+        let bw = stats.dram_bytes as f64 / t.total_s / 1e9;
+        assert!(bw > spec.mem_bw_gbs * 0.5 && bw <= spec.mem_bw_gbs * 1.01, "{bw}");
+    }
+
+    #[test]
+    fn low_occupancy_hurts_bandwidth() {
+        let spec = DeviceSpec::k20();
+        let stats = LaunchStats {
+            blocks: 8192,
+            dram_bytes: 10_000_000_000,
+            ..Default::default()
+        };
+        let t_hi = estimate_time(&spec, &stats, 256, 0).total_s;
+        // One warp per block, full shared memory -> 1 resident warp.
+        let t_lo = estimate_time(&spec, &stats, 32, 48 * 1024).total_s;
+        assert!(t_lo > t_hi * 4.0, "lo {t_lo} vs hi {t_hi}");
+    }
+
+    #[test]
+    fn imbalance_penalizes_partial_waves() {
+        let spec = DeviceSpec::k20();
+        // 14 blocks on 13 SMs with residency 1 -> 2 waves, ~2x cost.
+        let stats = LaunchStats {
+            blocks: 14,
+            vec_flops: 1_000_000_000,
+            vec_issue: 1_000_000_000,
+            ..Default::default()
+        };
+        let t14 = estimate_time(&spec, &stats, 1024, 40 * 1024);
+        assert!(t14.imbalance > 1.5);
+    }
+
+    #[test]
+    fn transfer_has_latency_floor() {
+        let spec = DeviceSpec::k20();
+        let t0 = transfer_time(&spec, 0);
+        assert!(t0 >= 9e-6);
+        let t_big = transfer_time(&spec, 6_000_000_000);
+        assert!(t_big > 0.9 && t_big < 1.2);
+    }
+
+    #[test]
+    fn scaling_and_adding_stats() {
+        let a = flops_only(100);
+        let b = a.scaled(2.0);
+        assert_eq!(b.vec_flops, 200);
+        let mut c = a;
+        c.add(&b);
+        assert_eq!(c.vec_flops, 300);
+        assert_eq!(c.blocks, 1024 * 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! The SIMT interpreter and the single-thread reference evaluator must
+//! agree bit-for-bit on every program — for random programs, random grid
+//! shapes, and on GPU-style and CPU-style device models alike. This is the
+//! contract that makes cross-back-end testability possible.
+
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_kir::eval::{eval_thread_fuel, EvalInputs, EvalMem, SpecialValues};
+use alpaka_kir::testgen::gen_program;
+use alpaka_kir::Program;
+use alpaka_sim::{run_kernel_launch, DeviceMem, DeviceSpec, ExecMode, SimArgs};
+use proptest::prelude::*;
+
+/// Run a program through the reference evaluator for every (block, thread)
+/// of a 1-D launch, in the interpreter's deterministic order (blocks in
+/// linear order; within a block, threads in lane order — the interpreter
+/// applies side effects lane-by-lane inside each instruction, which for
+/// these generated programs is equivalent to running threads in order
+/// because every cross-thread touchpoint is a store to a fixed index or an
+/// atomic add executed in lane order... for blocks=1, threads=1 it is
+/// trivially identical; wider shapes are compared against the interpreter
+/// only for single-thread blocks to keep the ordering contract exact).
+fn eval_grid(p: &Program, blocks: i64) -> Result<EvalMem, String> {
+    let mut mem = EvalMem {
+        bufs_f: vec![vec![0.0; 16]],
+        bufs_i: vec![],
+    };
+    for b in 0..blocks {
+        let mut sp = SpecialValues::default();
+        sp.grid_blocks = [1, 1, blocks];
+        sp.block_threads = [1, 1, 1];
+        sp.block_idx = [0, 0, b];
+        sp.thread_idx = [0, 0, 0];
+        let inp = EvalInputs {
+            params_f: &[],
+            params_i: &[],
+            special: sp,
+        };
+        eval_thread_fuel(p, &inp, &mut mem, 10_000_000)?;
+    }
+    Ok(mem)
+}
+
+fn sim_grid(p: &Program, blocks: usize, spec: &DeviceSpec) -> Result<Vec<f64>, String> {
+    let mut mem = DeviceMem::new();
+    let buf = mem.alloc_f(16);
+    let args = SimArgs {
+        bufs_f: vec![buf],
+        bufs_i: vec![],
+        params_f: vec![],
+        params_i: vec![],
+    };
+    run_kernel_launch(
+        spec,
+        &mut mem,
+        p,
+        &WorkDiv::d1(blocks, 1, 1),
+        &args,
+        ExecMode::Full,
+    )?;
+    Ok(mem.f(buf).to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn interpreter_matches_reference_evaluator(
+        seed in proptest::collection::vec(any::<u64>(), 4..30),
+        len in 3usize..14,
+        blocks in 1usize..5,
+    ) {
+        let p = gen_program(&seed, len);
+        let want = eval_grid(&p, blocks as i64).expect("eval");
+        for spec in [DeviceSpec::k20(), DeviceSpec::e5_2630v3()] {
+            let got = sim_grid(&p, blocks, &spec).expect("sim");
+            prop_assert_eq!(
+                &got, &want.bufs_f[0],
+                "divergence on {} for program:\n{}",
+                spec.name, alpaka_kir::print_program(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_programs_agree_too(
+        seed in proptest::collection::vec(any::<u64>(), 4..30),
+        len in 3usize..14,
+    ) {
+        let mut p = gen_program(&seed, len);
+        alpaka_kir::optimize(&mut p);
+        let want = eval_grid(&p, 2).expect("eval");
+        let got = sim_grid(&p, 2, &DeviceSpec::k20()).expect("sim");
+        prop_assert_eq!(&got, &want.bufs_f[0]);
+    }
+}
+
+#[test]
+fn multi_thread_blocks_agree_for_disjoint_writers() {
+    // A handwritten kernel where threads write disjoint cells: thread
+    // ordering cannot matter, so wide blocks must agree with the
+    // per-thread evaluator too.
+    use alpaka_core::kernel::Kernel;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+    struct Disjoint;
+    impl Kernel for Disjoint {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let i = o.linear_global_thread_idx();
+            let v = o.i2f(i);
+            let two = o.lit_f(2.0);
+            let r = o.mul_f(v, two);
+            o.st_gf(b, i, r);
+        }
+    }
+    let p = alpaka_kir::trace_kernel(&Disjoint, 1);
+    let spec = DeviceSpec::k20();
+    let mut mem = DeviceMem::new();
+    let buf = mem.alloc_f(64);
+    let args = SimArgs {
+        bufs_f: vec![buf],
+        bufs_i: vec![],
+        params_f: vec![],
+        params_i: vec![],
+    };
+    run_kernel_launch(
+        &spec,
+        &mut mem,
+        &p,
+        &WorkDiv::d1(2, 32, 1),
+        &args,
+        ExecMode::Full,
+    )
+    .unwrap();
+    for i in 0..64 {
+        assert_eq!(mem.f(buf)[i], 2.0 * i as f64);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: vector addition on any back-end.
+//!
+//! The paper's headline: porting to a new platform is a one-line change.
+//! Here the "line" is selectable from the command line:
+//!
+//! ```text
+//! cargo run --release --example quickstart -- cpu-serial
+//! cargo run --release --example quickstart -- cpu-blocks
+//! cargo run --release --example quickstart -- sim-k20
+//! ```
+
+use alpaka::{AccKind, Args, BufLayout, Device};
+use alpaka_kernels::VecAddKernel;
+
+fn pick_backend(name: &str) -> AccKind {
+    match name {
+        "cpu-serial" => AccKind::CpuSerial,
+        "cpu-blocks" => AccKind::CpuBlocks,
+        "cpu-threads" => AccKind::CpuThreads,
+        "cpu-block-threads" => AccKind::CpuBlockThreads,
+        "cpu-fibers" => AccKind::CpuFibers,
+        "sim-k20" => AccKind::sim_k20(),
+        "sim-k80" => AccKind::sim_k80(),
+        "sim-e5" => AccKind::sim_e5_2630v3(),
+        other => {
+            eprintln!("unknown back-end `{other}`, using cpu-serial");
+            AccKind::CpuSerial
+        }
+    }
+}
+
+fn main() {
+    let backend = std::env::args().nth(1).unwrap_or_else(|| "cpu-serial".into());
+
+    // The one line that changes per platform:
+    let dev = Device::new(pick_backend(&backend));
+
+    println!("running on {}", dev.name());
+    let n = 1 << 16;
+
+    // Allocate device buffers (explicit memory model: nothing implicit).
+    let x = dev.alloc_f64(BufLayout::d1(n));
+    let y = dev.alloc_f64(BufLayout::d1(n));
+    let z = dev.alloc_f64(BufLayout::d1(n));
+    x.upload(&(0..n).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+    y.upload(&(0..n).map(|i| (n - i) as f64).collect::<Vec<_>>()).unwrap();
+
+    // Work division: how the grid/block/thread/element hierarchy maps onto
+    // this accelerator (Table 2 shapes).
+    let wd = dev.suggest_workdiv_1d(n);
+    println!(
+        "work division: {} blocks x {} threads x {} elements",
+        wd.block_count(),
+        wd.threads_per_block(),
+        wd.elems_per_thread()
+    );
+
+    // Execute: kernel + work division + arguments = executor.
+    let args = Args::new().buf_f(&x).buf_f(&y).buf_f(&z).scalar_i(n as i64);
+    dev.launch(&VecAddKernel, &wd, &args).unwrap();
+
+    // Verify.
+    let result = z.download();
+    assert!(result.iter().all(|&v| v == n as f64));
+    println!("ok: all {n} elements equal {n}.0");
+}

@@ -1,0 +1,11 @@
+//! Workspace facade crate: hosts the runnable `examples/` and cross-crate
+//! integration `tests/` for the Alpaka reproduction. The library itself only
+//! re-exports the member crates for convenience.
+pub use alpaka;
+pub use alpaka_accsim as accsim;
+pub use alpaka_core as core;
+pub use alpaka_cpu as cpu;
+pub use alpaka_kernels as kernels;
+pub use alpaka_kir as kir;
+pub use alpaka_sim as sim;
+pub use hase;

@@ -1,0 +1,205 @@
+//! Failure-injection tests: every back-end must turn kernel misbehaviour
+//! and invalid launches into errors rather than silent corruption.
+
+use alpaka::{AccKind, Args, BufLayout, Device, Error, WorkDiv};
+use alpaka_core::kernel::Kernel;
+use alpaka_core::ops::KernelOps;
+
+fn all_kinds() -> Vec<AccKind> {
+    let mut kinds = AccKind::native_cpu_all();
+    kinds.push(AccKind::sim_k20());
+    kinds.push(AccKind::sim_e5_2630v3());
+    kinds
+}
+
+#[derive(Clone)]
+struct OobStore {
+    idx: i64,
+}
+impl Kernel for OobStore {
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let b = o.buf_f(0);
+        let i = o.lit_i(self.idx);
+        let v = o.lit_f(1.0);
+        o.st_gf(b, i, v);
+    }
+}
+
+#[test]
+fn out_of_bounds_store_is_a_kernel_fault_everywhere() {
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let buf = dev.alloc_f64(BufLayout::d1(8));
+        let err = dev
+            .launch(&OobStore { idx: 99 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn negative_index_is_a_kernel_fault_everywhere() {
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let buf = dev.alloc_f64(BufLayout::d1(8));
+        let err = dev
+            .launch(&OobStore { idx: -1 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn unbound_buffer_slot_is_an_error() {
+    #[derive(Clone)]
+    struct UsesSlot1;
+    impl Kernel for UsesSlot1 {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b0 = o.buf_f(0);
+            let b1 = o.buf_f(1); // only slot 0 bound
+            let i = o.lit_i(0);
+            // The loaded value is stored (kept live), so the unbound slot
+            // must surface as an error rather than being optimized away.
+            let v = o.ld_gf(b1, i);
+            o.st_gf(b0, i, v);
+        }
+    }
+    for kind in [AccKind::CpuSerial, AccKind::sim_k20()] {
+        let dev = Device::new(kind.clone());
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let err = dev
+            .launch(&UsesSlot1, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn oversized_block_rejected_per_capability() {
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let caps = dev.caps();
+        let too_many = caps.max_threads_per_block + 1;
+        let err = dev
+            .launch(
+                &OobStore { idx: 0 },
+                &WorkDiv::d1(1, too_many, 1),
+                &Args::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidWorkDiv(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn zero_extent_workdiv_rejected() {
+    let dev = Device::new(AccKind::CpuSerial);
+    let err = dev
+        .launch(&OobStore { idx: 0 }, &WorkDiv::d1(0, 1, 1), &Args::new())
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidWorkDiv(_)));
+}
+
+#[test]
+fn sim_rejects_divergent_barrier() {
+    #[derive(Clone)]
+    struct DivergentSync;
+    impl Kernel for DivergentSync {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let tid = o.thread_idx(0);
+            let one = o.lit_i(1);
+            let c = o.lt_i(tid, one);
+            o.if_(c, |o| o.sync_block_threads());
+        }
+    }
+    let dev = Device::new(AccKind::sim_k20());
+    let err = dev
+        .launch(&DivergentSync, &WorkDiv::d1(1, 64, 1), &Args::new())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("divergent"), "{msg}");
+}
+
+#[test]
+fn sim_rejects_oversized_shared_memory() {
+    #[derive(Clone)]
+    struct HugeShared;
+    impl Kernel for HugeShared {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            // 1 MiB of shared f64 on a 48 KiB device.
+            let _sh = o.shared_f(128 * 1024);
+        }
+    }
+    let dev = Device::new(AccKind::sim_k20());
+    let err = dev
+        .launch(&HugeShared, &WorkDiv::d1(1, 32, 1), &Args::new())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("shared"), "{msg}");
+}
+
+#[test]
+fn missing_scalar_parameter_is_an_error() {
+    #[derive(Clone)]
+    struct NeedsParam;
+    impl Kernel for NeedsParam {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let p = o.param_f(3); // never bound
+            let i = o.lit_i(0);
+            o.st_gf(b, i, p);
+        }
+    }
+    for kind in [AccKind::CpuBlocks, AccKind::sim_k20()] {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let err = dev
+            .launch(&NeedsParam, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn shared_memory_oob_is_a_fault() {
+    #[derive(Clone)]
+    struct SharedOob;
+    impl Kernel for SharedOob {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let sh = o.shared_f(8);
+            let i = o.lit_i(64);
+            let v = o.lit_f(1.0);
+            o.st_sf(sh, i, v);
+        }
+    }
+    for kind in [AccKind::CpuThreads, AccKind::sim_k20()] {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let err = dev
+            .launch(&SharedOob, &WorkDiv::d1(1, 2, 1), &Args::new())
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+    }
+}
+
+#[test]
+fn device_keeps_working_after_a_fault() {
+    // A fault must not poison the device.
+    #[derive(Clone)]
+    struct Fine;
+    impl Kernel for Fine {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let i = o.lit_i(0);
+            let v = o.lit_f(7.0);
+            o.st_gf(b, i, v);
+        }
+    }
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let _ = dev.launch(&OobStore { idx: 50 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf));
+        dev.launch(&Fine, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .unwrap_or_else(|e| panic!("{kind:?} poisoned: {e}"));
+        assert_eq!(buf.download()[0], 7.0, "{kind:?}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Cross-back-end portability: the paper's *testability* property.
+//!
+//! Every kernel of the zoo must produce bit-identical results on every
+//! back-end (native CPU accelerators and simulated devices) for the same
+//! inputs — not merely "close": the scalar semantics are shared, so any
+//! divergence is a bug.
+
+use alpaka::{AccKind, Args, BufLayout, Device, WorkDiv};
+use alpaka_kernels::host::*;
+use alpaka_kernels::*;
+
+fn all_kinds() -> Vec<AccKind> {
+    let mut kinds = AccKind::native_cpu_all();
+    kinds.push(AccKind::sim_k20());
+    kinds.push(AccKind::sim_k80());
+    kinds.push(AccKind::sim_e5_2630v3());
+    kinds
+}
+
+/// Kinds whose back-ends support multi-thread blocks.
+fn threaded_kinds() -> Vec<AccKind> {
+    vec![
+        AccKind::CpuThreads,
+        AccKind::CpuBlockThreads,
+        AccKind::CpuFibers,
+        AccKind::sim_k20(),
+        AccKind::sim_k80(),
+    ]
+}
+
+#[test]
+fn daxpy_bit_identical_everywhere() {
+    let n = 1237usize;
+    let x = random_vec(n, 1);
+    let y0 = random_vec(n, 2);
+    let mut want = y0.clone();
+    daxpy_ref(std::f64::consts::PI, &x, &mut want);
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let xb = dev.alloc_f64(BufLayout::d1(n));
+        let yb = dev.alloc_f64(BufLayout::d1(n));
+        xb.upload(&x).unwrap();
+        yb.upload(&y0).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new()
+            .buf_f(&xb)
+            .buf_f(&yb)
+            .scalar_f(std::f64::consts::PI)
+            .scalar_i(n as i64);
+        dev.launch(&DaxpyKernel, &wd, &args).unwrap();
+        assert_eq!(yb.download(), want, "{kind:?}");
+    }
+}
+
+#[test]
+fn dgemm_tiled_bit_identical_on_threaded_backends() {
+    let (m, n, k) = (37, 41, 29);
+    let a = random_matrix(m, k, 10);
+    let b = random_matrix(k, n, 11);
+    let c0 = random_matrix(m, n, 12);
+    let kern = DgemmTiled { t: 4, e: 2 };
+    let wd = kern.workdiv(m, n);
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in threaded_kinds() {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let ab = dev.alloc_f64(BufLayout::d2(m, k, 8));
+        let bb = dev.alloc_f64(BufLayout::d2(k, n, 8));
+        let cb = dev.alloc_f64(BufLayout::d2(m, n, 8));
+        ab.upload(&a).unwrap();
+        bb.upload(&b).unwrap();
+        cb.upload(&c0).unwrap();
+        let args = Args::new()
+            .buf_f(&ab)
+            .buf_f(&bb)
+            .buf_f(&cb)
+            .scalar_f(1.25)
+            .scalar_f(0.75)
+            .scalar_i(m as i64)
+            .scalar_i(n as i64)
+            .scalar_i(k as i64)
+            .scalar_i(ab.layout().pitch as i64)
+            .scalar_i(bb.layout().pitch as i64)
+            .scalar_i(cb.layout().pitch as i64);
+        dev.launch(&kern, &wd, &args).unwrap();
+        let got = cb.download();
+        match &reference {
+            None => {
+                // Against the host reference (tolerance: the kernel's FMA
+                // order differs from the triple loop).
+                let mut want = c0.clone();
+                dgemm_ref(m, n, k, 1.25, &a, &b, 0.75, &mut want);
+                assert!(rel_err(&got, &want) < 1e-13, "{kind:?} vs host");
+                reference = Some(got);
+            }
+            Some(want) => assert_eq!(&got, want, "{kind:?} diverged bit-wise"),
+        }
+    }
+}
+
+#[test]
+fn stencil_time_series_identical() {
+    // Multi-launch time stepping must stay identical across back-ends.
+    let (rows, cols, steps) = (20, 17, 5);
+    let init = random_matrix(rows, cols, 33);
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in [AccKind::CpuSerial, AccKind::CpuBlocks, AccKind::sim_k20()] {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let layout = BufLayout::d2(rows, cols, 8);
+        let a = dev.alloc_f64(layout);
+        let b = dev.alloc_f64(layout);
+        a.upload(&init).unwrap();
+        let pitch = a.layout().pitch as i64;
+        let bt = if dev.caps().requires_single_thread_blocks { 1 } else { 4 };
+        let wd = JacobiStep::workdiv(rows, cols, bt, 2);
+        for s in 0..steps {
+            let (src, dst) = if s % 2 == 0 { (&a, &b) } else { (&b, &a) };
+            let args = Args::new()
+                .buf_f(src)
+                .buf_f(dst)
+                .scalar_i(rows as i64)
+                .scalar_i(cols as i64)
+                .scalar_i(pitch);
+            dev.launch(&JacobiStep, &wd, &args).unwrap();
+        }
+        let got = if steps % 2 == 0 { a.download() } else { b.download() };
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_hits_identical_for_fixed_division() {
+    let wd = WorkDiv::d1(16, 1, 1);
+    let mut reference: Option<i64> = None;
+    for kind in all_kinds() {
+        if !matches!(
+            kind,
+            AccKind::CpuSerial | AccKind::CpuBlocks | AccKind::CpuFibers | AccKind::SimGpu(_)
+        ) && wd.threads_per_block() == 1
+        {
+            // Thread back-ends accept 1-thread blocks too; keep them in.
+        }
+        let dev = Device::with_workers(kind.clone(), 4);
+        let hits = dev.alloc_i64(BufLayout::d1(1));
+        let args = Args::new().buf_i(&hits).scalar_i(400).scalar_i(4711);
+        dev.launch(&MonteCarloPi, &wd, &args).unwrap();
+        let h = hits.download()[0];
+        match reference {
+            None => reference = Some(h),
+            Some(want) => assert_eq!(h, want, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn reduce_blocks_partials_identical_on_threaded_backends() {
+    let n = 2048usize;
+    let data = random_vec(n, 8);
+    let block = 128usize;
+    let blocks = n / block;
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in threaded_kinds() {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let input = dev.alloc_f64(BufLayout::d1(n));
+        let out = dev.alloc_f64(BufLayout::d1(blocks));
+        input.upload(&data).unwrap();
+        let args = Args::new().buf_f(&input).buf_f(&out).scalar_i(n as i64);
+        dev.launch(&ReduceBlocks { block }, &WorkDiv::d1(blocks, block, 1), &args)
+            .unwrap();
+        let got = out.download();
+        match &reference {
+            None => {
+                let total: f64 = got.iter().sum();
+                let want = reduce_ref(&data);
+                assert!((total - want).abs() / want.abs() < 1e-12);
+                reference = Some(got);
+            }
+            Some(want) => assert_eq!(&got, want, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn nbody_bit_identical_everywhere() {
+    let n = 48usize;
+    let mut pos = random_vec(n * 4, 21);
+    for b in 0..n {
+        pos[b * 4 + 3] = pos[b * 4 + 3] / 10.0 + 0.05;
+    }
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in all_kinds() {
+        let dev = Device::with_workers(kind.clone(), 4);
+        let p = dev.alloc_f64(BufLayout::d1(n * 4));
+        let a = dev.alloc_f64(BufLayout::d1(n * 3));
+        p.upload(&pos).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new()
+            .buf_f(&p)
+            .buf_f(&a)
+            .scalar_f(0.02)
+            .scalar_i(n as i64);
+        dev.launch(&NBodyAccel, &wd, &args).unwrap();
+        let got = a.download();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn different_workdivs_same_results_on_one_backend() {
+    // The work division is a performance choice, never a correctness one.
+    let n = 1000usize;
+    let x = random_vec(n, 5);
+    let y0 = random_vec(n, 6);
+    let dev = Device::with_workers(AccKind::CpuBlocks, 4);
+    let mut reference: Option<Vec<f64>> = None;
+    for (blocks, threads, elems) in [(1000, 1, 1), (125, 1, 8), (10, 1, 100), (1, 1, 1000)] {
+        let xb = dev.alloc_f64(BufLayout::d1(n));
+        let yb = dev.alloc_f64(BufLayout::d1(n));
+        xb.upload(&x).unwrap();
+        yb.upload(&y0).unwrap();
+        let args = Args::new()
+            .buf_f(&xb)
+            .buf_f(&yb)
+            .scalar_f(0.5)
+            .scalar_i(n as i64);
+        dev.launch(&DaxpyKernel, &WorkDiv::d1(blocks, threads, elems), &args)
+            .unwrap();
+        let got = yb.download();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "wd=({blocks},{threads},{elems})"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * every work division covers each global element index exactly once,
+//! * `map_idx` linearize/delinearize round-trips,
+//! * pitched buffers round-trip dense data for arbitrary extents,
+//! * the IR optimizer preserves kernel semantics for random launch
+//!   parameters, and
+//! * back-ends agree for random DAXPY/reduction instances.
+
+use alpaka::{AccKind, Args, BufLayout, Device, WorkDiv};
+use alpaka_core::kernel::Kernel;
+use alpaka_core::ops::{KernelOps, KernelOpsExt};
+use alpaka_core::vec::Vecn;
+use proptest::prelude::*;
+
+/// Kernel that atomically increments `counts[i]` for every global element
+/// index `i` it is responsible for — the coverage probe.
+#[derive(Clone)]
+struct CoverageProbe;
+impl Kernel for CoverageProbe {
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let counts = o.buf_i(0);
+        let n = o.param_i(0);
+        let gid = o.linear_global_thread_idx();
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let one = o.lit_i(1);
+                let _ = o.atomic_add_gi(counts, i, one);
+            });
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn workdiv_covers_every_element_exactly_once(
+        blocks in 1usize..20,
+        threads_pow in 0u32..4,
+        elems in 1usize..9,
+        backend in 0usize..3,
+    ) {
+        let threads = 1usize << threads_pow;
+        let kind = match backend {
+            0 => AccKind::CpuSerial,
+            1 => AccKind::CpuThreads,
+            _ => AccKind::sim_k20(),
+        };
+        // Serial requires single-thread blocks.
+        let threads = if matches!(kind, AccKind::CpuSerial) { 1 } else { threads };
+        let wd = WorkDiv::d1(blocks, threads, elems);
+        let n = wd.global_elem_count();
+        // Also exercise the tail: cover fewer elements than provisioned.
+        let n_logical = (n * 3) / 4 + 1;
+        let dev = Device::with_workers(kind, 2);
+        let counts = dev.alloc_i64(BufLayout::d1(n_logical));
+        let args = Args::new().buf_i(&counts).scalar_i(n_logical as i64);
+        dev.launch(&CoverageProbe, &wd, &args).unwrap();
+        let got = counts.download();
+        prop_assert!(got.iter().all(|&c| c == 1),
+            "coverage not exactly-once: wd={wd:?} n={n_logical} counts={got:?}");
+    }
+
+    #[test]
+    fn map_idx_roundtrips(z in 1usize..7, y in 1usize..7, x in 1usize..7, lin_seed in 0usize..1000) {
+        let ext = Vecn([z, y, x]);
+        let lin = lin_seed % ext.product();
+        let p = ext.delinearize(lin);
+        prop_assert!(ext.contains(p));
+        prop_assert_eq!(ext.linearize(p), lin);
+    }
+
+    #[test]
+    fn pitched_buffer_roundtrips(rows in 1usize..20, cols in 1usize..20, seed in 0u64..100) {
+        let data = alpaka_kernels::host::random_matrix(rows, cols, seed);
+        let dev = Device::new(AccKind::CpuSerial);
+        let buf = dev.alloc_f64(BufLayout::d2(rows, cols, 8));
+        buf.upload(&data).unwrap();
+        prop_assert_eq!(buf.download(), data);
+    }
+
+    #[test]
+    fn sim_pitched_buffer_roundtrips(rows in 1usize..16, cols in 1usize..16, seed in 0u64..100) {
+        let data = alpaka_kernels::host::random_matrix(rows, cols, seed);
+        let dev = Device::new(AccKind::sim_k20());
+        let buf = dev.alloc_f64(BufLayout::d2(rows, cols, 8));
+        buf.upload(&data).unwrap();
+        prop_assert_eq!(buf.download(), data);
+    }
+
+    #[test]
+    fn optimizer_preserves_daxpy_semantics(
+        n in 1usize..300,
+        alpha_millis in -5000i64..5000,
+        block_pow in 0u32..6,
+    ) {
+        use alpaka_kir::eval::{eval_thread, EvalInputs, EvalMem, SpecialValues};
+        use alpaka_kir::{optimize, trace_kernel};
+        let alpha = alpha_millis as f64 / 1000.0;
+        let block = 1i64 << block_pow;
+        let blocks = (n as i64 + block - 1) / block;
+        let raw = trace_kernel(&alpaka_kernels::DaxpyKernel, 1);
+        let mut opt = raw.clone();
+        optimize(&mut opt);
+        let run = |p: &alpaka_kir::Program| {
+            let mut mem = EvalMem {
+                bufs_f: vec![
+                    (0..n).map(|i| i as f64 * 0.25).collect(),
+                    (0..n).map(|i| (n - i) as f64).collect(),
+                ],
+                bufs_i: vec![],
+            };
+            for b in 0..blocks {
+                for t in 0..block {
+                    let mut sp = SpecialValues::default();
+                    sp.grid_blocks = [1, 1, blocks];
+                    sp.block_threads = [1, 1, block];
+                    sp.block_idx = [0, 0, b];
+                    sp.thread_idx = [0, 0, t];
+                    let inp = EvalInputs {
+                        params_f: &[alpha],
+                        params_i: &[n as i64],
+                        special: sp,
+                    };
+                    eval_thread(p, &inp, &mut mem).unwrap();
+                }
+            }
+            mem
+        };
+        prop_assert_eq!(run(&raw), run(&opt));
+    }
+
+    #[test]
+    fn backends_agree_on_random_daxpy(
+        n in 1usize..400,
+        seed in 0u64..50,
+    ) {
+        let x = alpaka_kernels::host::random_vec(n, seed);
+        let y0 = alpaka_kernels::host::random_vec(n, seed + 1000);
+        let mut results = vec![];
+        for kind in [AccKind::CpuSerial, AccKind::CpuBlocks, AccKind::sim_k20()] {
+            let dev = Device::with_workers(kind, 2);
+            let xb = dev.alloc_f64(BufLayout::d1(n));
+            let yb = dev.alloc_f64(BufLayout::d1(n));
+            xb.upload(&x).unwrap();
+            yb.upload(&y0).unwrap();
+            let wd = dev.suggest_workdiv_1d(n);
+            let args = Args::new().buf_f(&xb).buf_f(&yb).scalar_f(1.5).scalar_i(n as i64);
+            dev.launch(&alpaka_kernels::DaxpyKernel, &wd, &args).unwrap();
+            results.push(yb.download());
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[0], &results[2]);
+    }
+
+    #[test]
+    fn atomic_reduce_matches_host_sum(n in 1usize..600, seed in 0u64..50) {
+        let data = alpaka_kernels::host::random_vec(n, seed);
+        let want: f64 = data.iter().sum();
+        let dev = Device::with_workers(AccKind::CpuBlocks, 4);
+        let input = dev.alloc_f64(BufLayout::d1(n));
+        let out = dev.alloc_f64(BufLayout::d1(1));
+        input.upload(&data).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new().buf_f(&input).buf_f(&out).scalar_i(n as i64);
+        dev.launch(&alpaka_kernels::ReduceAtomic, &wd, &args).unwrap();
+        let got = out.download()[0];
+        prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "{got} vs {want}");
+    }
+
+    #[test]
+    fn workdiv_predefined_covers(n in 1usize..100_000, b_pow in 0u32..9, v in 1usize..64) {
+        use alpaka_core::workdiv::{predefined, PredefAcc};
+        let b = 1usize << b_pow;
+        for acc in PredefAcc::ALL {
+            let wd = predefined(acc, n, b, v);
+            prop_assert!(wd.global_elem_count() >= n, "{acc:?} does not cover n={n} b={b} v={v}");
+        }
+    }
+
+    #[test]
+    fn dgemm_tiled_matches_reference_for_random_shapes(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..20,
+    ) {
+        use alpaka_kernels::host::{dgemm_ref, random_matrix, rel_err};
+        use alpaka_kernels::DgemmTiled;
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let c0 = random_matrix(m, n, seed + 2);
+        let mut want = c0.clone();
+        dgemm_ref(m, n, k, 1.0, &a, &b, 0.0, &mut want);
+        let kern = DgemmTiled { t: 4, e: 2 };
+        let wd = kern.workdiv(m, n);
+        let dev = Device::with_workers(AccKind::CpuThreads, 2);
+        let ab = dev.alloc_f64(BufLayout::d2(m, k, 8));
+        let bb = dev.alloc_f64(BufLayout::d2(k, n, 8));
+        let cb = dev.alloc_f64(BufLayout::d2(m, n, 8));
+        ab.upload(&a).unwrap();
+        bb.upload(&b).unwrap();
+        cb.upload(&c0).unwrap();
+        let args = Args::new()
+            .buf_f(&ab).buf_f(&bb).buf_f(&cb)
+            .scalar_f(1.0).scalar_f(0.0)
+            .scalar_i(m as i64).scalar_i(n as i64).scalar_i(k as i64)
+            .scalar_i(ab.layout().pitch as i64)
+            .scalar_i(bb.layout().pitch as i64)
+            .scalar_i(cb.layout().pitch as i64);
+        dev.launch(&kern, &wd, &args).unwrap();
+        prop_assert!(rel_err(&cb.download(), &want) < 1e-12,
+            "m={m} n={n} k={k}");
+    }
+
+    #[test]
+    fn device_scan_matches_reference_for_random_sizes(
+        n in 1usize..700,
+        seed in 0u64..20,
+        block_pow in 3u32..7,
+    ) {
+        use alpaka_kernels::host::random_vec;
+        use alpaka_kernels::scan::{device_exclusive_scan, exclusive_scan_ref};
+        let data = random_vec(n, seed);
+        let want = exclusive_scan_ref(&data);
+        let dev = Device::with_workers(AccKind::CpuThreads, 2);
+        let got = device_exclusive_scan(&dev, &data, 1 << block_pow).unwrap();
+        let max_err = got.iter().zip(&want).map(|(g, w)| (g - w).abs()).fold(0.0f64, f64::max);
+        prop_assert!(max_err < 1e-9, "n={n} block={} err={max_err}", 1 << block_pow);
+    }
+
+    #[test]
+    fn histogram_counts_are_conserved(
+        n in 1usize..2000,
+        bins_pow in 1u32..7,
+        seed in 0u64..20,
+    ) {
+        use alpaka_kernels::host::random_vec;
+        use alpaka_kernels::HistogramGlobalAtomics;
+        let n_bins = 1usize << bins_pow;
+        let samples = random_vec(n, seed);
+        let dev = Device::with_workers(AccKind::CpuBlocks, 2);
+        let s = dev.alloc_f64(BufLayout::d1(n));
+        let b = dev.alloc_i64(BufLayout::d1(n_bins));
+        s.upload(&samples).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new()
+            .buf_f(&s).buf_i(&b)
+            .scalar_f(0.0).scalar_f(10.0)
+            .scalar_i(n as i64).scalar_i(n_bins as i64);
+        dev.launch(&HistogramGlobalAtomics, &wd, &args).unwrap();
+        let total: i64 = b.download().iter().sum();
+        prop_assert_eq!(total as usize, n);
+    }
+}

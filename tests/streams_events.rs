@@ -1,0 +1,165 @@
+//! Streams (queues) and events across back-ends: in-order execution,
+//! host synchronization, error surfacing — the Section 3.4.5/3.4.6 API.
+
+use alpaka::{AccKind, Args, BufLayout, Device, HostEvent, Queue, QueueBehavior};
+use alpaka_core::kernel::Kernel;
+use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+/// `buf[i] = buf[i] * 2 + 1` — order-sensitive, so queue ordering shows.
+#[derive(Clone)]
+struct TwicePlusOne;
+impl Kernel for TwicePlusOne {
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let b = o.buf_f(0);
+        let n = o.param_i(0);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let x = o.ld_gf(b, i);
+                let two = o.lit_f(2.0);
+                let one = o.lit_f(1.0);
+                let r = o.fma_f(x, two, one);
+                o.st_gf(b, i, r);
+            });
+        });
+    }
+}
+
+fn kinds() -> Vec<AccKind> {
+    vec![
+        AccKind::CpuSerial,
+        AccKind::CpuBlocks,
+        AccKind::sim_k20(),
+    ]
+}
+
+#[test]
+fn queues_execute_in_order_on_every_backend() {
+    // x -> 2x+1 applied 5 times: f^5(0) = 31.
+    for behavior in [QueueBehavior::Blocking, QueueBehavior::NonBlocking] {
+        for kind in kinds() {
+            let dev = Device::with_workers(kind.clone(), 2);
+            let q = Queue::new(dev.clone(), behavior);
+            let n = 64usize;
+            let buf = dev.alloc_f64(BufLayout::d1(n));
+            buf.upload(&vec![0.0; n]).unwrap();
+            let wd = dev.suggest_workdiv_1d(n);
+            let args = Args::new().buf_f(&buf).scalar_i(n as i64);
+            for _ in 0..5 {
+                q.enqueue_kernel(&TwicePlusOne, &wd, &args).unwrap();
+            }
+            q.wait().unwrap();
+            assert_eq!(buf.download(), vec![31.0; n], "{kind:?} {behavior:?}");
+        }
+    }
+}
+
+#[test]
+fn event_between_operations() {
+    for kind in kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+        let n = 32usize;
+        let buf = dev.alloc_f64(BufLayout::d1(n));
+        buf.upload(&vec![1.0; n]).unwrap();
+        let wd = dev.suggest_workdiv_1d(n);
+        let args = Args::new().buf_f(&buf).scalar_i(n as i64);
+        let ev = HostEvent::new();
+        q.enqueue_kernel(&TwicePlusOne, &wd, &args).unwrap();
+        q.enqueue_event(&ev).unwrap();
+        ev.wait();
+        // After the event, exactly one application has happened.
+        q.wait().unwrap();
+        assert_eq!(buf.download(), vec![3.0; n], "{kind:?}");
+    }
+}
+
+#[test]
+fn two_queues_one_device() {
+    // Independent queues on the same device, each with its own buffer.
+    let dev = Device::with_workers(AccKind::CpuBlocks, 2);
+    let q1 = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+    let q2 = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+    let n = 256usize;
+    let b1 = dev.alloc_f64(BufLayout::d1(n));
+    let b2 = dev.alloc_f64(BufLayout::d1(n));
+    b1.upload(&vec![0.0; n]).unwrap();
+    b2.upload(&vec![10.0; n]).unwrap();
+    let wd = dev.suggest_workdiv_1d(n);
+    for _ in 0..3 {
+        q1.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&b1).scalar_i(n as i64))
+            .unwrap();
+        q2.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&b2).scalar_i(n as i64))
+            .unwrap();
+    }
+    q1.wait().unwrap();
+    q2.wait().unwrap();
+    assert_eq!(b1.download(), vec![7.0; n]);
+    assert_eq!(b2.download(), vec![87.0; n]); // f^3(10) = 87
+}
+
+#[test]
+fn copy_then_kernel_then_copy_back() {
+    // The Listing 4 + 5 offloading flow through a queue, host and device.
+    let host_dev = Device::new(AccKind::CpuSerial);
+    let gpu = Device::new(AccKind::sim_k20());
+    let q = Queue::new(gpu.clone(), QueueBehavior::NonBlocking);
+    let n = 100usize;
+    let h = host_dev.alloc_f64(BufLayout::d1(n));
+    h.upload(&vec![4.0; n]).unwrap();
+    let d = gpu.alloc_f64(BufLayout::d1(n));
+    q.enqueue_copy_f64(&d, &h).unwrap();
+    let wd = gpu.suggest_workdiv_1d(n);
+    q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&d).scalar_i(n as i64))
+        .unwrap();
+    let back = host_dev.alloc_f64(BufLayout::d1(n));
+    q.enqueue_copy_f64(&back, &d).unwrap();
+    q.wait().unwrap();
+    assert_eq!(back.download(), vec![9.0; n]);
+    // The simulated device was charged for both transfers and the kernel.
+    assert!(gpu.sim_clock_s() > 0.0);
+}
+
+#[test]
+fn queue_error_surfaces_at_wait_and_clears() {
+    #[derive(Clone)]
+    struct Oob;
+    impl Kernel for Oob {
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let i = o.lit_i(1_000_000);
+            let v = o.lit_f(1.0);
+            o.st_gf(b, i, v);
+        }
+    }
+    let dev = Device::with_workers(AccKind::CpuBlocks, 2);
+    let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+    let buf = dev.alloc_f64(BufLayout::d1(4));
+    let wd = alpaka::WorkDiv::d1(1, 1, 1);
+    q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf)).unwrap();
+    assert!(q.wait().is_err());
+    // Error taken: queue is usable again.
+    q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
+        .unwrap();
+    q.wait().unwrap();
+}
+
+#[test]
+fn event_reset_and_reuse() {
+    let dev = Device::new(AccKind::CpuSerial);
+    let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+    let ev = HostEvent::new();
+    q.enqueue_event(&ev).unwrap();
+    ev.wait();
+    assert_eq!(ev.generation(), 1);
+    ev.reset();
+    assert!(!ev.is_done());
+    q.enqueue_event(&ev).unwrap();
+    ev.wait();
+    assert_eq!(ev.generation(), 2);
+    q.wait().unwrap();
+}

@@ -1,0 +1,85 @@
+//! The Fig. 4 zero-overhead claim as a regression test, plus checks on the
+//! compilation pipeline that backs it.
+
+use alpaka_kernels::{DaxpyKernel, DaxpyNativeStyle};
+use alpaka_kir::{optimize, print_stream, trace_kernel, trace_kernel_spec, validate, SpecConsts};
+
+#[test]
+fn alpaka_daxpy_compiles_to_the_native_stream() {
+    let spec = SpecConsts {
+        thread_elem_extent: Some([1, 1, 1]),
+        ..Default::default()
+    };
+    let mut alpaka_prog = trace_kernel_spec(&DaxpyKernel, 1, spec);
+    let mut native_prog = trace_kernel(&DaxpyNativeStyle, 1);
+    optimize(&mut alpaka_prog);
+    optimize(&mut native_prog);
+    validate(&alpaka_prog).unwrap();
+    validate(&native_prog).unwrap();
+    assert_eq!(print_stream(&alpaka_prog), print_stream(&native_prog));
+}
+
+#[test]
+fn abstraction_residue_is_removed() {
+    let spec = SpecConsts {
+        thread_elem_extent: Some([1, 1, 1]),
+        ..Default::default()
+    };
+    let mut prog = trace_kernel_spec(&DaxpyKernel, 1, spec);
+    let before = prog.instr_count();
+    let stats = optimize(&mut prog);
+    assert!(stats.unrolled >= 1, "the V=1 element loop must unroll");
+    assert!(stats.aliased >= 1, "x*1 / x+0 identities must alias away");
+    assert!(prog.instr_count() < before);
+    // No loop remains in the optimized kernel.
+    let mut loops = 0;
+    prog.body.visit(&mut |s| {
+        if matches!(s, alpaka_kir::Stmt::ForRange { .. }) {
+            loops += 1;
+        }
+    });
+    assert_eq!(loops, 0);
+}
+
+#[test]
+fn unspecialized_kernel_keeps_its_element_loop() {
+    // Without specialization the element extent is a runtime register, so
+    // the loop must survive (and the kernel still be correct for any V).
+    let mut prog = trace_kernel(&DaxpyKernel, 1);
+    optimize(&mut prog);
+    let mut loops = 0;
+    prog.body.visit(&mut |s| {
+        if matches!(s, alpaka_kir::Stmt::ForRange { .. }) {
+            loops += 1;
+        }
+    });
+    assert_eq!(loops, 1);
+}
+
+#[test]
+fn optimization_is_idempotent() {
+    let spec = SpecConsts {
+        thread_elem_extent: Some([1, 1, 1]),
+        ..Default::default()
+    };
+    let mut once = trace_kernel_spec(&DaxpyKernel, 1, spec);
+    optimize(&mut once);
+    let mut twice = once.clone();
+    optimize(&mut twice);
+    assert_eq!(print_stream(&once), print_stream(&twice));
+}
+
+#[test]
+fn gemm_kernels_validate_after_optimization() {
+    use alpaka_kernels::{DgemmNaive, DgemmTiled, DgemmTiledCuda};
+    for (name, prog) in [
+        ("naive", trace_kernel(&DgemmNaive, 1)),
+        ("tiled_cuda", trace_kernel(&DgemmTiledCuda { ts: 16 }, 2)),
+        ("tiled", trace_kernel(&DgemmTiled { t: 16, e: 2 }, 2)),
+    ] {
+        let mut p = prog;
+        optimize(&mut p);
+        validate(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(p.instr_count() > 0, "{name}");
+    }
+}
