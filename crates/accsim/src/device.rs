@@ -15,8 +15,8 @@ use alpaka_core::kernel::{Kernel, ScalarArgs};
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_kir::{optimize, trace_kernel_spec, PassStats, Program, SpecConsts};
 use alpaka_sim::{
-    run_kernel_launch, transfer_time, DeviceMem, DeviceSpec, ExecMode, SimArgs, SimBufF, SimBufI,
-    SimReport,
+    resolve_sim_threads, run_kernel_launch_threads, transfer_time, DeviceMem, DeviceSpec, ExecMode,
+    SimArgs, SimBufF, SimBufI, SimReport,
 };
 use parking_lot::Mutex;
 
@@ -31,21 +31,39 @@ struct State {
 pub struct SimDevice {
     spec: Arc<DeviceSpec>,
     state: Arc<Mutex<State>>,
+    /// Configured interpreter threads; the `ALPAKA_SIM_THREADS` environment
+    /// variable still overrides this at each launch.
+    threads: usize,
 }
 
 impl SimDevice {
     pub fn new(spec: DeviceSpec) -> Self {
+        let threads = spec.sim_threads.max(1);
+        Self::with_threads(spec, threads)
+    }
+
+    /// A device whose launches interpret blocks on `threads` host workers
+    /// (ignoring `spec.sim_threads`; `ALPAKA_SIM_THREADS` still overrides).
+    /// `threads == 1` is the exact serial interpreter.
+    pub fn with_threads(spec: DeviceSpec, threads: usize) -> Self {
         SimDevice {
             spec: Arc::new(spec),
             state: Arc::new(Mutex::new(State {
                 mem: DeviceMem::new(),
                 clock_s: 0.0,
             })),
+            threads: threads.max(1),
         }
     }
 
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Interpreter worker threads launches are configured to use (before
+    /// the `ALPAKA_SIM_THREADS` override and per-launch clamping).
+    pub fn sim_threads(&self) -> usize {
+        self.threads
     }
 
     /// Capability descriptor in the shared vocabulary.
@@ -166,8 +184,16 @@ impl SimDevice {
             params_i: args.scalars.i.clone(),
         };
         let mut st = self.state.lock();
-        let report = run_kernel_launch(&self.spec, &mut st.mem, &compiled.program, wd, &sim_args, mode)
-            .map_err(|e| Error::KernelFault(format!("{}: {e}", compiled.program.name)))?;
+        let report = run_kernel_launch_threads(
+            &self.spec,
+            &mut st.mem,
+            &compiled.program,
+            wd,
+            &sim_args,
+            mode,
+            resolve_sim_threads(self.threads),
+        )
+        .map_err(|e| Error::KernelFault(format!("{}: {e}", compiled.program.name)))?;
         st.clock_s += report.time.total_s;
         Ok(report)
     }

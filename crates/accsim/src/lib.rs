@@ -50,9 +50,13 @@ mod tests {
         let host = HostBuf::from_vec((0..n).map(|i| i as f64).collect());
         let dbuf = dev.alloc_f64(BufLayout::d1(n));
         q.enqueue_h2d_f64(&dbuf, &host).unwrap();
-        let args = SimLaunchArgs::new().buf_f(&dbuf).scalar_f(3.0).scalar_i(n as i64);
+        let args = SimLaunchArgs::new()
+            .buf_f(&dbuf)
+            .scalar_f(3.0)
+            .scalar_i(n as i64);
         let wd = WorkDiv::d1(4, 128, 1);
-        q.enqueue_kernel(&Scale, &wd, &args, ExecMode::Full).unwrap();
+        q.enqueue_kernel(&Scale, &wd, &args, ExecMode::Full)
+            .unwrap();
         q.enqueue_d2h_f64(&host, &dbuf).unwrap();
         q.wait().unwrap();
         for i in 0..n {
@@ -73,7 +77,10 @@ mod tests {
         let dbuf = dev.alloc_f64(BufLayout::d1(n));
         let host = HostBuf::from_vec(vec![1.0; n]);
         dbuf.write_from(&host).unwrap();
-        let args = SimLaunchArgs::new().buf_f(&dbuf).scalar_f(2.0).scalar_i(n as i64);
+        let args = SimLaunchArgs::new()
+            .buf_f(&dbuf)
+            .scalar_f(2.0)
+            .scalar_i(n as i64);
         for _ in 0..3 {
             dev.launch(&compiled, &wd, &args, ExecMode::Full).unwrap();
         }
@@ -88,7 +95,9 @@ mod tests {
         let other = WorkDiv::d1(2, 64, 1);
         let dbuf = dev.alloc_f64(BufLayout::d1(16));
         let args = SimLaunchArgs::new().buf_f(&dbuf).scalar_f(1.0).scalar_i(16);
-        let err = dev.launch(&compiled, &other, &args, ExecMode::Full).unwrap_err();
+        let err = dev
+            .launch(&compiled, &other, &args, ExecMode::Full)
+            .unwrap_err();
         assert!(matches!(err, alpaka_core::error::Error::InvalidWorkDiv(_)));
     }
 

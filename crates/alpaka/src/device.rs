@@ -97,9 +97,7 @@ impl Device {
             AccKind::CpuSerial => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Serial)),
             AccKind::CpuBlocks => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Blocks)),
             AccKind::CpuThreads => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Threads)),
-            AccKind::CpuBlockThreads => {
-                DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::BlockThreads))
-            }
+            AccKind::CpuBlockThreads => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::BlockThreads)),
             AccKind::CpuFibers => DeviceImpl::Cpu(CpuDevice::new(CpuAccKind::Fibers)),
             AccKind::SimGpu(spec) | AccKind::SimCpu(spec) => {
                 DeviceImpl::Sim(alpaka_accsim::SimDevice::new(spec.clone()))
@@ -128,7 +126,13 @@ impl Device {
                 DeviceImpl::Cpu(CpuDevice::with_workers(CpuAccKind::Fibers, workers))
             }
             AccKind::SimGpu(spec) | AccKind::SimCpu(spec) => {
-                DeviceImpl::Sim(alpaka_accsim::SimDevice::new(spec.clone()))
+                // For simulated devices the worker count is the number of
+                // host threads interpreting blocks (deterministic; see
+                // `alpaka_sim`). `ALPAKA_SIM_THREADS` still overrides.
+                DeviceImpl::Sim(alpaka_accsim::SimDevice::with_threads(
+                    spec.clone(),
+                    workers,
+                ))
             }
         };
         Device { kind, inner }

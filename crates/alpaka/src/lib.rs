@@ -94,10 +94,15 @@ mod tests {
         assert_portable(&all_kinds(), |dev| {
             let x = dev.alloc_f64(BufLayout::d1(n));
             let y = dev.alloc_f64(BufLayout::d1(n));
-            x.upload(&(0..n).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+            x.upload(&(0..n).map(|i| i as f64).collect::<Vec<_>>())
+                .unwrap();
             y.upload(&vec![1.0; n]).unwrap();
             let wd = dev.suggest_workdiv_1d(n);
-            let args = Args::new().buf_f(&x).buf_f(&y).scalar_f(2.5).scalar_i(n as i64);
+            let args = Args::new()
+                .buf_f(&x)
+                .buf_f(&y)
+                .scalar_f(2.5)
+                .scalar_i(n as i64);
             (Axpy, wd, args, vec![y])
         });
     }
@@ -113,7 +118,11 @@ mod tests {
             x.upload(&vec![1.0; n]).unwrap();
             y.upload(&vec![0.0; n]).unwrap();
             let wd = dev.suggest_workdiv_1d(n);
-            let args = Args::new().buf_f(&x).buf_f(&y).scalar_f(1.0).scalar_i(n as i64);
+            let args = Args::new()
+                .buf_f(&x)
+                .buf_f(&y)
+                .scalar_f(1.0)
+                .scalar_i(n as i64);
             // Two dependent launches: y += x twice.
             q.enqueue_kernel(&Axpy, &wd, &args).unwrap();
             q.enqueue_kernel(&Axpy, &wd, &args).unwrap();
@@ -133,7 +142,11 @@ mod tests {
             let x = dev.alloc_f64(BufLayout::d1(n));
             let y = dev.alloc_f64(BufLayout::d1(n));
             let wd = dev.suggest_workdiv_1d(n);
-            let args = Args::new().buf_f(&x).buf_f(&y).scalar_f(1.0).scalar_i(n as i64);
+            let args = Args::new()
+                .buf_f(&x)
+                .buf_f(&y)
+                .scalar_f(1.0)
+                .scalar_i(n as i64);
             let run = time_launch(&dev, &Axpy, &wd, &args, LaunchMode::Exact).unwrap();
             assert_eq!(run.simulated, want_sim);
             assert!(run.time_s > 0.0);
@@ -157,7 +170,11 @@ mod tests {
         gpu.launch(
             &Axpy,
             &wd,
-            &Args::new().buf_f(&dx).buf_f(&dy).scalar_f(2.0).scalar_i(n as i64),
+            &Args::new()
+                .buf_f(&dx)
+                .buf_f(&dy)
+                .scalar_f(2.0)
+                .scalar_i(n as i64),
         )
         .unwrap();
         let hy = cpu.alloc_f64(BufLayout::d1(n));
@@ -168,7 +185,11 @@ mod tests {
         cpu.launch(
             &Axpy,
             &wd2,
-            &Args::new().buf_f(&hx).buf_f(&hy2).scalar_f(2.0).scalar_i(n as i64),
+            &Args::new()
+                .buf_f(&hx)
+                .buf_f(&hy2)
+                .scalar_f(2.0)
+                .scalar_i(n as i64),
         )
         .unwrap();
         assert_eq!(hy.download(), hy2.download());
@@ -182,7 +203,15 @@ mod tests {
         let host_buf = cpu.alloc_f64(BufLayout::d1(8));
         let wd = gpu.suggest_workdiv_1d(8);
         let err = gpu
-            .launch(&Axpy, &wd, &Args::new().buf_f(&host_buf).buf_f(&host_buf).scalar_f(1.0).scalar_i(8))
+            .launch(
+                &Axpy,
+                &wd,
+                &Args::new()
+                    .buf_f(&host_buf)
+                    .buf_f(&host_buf)
+                    .scalar_f(1.0)
+                    .scalar_i(8),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::BadArg(_)), "{err}");
     }

@@ -86,7 +86,9 @@ pub(crate) fn launch_sync<K: Kernel + ?Sized>(
 
 enum QImpl {
     Cpu(CpuQueue),
-    Sim(Mutex<alpaka_accsim::SimQueue>),
+    // Boxed: SimQueue is much larger than CpuQueue and queues are
+    // long-lived, so the indirection costs nothing that matters.
+    Sim(Box<Mutex<alpaka_accsim::SimQueue>>),
 }
 
 /// An in-order work queue on any device.
@@ -99,9 +101,10 @@ impl Queue {
     pub fn new(device: Device, behavior: QueueBehavior) -> Self {
         let inner = match &device.inner {
             DeviceImpl::Cpu(d) => QImpl::Cpu(CpuQueue::new(d.clone(), behavior)),
-            DeviceImpl::Sim(d) => {
-                QImpl::Sim(Mutex::new(alpaka_accsim::SimQueue::new(d.clone(), behavior)))
-            }
+            DeviceImpl::Sim(d) => QImpl::Sim(Box::new(Mutex::new(alpaka_accsim::SimQueue::new(
+                d.clone(),
+                behavior,
+            )))),
         };
         Queue { device, inner }
     }
@@ -257,7 +260,8 @@ where
             None => reference = Some((dev.name(), got)),
             Some((ref_name, want)) => {
                 assert_eq!(
-                    &got, want,
+                    &got,
+                    want,
                     "results diverge between {ref_name} and {}",
                     dev.name()
                 );

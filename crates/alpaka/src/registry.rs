@@ -251,7 +251,11 @@ pub fn table2_concrete(n: usize, b: usize, v: usize) -> Vec<(MappingRow, [usize;
             let wd = predefined(*acc, n, b, v);
             (
                 row,
-                [wd.block_count(), wd.threads_per_block(), wd.elems_per_thread()],
+                [
+                    wd.block_count(),
+                    wd.threads_per_block(),
+                    wd.elems_per_thread(),
+                ],
             )
         })
         .collect()

@@ -28,7 +28,11 @@ fn bench_daxpy(c: &mut Criterion) {
         xb.upload(&x).unwrap();
         yb.upload(&y0).unwrap();
         let wd = dev.suggest_workdiv_1d(n);
-        let args = Args::new().buf_f(&xb).buf_f(&yb).scalar_f(2.5).scalar_i(n as i64);
+        let args = Args::new()
+            .buf_f(&xb)
+            .buf_f(&yb)
+            .scalar_f(2.5)
+            .scalar_i(n as i64);
         group.bench_function(BenchmarkId::new(label, n), |b| {
             b.iter(|| dev.launch(&DaxpyKernel, &wd, &args).unwrap());
         });

@@ -1,0 +1,99 @@
+//! Host-side simulator throughput: interpreted blocks per second, serial
+//! vs parallel block interpretation.
+//!
+//! Workload: a 4096-block naive DGEMM (one 64-wide output row per block)
+//! on the simulated E5-2630v3 — a `PerSm`-cache device, so the parallel
+//! path is eligible. The serial/parallel reports are asserted bit-identical
+//! before timing anything, so the bench cannot silently compare different
+//! computations. On a single-core host the parallel numbers will not beat
+//! serial; the point of the bench is to measure, not to assume.
+
+use alpaka_kernels::DgemmNaive;
+use alpaka_kir::{optimize, trace_kernel};
+use alpaka_sim::{run_kernel_launch_threads, DeviceMem, DeviceSpec, ExecMode, SimArgs, SimReport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BLOCKS: usize = 4096;
+const N: usize = 64; // C is BLOCKS x N, A is BLOCKS x N, B is N x N
+
+fn setup() -> (DeviceMem, SimArgs) {
+    let mut mem = DeviceMem::new();
+    let a = mem.alloc_f(BLOCKS * N);
+    let b = mem.alloc_f(N * N);
+    let c = mem.alloc_f(BLOCKS * N);
+    for i in 0..BLOCKS * N {
+        mem.f_mut(a)[i] = ((i * 7 + 3) % 17) as f64 * 0.25;
+    }
+    for i in 0..N * N {
+        mem.f_mut(b)[i] = ((i * 5 + 1) % 13) as f64 - 6.0;
+    }
+    let args = SimArgs {
+        bufs_f: vec![a, b, c],
+        bufs_i: vec![],
+        params_f: vec![1.0, 0.0],
+        params_i: vec![
+            BLOCKS as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+        ],
+    };
+    (mem, args)
+}
+
+fn run(threads: usize) -> SimReport {
+    let mut prog = trace_kernel(&DgemmNaive, 1);
+    optimize(&mut prog);
+    let wd = DgemmNaive::workdiv(BLOCKS, 1);
+    let (mut mem, args) = setup();
+    run_kernel_launch_threads(
+        &DeviceSpec::e5_2630v3(),
+        &mut mem,
+        &prog,
+        &wd,
+        &args,
+        ExecMode::Full,
+        threads,
+    )
+    .unwrap()
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // Guard: parallel interpretation must be bit-identical to serial.
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        serial.stats, parallel.stats,
+        "parallel run diverged from serial"
+    );
+    assert_eq!(serial.time, parallel.time);
+    assert_eq!(serial.stats.blocks as usize, BLOCKS);
+
+    let mut group = c.benchmark_group("sim_dgemm_4096_blocks");
+    group.throughput(Throughput::Elements(BLOCKS as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| run(threads));
+        });
+    }
+    group.finish();
+
+    // One-shot host-perf summary from the simulator's own counters.
+    for threads in [1usize, 8] {
+        let r = run(threads);
+        eprintln!(
+            "sim_throughput: threads={threads} workers={} blocks/s={:.0} instrs/s={:.0}",
+            r.host.workers, r.host.blocks_per_sec, r.host.instrs_per_sec
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

@@ -57,7 +57,12 @@ fn ablation_passes() {
     };
     let r_raw = run(&raw);
     let r_opt = run(&opt);
-    let mut t = Table::new(&["Variant", "static instrs", "issued warp-instrs", "t_sim [s]"]);
+    let mut t = Table::new(&[
+        "Variant",
+        "static instrs",
+        "issued warp-instrs",
+        "t_sim [s]",
+    ]);
     t.row(vec![
         "unoptimized trace".into(),
         raw.instr_count().to_string(),
@@ -170,7 +175,12 @@ fn ablation_occupancy() {
     let n = 128usize;
     let data = GemmData::new(n);
     let dev = dev_sim_k20();
-    let mut t = Table::new(&["ts (block = ts^2)", "threads/block", "mem efficiency", "t_sim [s]"]);
+    let mut t = Table::new(&[
+        "ts (block = ts^2)",
+        "threads/block",
+        "mem efficiency",
+        "t_sim [s]",
+    ]);
     for ts in [4usize, 8, 16] {
         let k = DgemmTiledCuda { ts };
         let (run, _) = time_gemm(&dev, &k, &k.workdiv(n, n), &data, LaunchMode::Exact);
@@ -206,9 +216,21 @@ fn ablation_bank_conflicts() {
             .scalar_i(input.layout().pitch as i64)
             .scalar_i(out.layout().pitch as i64);
         let timed = if padded {
-            alpaka::time_launch(&dev, &TransposePadded { ts: 32 }, &wd, &args, LaunchMode::Exact)
+            alpaka::time_launch(
+                &dev,
+                &TransposePadded { ts: 32 },
+                &wd,
+                &args,
+                LaunchMode::Exact,
+            )
         } else {
-            alpaka::time_launch(&dev, &TransposeTiled { ts: 32 }, &wd, &args, LaunchMode::Exact)
+            alpaka::time_launch(
+                &dev,
+                &TransposeTiled { ts: 32 },
+                &wd,
+                &args,
+                LaunchMode::Exact,
+            )
         }
         .unwrap();
         let r = timed.report.unwrap();

@@ -61,8 +61,13 @@ fn main() {
         let wd = DgemmTiledCuda { ts }.workdiv(n, n);
         let (native_run, got_n) =
             time_gemm(&gpu, &DgemmTiledCuda { ts }, &wd, &data, LaunchMode::Exact);
-        let (alpaka_run, got_a) =
-            time_gemm(&gpu, &DgemmTiledCudaGeneric { ts }, &wd, &data, LaunchMode::Exact);
+        let (alpaka_run, got_a) = time_gemm(
+            &gpu,
+            &DgemmTiledCudaGeneric { ts },
+            &wd,
+            &data,
+            LaunchMode::Exact,
+        );
         let err = rel_err(&got_a, &got_n);
         t.row(vec![
             "Alpaka(SimK80) CUDA-style tiled".into(),

@@ -15,7 +15,13 @@ use alpaka_kernels::{DgemmNaive, DgemmTiledCuda};
 fn main() {
     let workers = host_workers();
     println!("# Fig. 6 — native-style kernels on swapped back-ends\n");
-    let mut t = Table::new(&["Mapping", "n", "t_native [s]", "t_swapped [s]", "speedup vs native"]);
+    let mut t = Table::new(&[
+        "Mapping",
+        "n",
+        "t_native [s]",
+        "t_swapped [s]",
+        "speedup vs native",
+    ]);
 
     // ---- CUDA-style kernel on the CPU thread-team back-end ----
     let cpu = Device::with_workers(AccKind::CpuBlockThreads, workers);
@@ -44,7 +50,13 @@ fn main() {
         let data = GemmData::new(n);
         // The "native" GPU time: the tiled kernel.
         let wd_tiled = DgemmTiledCuda { ts: 16 }.workdiv(n, n);
-        let (tiled, _) = time_gemm(&gpu, &DgemmTiledCuda { ts: 16 }, &wd_tiled, &data, LaunchMode::Exact);
+        let (tiled, _) = time_gemm(
+            &gpu,
+            &DgemmTiledCuda { ts: 16 },
+            &wd_tiled,
+            &data,
+            LaunchMode::Exact,
+        );
         // The swapped kernel: one thread per row (B = 128 threads).
         let wd_naive = alpaka::WorkDiv::d1(n.div_ceil(128).max(1), 128, 1);
         let (naive, _) = time_gemm(&gpu, &DgemmNaive, &wd_naive, &data, LaunchMode::Exact);

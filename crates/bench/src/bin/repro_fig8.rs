@@ -15,18 +15,35 @@ use alpaka_kernels::{DgemmTiled, DgemmTiledCuda};
 fn main() {
     let workers = host_workers();
     println!("# Fig. 8 — single-source tiling kernel vs native implementations\n");
-    let mut t = Table::new(&["Series", "n", "t_native [s]", "t_tiled [s]", "speedup vs native"]);
+    let mut t = Table::new(&[
+        "Series",
+        "n",
+        "t_native [s]",
+        "t_tiled [s]",
+        "speedup vs native",
+    ]);
 
     // ---- GPU (simulated K80) ----
     let gpu = dev_sim_k80();
     for n in [128usize, 256] {
         let data = GemmData::new(n);
         let wd_native = DgemmTiledCuda { ts: 16 }.workdiv(n, n);
-        let (native, _) =
-            time_gemm(&gpu, &DgemmTiledCuda { ts: 16 }, &wd_native, &data, LaunchMode::Exact);
+        let (native, _) = time_gemm(
+            &gpu,
+            &DgemmTiledCuda { ts: 16 },
+            &wd_native,
+            &data,
+            LaunchMode::Exact,
+        );
         for (label, kern) in [
-            ("Alpaka(SimK80) tiling 1 element", DgemmTiled { t: 16, e: 1 }),
-            ("Alpaka(SimK80) tiling 4 elements", DgemmTiled { t: 16, e: 2 }),
+            (
+                "Alpaka(SimK80) tiling 1 element",
+                DgemmTiled { t: 16, e: 1 },
+            ),
+            (
+                "Alpaka(SimK80) tiling 4 elements",
+                DgemmTiled { t: 16, e: 2 },
+            ),
         ] {
             let wd = kern.workdiv(n, n);
             let (tiled, _) = time_gemm(&gpu, &kern, &wd, &data, LaunchMode::Exact);
@@ -50,8 +67,14 @@ fn main() {
             std::hint::black_box(&c);
         });
         for (label, kern) in [
-            ("Alpaka(CpuBlocks) tiling 256 elements", DgemmTiled { t: 1, e: 16 }),
-            ("Alpaka(CpuBlocks) tiling 4k elements", DgemmTiled { t: 1, e: 64 }),
+            (
+                "Alpaka(CpuBlocks) tiling 256 elements",
+                DgemmTiled { t: 1, e: 16 },
+            ),
+            (
+                "Alpaka(CpuBlocks) tiling 4k elements",
+                DgemmTiled { t: 1, e: 64 },
+            ),
         ] {
             let wd = kern.workdiv(n, n);
             let (t_tiled, _) = bench_gemm(&cpu, &kern, &wd, &data, 3);

@@ -41,7 +41,12 @@ fn main() {
         let g = gflops(flops, run.time_s);
         t.row(vec![
             spec.name.clone(),
-            format!("t={}, e={} ({} elems)", kern.t, kern.e, kern.elems_per_thread()),
+            format!(
+                "t={}, e={} ({} elems)",
+                kern.t,
+                kern.e,
+                kern.elems_per_thread()
+            ),
             format!("{:.5}", run.time_s),
             format!("{g:.1}"),
             format!("{peak:.0}"),

@@ -21,7 +21,14 @@ fn main() {
 
     let (n, b, v) = (1 << 20, 128, 4);
     println!("\n# Concrete instantiation: N = {n}, B = {b}, V = {v}\n");
-    let mut t = Table::new(&["Arch", "Acc", "Blocks", "Threads/block", "Elems/thread", "Covered"]);
+    let mut t = Table::new(&[
+        "Arch",
+        "Acc",
+        "Blocks",
+        "Threads/block",
+        "Elems/thread",
+        "Covered",
+    ]);
     for (row, [blocks, threads, elems]) in table2_concrete(n, b, v) {
         t.row(vec![
             row.arch.into(),

@@ -327,8 +327,13 @@ mod tests {
         let dev = dev_sim_k20();
         let ts = 8;
         let wd = DgemmTiledCuda { ts }.workdiv(n, n);
-        let (_, got_generic) =
-            time_gemm(&dev, &DgemmTiledCudaGeneric { ts }, &wd, &data, LaunchMode::Exact);
+        let (_, got_generic) = time_gemm(
+            &dev,
+            &DgemmTiledCudaGeneric { ts },
+            &wd,
+            &data,
+            LaunchMode::Exact,
+        );
         let (_, got_native) =
             time_gemm(&dev, &DgemmTiledCuda { ts }, &wd, &data, LaunchMode::Exact);
         let mut want = data.c.clone();

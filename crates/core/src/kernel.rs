@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn scalar_args_bind_in_order() {
-        let a = ScalarArgs::new().push_f(1.5).push_i(7).push_f(2.5).push_i(9);
+        let a = ScalarArgs::new()
+            .push_f(1.5)
+            .push_i(7)
+            .push_f(2.5)
+            .push_i(9);
         assert_eq!(a.get_f(0), 1.5);
         assert_eq!(a.get_f(1), 2.5);
         assert_eq!(a.get_i(0), 7);

@@ -27,6 +27,7 @@ pub mod buffer;
 pub mod error;
 pub mod kernel;
 pub mod ops;
+pub mod pool;
 pub mod queue;
 pub mod vec;
 pub mod workdiv;

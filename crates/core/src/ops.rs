@@ -225,23 +225,14 @@ pub trait KernelOps: Sized {
     /// Two-armed conditional.
     fn if_else(&mut self, c: Self::B, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self));
     /// `for i in start..end` with unit step; `body` receives the counter.
-    fn for_range(
-        &mut self,
-        start: Self::I,
-        end: Self::I,
-        body: impl FnMut(&mut Self, Self::I),
-    );
+    fn for_range(&mut self, start: Self::I, end: Self::I, body: impl FnMut(&mut Self, Self::I));
     /// Element-level loop over `0..thread_elem_extent(d)` (Section 3.2.4).
     /// Semantically identical to `for_range`, but annotated so CPU device
     /// models may treat it as a vectorizable primitive inner loop.
     fn for_elements(&mut self, d: usize, body: impl FnMut(&mut Self, Self::I));
     /// `while cond() { body() }`; `cond` is re-evaluated before every
     /// iteration.
-    fn while_(
-        &mut self,
-        cond: impl FnMut(&mut Self) -> Self::B,
-        body: impl FnMut(&mut Self),
-    );
+    fn while_(&mut self, cond: impl FnMut(&mut Self) -> Self::B, body: impl FnMut(&mut Self));
 
     /// Fold an `f64` accumulator over `start..end`: the body receives the
     /// counter and the current accumulator and returns the next one.

@@ -55,15 +55,13 @@ impl<const D: usize> Vecn<D> {
     /// Checked product, guarding against overflow when building huge
     /// iteration spaces.
     pub fn checked_product(&self) -> Option<usize> {
-        self.0
-            .iter()
-            .try_fold(1usize, |acc, &v| acc.checked_mul(v))
+        self.0.iter().try_fold(1usize, |acc, &v| acc.checked_mul(v))
     }
 
     /// True if any component is zero (an empty index space).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0.iter().any(|&v| v == 0)
+        self.0.contains(&0)
     }
 
     /// Component-wise minimum.
@@ -130,10 +128,8 @@ impl<const D: usize> Vecn<D> {
     /// used internally by the back-ends. Missing slow dimensions become 1.
     pub fn to3(&self) -> [usize; 3] {
         let mut out = [1usize; 3];
-        let off = 3 - D.min(3);
-        for d in 0..D.min(3) {
-            out[off + d] = self.0[d];
-        }
+        let k = D.min(3);
+        out[3 - k..].copy_from_slice(&self.0[..k]);
         out
     }
 }
@@ -239,7 +235,7 @@ pub const fn div_ceil(a: usize, b: usize) -> usize {
     if b == 0 {
         0
     } else {
-        (a + b - 1) / b
+        a.div_ceil(b)
     }
 }
 

@@ -95,7 +95,7 @@ impl WorkDiv {
             ("threads", self.threads),
             ("elements", self.elems),
         ] {
-            if arr.iter().any(|&v| v == 0) {
+            if arr.contains(&0) {
                 return Err(Error::InvalidWorkDiv(format!("zero extent in {lvl}")));
             }
         }

@@ -158,7 +158,12 @@ impl CpuDevice {
 
 impl core::fmt::Debug for CpuDevice {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "CpuDevice({}, workers={})", self.kind.name(), self.workers)
+        write!(
+            f,
+            "CpuDevice({}, workers={})",
+            self.kind.name(),
+            self.workers
+        )
     }
 }
 
@@ -203,7 +208,15 @@ fn run_serial<K: Kernel + ?Sized>(
             if b > 0 {
                 shared.reset();
             }
-            run_thread(kernel, geo, block_coords(geo, b), [0, 0, 0], args, &shared, &NoopSync);
+            run_thread(
+                kernel,
+                geo,
+                block_coords(geo, b),
+                [0, 0, 0],
+                args,
+                &shared,
+                &NoopSync,
+            );
         }
     })
 }
@@ -216,7 +229,15 @@ fn run_blocks<K: Kernel + ?Sized>(
 ) -> std::result::Result<(), String> {
     pool.run_indexed(block_count(geo), |b| {
         let shared = SharedBlock::new();
-        run_thread(kernel, geo, block_coords(geo, b), [0, 0, 0], args, &shared, &NoopSync);
+        run_thread(
+            kernel,
+            geo,
+            block_coords(geo, b),
+            [0, 0, 0],
+            args,
+            &shared,
+            &NoopSync,
+        );
     })
 }
 
@@ -238,7 +259,15 @@ fn run_threads<K: Kernel + ?Sized>(
                 let sync = &sync;
                 handles.push(scope.spawn(move || {
                     catching(|| {
-                        run_thread(kernel, geo, bidx, thread_coords(geo, tid), args, shared, sync)
+                        run_thread(
+                            kernel,
+                            geo,
+                            bidx,
+                            thread_coords(geo, tid),
+                            args,
+                            shared,
+                            sync,
+                        )
                     })
                 }));
             }
@@ -282,7 +311,15 @@ fn run_block_threads<K: Kernel + ?Sized>(
                 catching(|| {
                     let tcoord = thread_coords(geo, tid);
                     for b in 0..blocks {
-                        run_thread(kernel, geo, block_coords(geo, b), tcoord, args, shared, sync);
+                        run_thread(
+                            kernel,
+                            geo,
+                            block_coords(geo, b),
+                            tcoord,
+                            args,
+                            shared,
+                            sync,
+                        );
                         let r = team_barrier.wait();
                         if r.is_leader() {
                             shared.reset();
@@ -325,7 +362,15 @@ fn run_fibers<K: Kernel + ?Sized>(
                 handles.push(scope.spawn(move || {
                     sync.enter(tid);
                     let r = catching(|| {
-                        run_thread(kernel, geo, bidx, thread_coords(geo, tid), args, shared, sync)
+                        run_thread(
+                            kernel,
+                            geo,
+                            bidx,
+                            thread_coords(geo, tid),
+                            args,
+                            shared,
+                            sync,
+                        )
                     });
                     sync.exit(tid);
                     r
@@ -396,12 +441,20 @@ mod tests {
 
     #[test]
     fn daxpy_on_serial() {
-        daxpy_on(CpuAccKind::Serial, predefined(PredefAcc::CpuSerial, 1000, 1, 8), 1000);
+        daxpy_on(
+            CpuAccKind::Serial,
+            predefined(PredefAcc::CpuSerial, 1000, 1, 8),
+            1000,
+        );
     }
 
     #[test]
     fn daxpy_on_blocks_pool() {
-        daxpy_on(CpuAccKind::Blocks, predefined(PredefAcc::CpuOmpBlock, 1000, 1, 16), 1000);
+        daxpy_on(
+            CpuAccKind::Blocks,
+            predefined(PredefAcc::CpuOmpBlock, 1000, 1, 16),
+            1000,
+        );
     }
 
     #[test]
@@ -497,10 +550,7 @@ mod tests {
         let dev = CpuDevice::with_workers(kind, 4);
         let input = HostBuf::from_vec((0..n).map(|i| i as f64).collect());
         let out = HostBuf::<f64>::alloc(BufLayout::d1(blocks));
-        let args = CpuArgs::new()
-            .buf_f(&input)
-            .buf_f(&out)
-            .scalar_i(n as i64);
+        let args = CpuArgs::new().buf_f(&input).buf_f(&out).scalar_i(n as i64);
         dev.launch(&BlockReduce, &WorkDiv::d1(blocks, 64, 1), &args)
             .unwrap();
         let total: f64 = out.as_slice().iter().sum();
@@ -541,15 +591,21 @@ mod tests {
 
     #[test]
     fn caps_match_strategy() {
-        assert!(CpuDevice::new(CpuAccKind::Serial)
-            .caps()
-            .requires_single_thread_blocks);
-        assert!(CpuDevice::new(CpuAccKind::Blocks)
-            .caps()
-            .requires_single_thread_blocks);
-        assert!(!CpuDevice::new(CpuAccKind::Threads)
-            .caps()
-            .requires_single_thread_blocks);
+        assert!(
+            CpuDevice::new(CpuAccKind::Serial)
+                .caps()
+                .requires_single_thread_blocks
+        );
+        assert!(
+            CpuDevice::new(CpuAccKind::Blocks)
+                .caps()
+                .requires_single_thread_blocks
+        );
+        assert!(
+            !CpuDevice::new(CpuAccKind::Threads)
+                .caps()
+                .requires_single_thread_blocks
+        );
         assert_eq!(
             CpuDevice::with_workers(CpuAccKind::Blocks, 7)
                 .caps()

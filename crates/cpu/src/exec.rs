@@ -867,7 +867,15 @@ mod tests {
         let geo = LaunchGeometry::from_workdiv(&wd);
         let shared = SharedBlock::new();
         for b in 0..4 {
-            run_thread(&Square, &geo, [0, 0, b], [0, 0, 0], &resolved, &shared, &NoopSync);
+            run_thread(
+                &Square,
+                &geo,
+                [0, 0, b],
+                [0, 0, 0],
+                &resolved,
+                &shared,
+                &NoopSync,
+            );
         }
         assert_eq!(buf.as_slice(), &[1.0, 4.0, 9.0, 16.0]);
     }

@@ -1,231 +1,7 @@
 //! Worker-pool substrate for the block-parallel CPU accelerators.
 //!
-//! A fixed team of workers pulls block indices from a shared atomic counter
-//! (dynamic scheduling, like OpenMP's `schedule(dynamic)`), so uneven block
-//! costs balance automatically. Panics inside tasks are caught and
-//! re-surfaced to the caller as kernel faults.
+//! The implementation moved to [`alpaka_core::pool`] so the SIMT simulator
+//! (`alpaka-sim`) can share it for deterministic parallel block execution;
+//! this module re-exports it under the historical path.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread;
-
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A fixed-size worker pool. One instance lives per block-parallel device;
-/// launches borrow it for the duration of a grid.
-pub struct Pool {
-    tx: Sender<Job>,
-    workers: usize,
-    handles: Vec<thread::JoinHandle<()>>,
-}
-
-impl Pool {
-    /// Create a pool with `workers` threads (min 1).
-    pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (tx, rx) = unbounded::<Job>();
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let rx = rx.clone();
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("alpaka-pool-{w}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("failed to spawn pool worker"),
-            );
-        }
-        Pool {
-            tx,
-            workers,
-            handles,
-        }
-    }
-
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Run `f(i)` for every `i in 0..count`, distributing dynamically over
-    /// the workers, and block until all calls completed. The first panic (if
-    /// any) is returned as its message.
-    pub fn run_indexed<F>(&self, count: usize, f: F) -> Result<(), String>
-    where
-        F: Fn(usize) + Send + Sync,
-    {
-        if count == 0 {
-            return Ok(());
-        }
-        struct Shared<F> {
-            next: AtomicUsize,
-            count: usize,
-            f: F,
-            remaining: Mutex<usize>,
-            done: Condvar,
-            panic: Mutex<Option<String>>,
-        }
-        let team = self.workers.min(count);
-        let shared = Arc::new(Shared {
-            next: AtomicUsize::new(0),
-            count,
-            f,
-            remaining: Mutex::new(team),
-            done: Condvar::new(),
-            panic: Mutex::new(None),
-        });
-
-        // SAFETY-free trick: we extend the closure's lifetime to 'static by
-        // Arc-ing the shared state; the function blocks until all workers
-        // dropped their reference to the work, so `f` never outlives this
-        // call frame observably. To keep everything in safe Rust, `f` is
-        // required to be `Send + Sync` and is moved into the Arc above.
-        let worker_loop = |shared: Arc<Shared<F>>| {
-            let result = catch_unwind(AssertUnwindSafe(|| loop {
-                let i = shared.next.fetch_add(1, Ordering::Relaxed);
-                if i >= shared.count {
-                    break;
-                }
-                (shared.f)(i);
-            }));
-            if let Err(p) = result {
-                let msg = panic_message(p);
-                let mut slot = shared.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(msg);
-                }
-            }
-            let mut rem = shared.remaining.lock();
-            *rem -= 1;
-            if *rem == 0 {
-                shared.done.notify_all();
-            }
-        };
-
-        // The closure `f` borrows the caller's stack, so we cannot hand it
-        // to the long-lived pool workers directly (they require 'static).
-        // Instead we run a scoped team here; the pool's channel threads are
-        // used for fully-owned jobs (see `spawn`), while grid execution uses
-        // this scoped path. This mirrors rayon's scope vs. spawn split.
-        thread::scope(|scope| {
-            for _ in 0..team.saturating_sub(1) {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || worker_loop(shared));
-            }
-            // The caller participates too, so a 1-worker pool needs no
-            // extra thread and small grids avoid spawn latency.
-            worker_loop(Arc::clone(&shared));
-            let mut rem = shared.remaining.lock();
-            while *rem != 0 {
-                shared.done.wait(&mut rem);
-            }
-        });
-
-        let panic = shared.panic.lock().take();
-        match panic {
-            Some(msg) => Err(msg),
-            None => Ok(()),
-        }
-    }
-
-    /// Fire-and-forget job on the long-lived workers (used by async queues).
-    pub fn spawn(&self, job: Job) {
-        self.tx
-            .send(job)
-            .expect("pool workers terminated unexpectedly");
-    }
-}
-
-impl Drop for Pool {
-    fn drop(&mut self) {
-        // Close the channel so workers exit, then reap them.
-        let (tx, _rx) = unbounded();
-        drop(std::mem::replace(&mut self.tx, tx));
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = p.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "kernel panicked".to_string()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    #[test]
-    fn all_indices_run_exactly_once() {
-        let pool = Pool::new(4);
-        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
-        pool.run_indexed(1000, |i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        })
-        .unwrap();
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
-    }
-
-    #[test]
-    fn empty_grid_is_ok() {
-        let pool = Pool::new(4);
-        pool.run_indexed(0, |_| panic!("must not run")).unwrap();
-    }
-
-    #[test]
-    fn single_worker_pool_uses_caller_thread() {
-        let pool = Pool::new(1);
-        let caller = thread::current().id();
-        let same = AtomicU64::new(0);
-        pool.run_indexed(16, |_| {
-            if thread::current().id() == caller {
-                same.fetch_add(1, Ordering::Relaxed);
-            }
-        })
-        .unwrap();
-        assert_eq!(same.load(Ordering::Relaxed), 16);
-    }
-
-    #[test]
-    fn panic_is_reported_not_propagated() {
-        let pool = Pool::new(4);
-        let err = pool
-            .run_indexed(100, |i| {
-                if i == 37 {
-                    panic!("boom at {i}");
-                }
-            })
-            .unwrap_err();
-        assert!(err.contains("boom at 37"));
-    }
-
-    #[test]
-    fn spawn_runs_owned_jobs() {
-        let pool = Pool::new(2);
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        pool.spawn(Box::new(move || {
-            tx.send(42u32).unwrap();
-        }));
-        assert_eq!(rx.recv().unwrap(), 42);
-    }
-
-    #[test]
-    fn workers_clamped_to_one() {
-        let pool = Pool::new(0);
-        assert_eq!(pool.workers(), 1);
-        pool.run_indexed(3, |_| {}).unwrap();
-    }
-}
+pub use alpaka_core::pool::{panic_message, run_team, Pool};

@@ -209,7 +209,8 @@ mod tests {
         let q = CpuQueue::new(dev, QueueBehavior::Blocking);
         let buf = HostBuf::from_vec(vec![0.0; 8]);
         let args = CpuArgs::new().buf_f(&buf).scalar_i(8);
-        q.enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args).unwrap();
+        q.enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args)
+            .unwrap();
         assert_eq!(buf.as_slice(), &[1.0; 8]);
         q.wait().unwrap();
     }
@@ -237,7 +238,8 @@ mod tests {
         let dst = HostBuf::<f64>::alloc(BufLayout::d1(16));
         q.enqueue_copy(&dst, &src).unwrap();
         let args = CpuArgs::new().buf_f(&dst).scalar_i(16);
-        q.enqueue_kernel(AddOne, WorkDiv::d1(16, 1, 1), args).unwrap();
+        q.enqueue_kernel(AddOne, WorkDiv::d1(16, 1, 1), args)
+            .unwrap();
         q.wait().unwrap();
         assert_eq!(dst.as_slice(), &[6.0; 16]);
     }
@@ -249,7 +251,8 @@ mod tests {
         let buf = HostBuf::from_vec(vec![0.0; 4]);
         let ev = HostEvent::new();
         let args = CpuArgs::new().buf_f(&buf).scalar_i(4);
-        q.enqueue_kernel(AddOne, WorkDiv::d1(4, 1, 1), args).unwrap();
+        q.enqueue_kernel(AddOne, WorkDiv::d1(4, 1, 1), args)
+            .unwrap();
         q.enqueue_event(&ev).unwrap();
         ev.wait();
         assert_eq!(buf.as_slice(), &[1.0; 4]);

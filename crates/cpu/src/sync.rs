@@ -212,7 +212,11 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(phase_of_pos, sorted, "barrier phases interleaved: {log:?}");
         // Deterministic round-robin within each phase.
-        let ids_phase0: Vec<usize> = log.iter().filter(|(p, _)| *p == 0).map(|(_, i)| *i).collect();
+        let ids_phase0: Vec<usize> = log
+            .iter()
+            .filter(|(p, _)| *p == 0)
+            .map(|(_, i)| *i)
+            .collect();
         assert_eq!(ids_phase0, vec![0, 1, 2, 3]);
     }
 

@@ -102,7 +102,10 @@ fn pool_handles_many_tiny_grids() {
             hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         })
         .unwrap();
-        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), round % 7 + 1);
+        assert_eq!(
+            hits.load(std::sync::atomic::Ordering::Relaxed),
+            round % 7 + 1
+        );
     }
 }
 

@@ -20,6 +20,7 @@ use alpaka_core::ops::{KernelOps, KernelOpsExt};
 use crate::AseProblem;
 
 /// One ray's collected flux. Identical op order to `AseKernel`'s ray loop.
+#[allow(clippy::too_many_arguments)] // one DSL value per physical quantity
 fn march_ray<O: KernelOps>(
     o: &mut O,
     gain: O::BufF,
@@ -107,12 +108,7 @@ fn march_ray<O: KernelOps>(
 }
 
 /// Shared point-coordinate computation.
-fn point_coords<O: KernelOps>(
-    o: &mut O,
-    p: O::I,
-    points: O::I,
-    size: O::F,
-) -> (O::F, O::F) {
+fn point_coords<O: KernelOps>(o: &mut O, p: O::I, points: O::I, size: O::F) -> (O::F, O::F) {
     let py = o.div_i(p, points);
     let px = o.rem_i(p, points);
     let pf = o.i2f(points);
@@ -329,7 +325,8 @@ impl AseProblem {
             extra_buf.upload(&extra)?;
             let refine_sum = dev.alloc_f64(BufLayout::d1(n));
             // Distinct deterministic seed for the refinement streams.
-            let refine_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as i64) ^ 0x5DEE_CE66;
+            let refine_seed =
+                self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as i64) ^ 0x5DEE_CE66;
             let rargs = Args::new()
                 .buf_f(&gain)
                 .buf_f(&refine_sum)

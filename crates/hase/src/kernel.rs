@@ -173,6 +173,7 @@ impl Kernel for AseKernel {
 /// Bit-exact host reference: mirrors the kernel's operation order exactly
 /// (same `mul_add` use, same RNG), so back-end results must be *equal*,
 /// not just close.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's parameter list
 pub fn ase_reference(
     gain: &[f64],
     grid: usize,
@@ -203,7 +204,7 @@ pub fn ase_reference(
 
     let npts = points * points;
     let mut out = vec![0.0; npts];
-    for p in 0..npts {
+    for (p, slot) in out.iter_mut().enumerate() {
         let py = p / points;
         let px = p % points;
         let cell = size / points as f64;
@@ -236,7 +237,7 @@ pub fn ase_reference(
             }
             total += ray_flux;
         }
-        out[p] = total / rays as f64;
+        *slot = total / rays as f64;
     }
     out
 }

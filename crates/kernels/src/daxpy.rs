@@ -117,7 +117,11 @@ mod tests {
         x.upload(&random_vec(n, 7)).unwrap();
         y.upload(&random_vec(n, 8)).unwrap();
         let wd = dev.suggest_workdiv_1d(n);
-        let args = Args::new().buf_f(&x).buf_f(&y).scalar_f(3.25).scalar_i(n as i64);
+        let args = Args::new()
+            .buf_f(&x)
+            .buf_f(&y)
+            .scalar_f(3.25)
+            .scalar_i(n as i64);
         dev.launch(&DaxpyKernel, &wd, &args).unwrap();
         y.download()
     }
@@ -146,7 +150,11 @@ mod tests {
             let y = dev.alloc_f64(BufLayout::d1(n));
             x.upload(&random_vec(n, 1)).unwrap();
             y.upload(&random_vec(n, 2)).unwrap();
-            let args = Args::new().buf_f(&x).buf_f(&y).scalar_f(1.5).scalar_i(n as i64);
+            let args = Args::new()
+                .buf_f(&x)
+                .buf_f(&y)
+                .scalar_f(1.5)
+                .scalar_i(n as i64);
             if kernel_is_native {
                 dev.launch(&DaxpyNativeStyle, &wd, &args).unwrap();
             } else {

@@ -473,7 +473,16 @@ mod tests {
         let (m, n, k) = (33, 29, 17); // deliberately awkward sizes
         let want = reference(m, n, k, 1.5, 0.5);
         for kind in [AccKind::CpuSerial, AccKind::CpuBlocks] {
-            let got = run_gemm(kind.clone(), &DgemmNaive, &DgemmNaive::workdiv(m, 4), m, n, k, 1.5, 0.5);
+            let got = run_gemm(
+                kind.clone(),
+                &DgemmNaive,
+                &DgemmNaive::workdiv(m, 4),
+                m,
+                n,
+                k,
+                1.5,
+                0.5,
+            );
             assert!(rel_err(&got, &want) < 1e-13, "{kind:?}");
         }
     }

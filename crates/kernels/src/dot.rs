@@ -156,7 +156,11 @@ mod tests {
         let rb = dev.alloc_f64(BufLayout::d1(1));
         xb.upload(&x).unwrap();
         yb.upload(&y).unwrap();
-        let args = Args::new().buf_f(&xb).buf_f(&yb).buf_f(&rb).scalar_i(n as i64);
+        let args = Args::new()
+            .buf_f(&xb)
+            .buf_f(&yb)
+            .buf_f(&rb)
+            .scalar_i(n as i64);
         dev.launch(&DotKernel { block: 32 }, &WorkDiv::d1(2, 32, 2), &args)
             .unwrap();
         assert_eq!(rb.download()[0], 0.0);

@@ -13,13 +13,7 @@
 use alpaka_core::kernel::Kernel;
 use alpaka_core::ops::{KernelOps, KernelOpsExt};
 
-fn bin_index<O: KernelOps>(
-    o: &mut O,
-    x: O::F,
-    lo: O::F,
-    hi: O::F,
-    n_bins: O::I,
-) -> O::I {
+fn bin_index<O: KernelOps>(o: &mut O, x: O::F, lo: O::F, hi: O::F, n_bins: O::I) -> O::I {
     // bin = clamp(floor((x - lo) / (hi - lo) * n_bins), 0, n_bins-1)
     let span = o.sub_f(hi, lo);
     let rel = o.sub_f(x, lo);
@@ -178,8 +172,8 @@ impl Kernel for HistogramShared {
 pub fn histogram_ref(samples: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<i64> {
     let mut bins = vec![0i64; n_bins];
     for &x in samples {
-        let b = (((x - lo) / (hi - lo) * n_bins as f64).floor() as i64)
-            .clamp(0, n_bins as i64 - 1) as usize;
+        let b = (((x - lo) / (hi - lo) * n_bins as f64).floor() as i64).clamp(0, n_bins as i64 - 1)
+            as usize;
         bins[b] += 1;
     }
     bins
@@ -284,7 +278,13 @@ mod tests {
                 .scalar_i(n as i64)
                 .scalar_i(n_bins as i64);
             let timed = if shared {
-                time_launch(&dev, &HistogramShared { bins: n_bins }, &wd, &args, LaunchMode::Exact)
+                time_launch(
+                    &dev,
+                    &HistogramShared { bins: n_bins },
+                    &wd,
+                    &args,
+                    LaunchMode::Exact,
+                )
             } else {
                 time_launch(&dev, &HistogramGlobalAtomics, &wd, &args, LaunchMode::Exact)
             }

@@ -54,8 +54,7 @@ pub fn native_dgemm(
                 }
                 // SAFETY: each row index i is claimed exactly once, so the
                 // row slices are disjoint across workers.
-                let row =
-                    unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
+                let row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
                 for (j, cij) in row.iter_mut().enumerate() {
                     let mut acc = 0.0;
                     for p in 0..k {
@@ -108,9 +107,8 @@ pub fn native_dgemm_blocked(
                 let i0 = it * bs;
                 let i1 = (i0 + bs).min(m);
                 // SAFETY: row tiles are disjoint across workers.
-                let crows = unsafe {
-                    std::slice::from_raw_parts_mut(c_ptr.0.add(i0 * n), (i1 - i0) * n)
-                };
+                let crows =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i0 * n), (i1 - i0) * n) };
                 for p0 in (0..k).step_by(bs) {
                     let p1 = (p0 + bs).min(k);
                     for j0 in (0..n).step_by(bs) {

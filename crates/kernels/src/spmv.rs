@@ -68,13 +68,13 @@ impl CsrMatrix {
     /// Host reference `y = A * x`.
     pub fn spmv_ref(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n_rows];
-        for r in 0..self.n_rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             let mut acc = 0.0;
             for k in s..e {
                 acc = self.values[k].mul_add(x[self.col_idx[k] as usize], acc);
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }

@@ -107,7 +107,11 @@ mod tests {
         a.upload(&random_matrix(rows, cols, 21)).unwrap();
         let pitch = a.layout().pitch as i64;
         let caps = dev.caps();
-        let bt = if caps.requires_single_thread_blocks { 1 } else { 4 };
+        let bt = if caps.requires_single_thread_blocks {
+            1
+        } else {
+            4
+        };
         let wd = JacobiStep::workdiv(rows, cols, bt, 4);
         for s in 0..steps {
             let (src, dst) = if s % 2 == 0 { (&a, &b) } else { (&b, &a) };

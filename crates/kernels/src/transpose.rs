@@ -265,9 +265,21 @@ mod tests {
                 .scalar_i(input.layout().pitch as i64)
                 .scalar_i(out.layout().pitch as i64);
             let timed = if padded {
-                time_launch(&dev, &TransposePadded { ts: 32 }, &wd, &args, LaunchMode::Exact)
+                time_launch(
+                    &dev,
+                    &TransposePadded { ts: 32 },
+                    &wd,
+                    &args,
+                    LaunchMode::Exact,
+                )
             } else {
-                time_launch(&dev, &TransposeTiled { ts: 32 }, &wd, &args, LaunchMode::Exact)
+                time_launch(
+                    &dev,
+                    &TransposeTiled { ts: 32 },
+                    &wd,
+                    &args,
+                    LaunchMode::Exact,
+                )
             }
             .unwrap();
             timed.report.unwrap().stats.bank_conflict_cycles

@@ -27,11 +27,7 @@ pub fn trace_kernel<K: Kernel + ?Sized>(kernel: &K, dims: usize) -> Program {
 }
 
 /// Trace with specialization constants (see [`SpecConsts`]).
-pub fn trace_kernel_spec<K: Kernel + ?Sized>(
-    kernel: &K,
-    dims: usize,
-    spec: SpecConsts,
-) -> Program {
+pub fn trace_kernel_spec<K: Kernel + ?Sized>(kernel: &K, dims: usize, spec: SpecConsts) -> Program {
     assert!((1..=3).contains(&dims), "dims must be 1..=3");
     let mut b = IrBuilder::new(kernel.name().to_string(), dims);
     b.spec = spec;
@@ -571,7 +567,11 @@ impl KernelOps for IrBuilder {
         });
     }
 
-    fn while_(&mut self, mut cond: impl FnMut(&mut Self) -> ValId, mut body: impl FnMut(&mut Self)) {
+    fn while_(
+        &mut self,
+        mut cond: impl FnMut(&mut Self) -> ValId,
+        mut body: impl FnMut(&mut Self),
+    ) {
         self.push_block();
         let c = cond(self);
         let cond_block = self.pop_block();

@@ -166,8 +166,16 @@ impl Interp<'_, '_> {
             Op::CmpI(c, a, b) => Sc::B(sem::cmp_i(*c, self.gi(*a), self.gi(*b))),
             Op::BinB(op, a, b) => Sc::B(sem::bbin(*op, self.gb(*a), self.gb(*b))),
             Op::NotB(a) => Sc::B(!self.gb(*a)),
-            Op::SelF(c, t, e) => Sc::F(if self.gb(*c) { self.gf(*t) } else { self.gf(*e) }),
-            Op::SelI(c, t, e) => Sc::I(if self.gb(*c) { self.gi(*t) } else { self.gi(*e) }),
+            Op::SelF(c, t, e) => Sc::F(if self.gb(*c) {
+                self.gf(*t)
+            } else {
+                self.gf(*e)
+            }),
+            Op::SelI(c, t, e) => Sc::I(if self.gb(*c) {
+                self.gi(*t)
+            } else {
+                self.gi(*e)
+            }),
             Op::I2F(a) => Sc::F(sem::i2f(self.gi(*a))),
             Op::F2I(a) => Sc::I(sem::f2i(self.gf(*a))),
             Op::U2UnitF(a) => Sc::F(sem::u2unit(self.gi(*a))),
@@ -354,12 +362,24 @@ pub fn eval_thread_fuel(
         sh_f: p
             .shared
             .iter()
-            .map(|s| if s.ty == Ty::F64 { vec![0.0; s.len] } else { vec![] })
+            .map(|s| {
+                if s.ty == Ty::F64 {
+                    vec![0.0; s.len]
+                } else {
+                    vec![]
+                }
+            })
             .collect(),
         sh_i: p
             .shared
             .iter()
-            .map(|s| if s.ty == Ty::I64 { vec![0; s.len] } else { vec![] })
+            .map(|s| {
+                if s.ty == Ty::I64 {
+                    vec![0; s.len]
+                } else {
+                    vec![]
+                }
+            })
             .collect(),
         loc_f: p.locals.iter().map(|l| vec![0.0; l.len]).collect(),
         fuel,

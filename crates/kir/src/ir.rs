@@ -181,17 +181,42 @@ pub enum Op {
     /// Top 53 bits of the u64 word mapped to `[0, 1)`.
     U2UnitF(ValId),
     /// Load from global f64 buffer `slot` at element index `idx`.
-    LdGF { buf: u32, idx: ValId },
-    LdGI { buf: u32, idx: ValId },
-    LdSF { sh: u32, idx: ValId },
-    LdSI { sh: u32, idx: ValId },
+    LdGF {
+        buf: u32,
+        idx: ValId,
+    },
+    LdGI {
+        buf: u32,
+        idx: ValId,
+    },
+    LdSF {
+        sh: u32,
+        idx: ValId,
+    },
+    LdSI {
+        sh: u32,
+        idx: ValId,
+    },
     LdVarF(VarId),
     LdVarI(VarId),
     /// Load from a thread-private scratch array.
-    LdLF { loc: u32, idx: ValId },
+    LdLF {
+        loc: u32,
+        idx: ValId,
+    },
     /// Atomic RMW on a global f64 buffer; produces the old value.
-    AtomicGF { op: AtomicOp, buf: u32, idx: ValId, val: ValId },
-    AtomicGI { op: AtomicOp, buf: u32, idx: ValId, val: ValId },
+    AtomicGF {
+        op: AtomicOp,
+        buf: u32,
+        idx: ValId,
+        val: ValId,
+    },
+    AtomicGI {
+        op: AtomicOp,
+        buf: u32,
+        idx: ValId,
+        val: ValId,
+    },
 }
 
 impl Op {
@@ -326,16 +351,42 @@ pub enum Stmt {
     /// Value-producing instruction.
     I(Instr),
     /// Store to a global buffer: `buf[idx] = val`.
-    StGF { buf: u32, idx: ValId, val: ValId },
-    StGI { buf: u32, idx: ValId, val: ValId },
+    StGF {
+        buf: u32,
+        idx: ValId,
+        val: ValId,
+    },
+    StGI {
+        buf: u32,
+        idx: ValId,
+        val: ValId,
+    },
     /// Store to a thread-private scratch array.
-    StLF { loc: u32, idx: ValId, val: ValId },
+    StLF {
+        loc: u32,
+        idx: ValId,
+        val: ValId,
+    },
     /// Store to a block-shared array.
-    StSF { sh: u32, idx: ValId, val: ValId },
-    StSI { sh: u32, idx: ValId, val: ValId },
+    StSF {
+        sh: u32,
+        idx: ValId,
+        val: ValId,
+    },
+    StSI {
+        sh: u32,
+        idx: ValId,
+        val: ValId,
+    },
     /// Assign a mutable register.
-    StVarF { var: VarId, val: ValId },
-    StVarI { var: VarId, val: ValId },
+    StVarF {
+        var: VarId,
+        val: ValId,
+    },
+    StVarI {
+        var: VarId,
+        val: ValId,
+    },
     /// Block-wide thread barrier.
     Sync,
     /// Two-armed structured conditional.
@@ -476,10 +527,7 @@ mod tests {
         assert_eq!(Op::ConstF(1.0).result_ty(), Ty::F64);
         assert_eq!(Op::ConstI(1).result_ty(), Ty::I64);
         assert_eq!(Op::CmpI(Cmp::Lt, ValId(0), ValId(1)).result_ty(), Ty::Bool);
-        assert_eq!(
-            Op::Special(SpecialReg::ThreadIdx(2)).result_ty(),
-            Ty::I64
-        );
+        assert_eq!(Op::Special(SpecialReg::ThreadIdx(2)).result_ty(), Ty::I64);
     }
 
     #[test]

@@ -616,8 +616,7 @@ pub fn cse(p: &mut Program) -> usize {
                     Stmt::I(instr) => {
                         instr.op.map_operands(|v| self.resolve(v));
                         if let Some(key) = cse_key(&instr.op) {
-                            if let Some((_, existing)) =
-                                scope.iter().rev().find(|(k, _)| *k == key)
+                            if let Some((_, existing)) = scope.iter().rev().find(|(k, _)| *k == key)
                             {
                                 self.alias.insert(instr.dst.0, existing.0);
                                 self.removed += 1;
@@ -789,9 +788,7 @@ fn prune_block(
             Stmt::I(i) => i.op.has_side_effect() || live.contains(&i.dst.0),
             Stmt::StVarF { var, .. } | Stmt::StVarI { var, .. } => read_vars.contains(&var.0),
             Stmt::StLF { loc, .. } => read_locals.contains(loc),
-            Stmt::If {
-                then_b, else_b, ..
-            } => {
+            Stmt::If { then_b, else_b, .. } => {
                 removed += prune_block(then_b, live, read_vars, read_locals);
                 removed += prune_block(else_b, live, read_vars, read_locals);
                 !(then_b.is_empty() && else_b.is_empty())
@@ -832,7 +829,13 @@ pub fn renumber(p: &mut Program) {
     let mut next: u32 = 0;
     let mut var_order: Vec<u32> = Vec::new();
     let mut var_seen: HashSet<u32> = HashSet::new();
-    renumber_block(&mut p.body, &mut vmap, &mut next, &mut var_order, &mut var_seen);
+    renumber_block(
+        &mut p.body,
+        &mut vmap,
+        &mut next,
+        &mut var_order,
+        &mut var_seen,
+    );
     p.n_vals = next;
 
     // Compact and reorder vars by first use.
@@ -942,9 +945,7 @@ fn remap_vars_block(b: &mut Block, var_map: &HashMap<u32, u32>) {
                 _ => {}
             },
             Stmt::StVarF { var, .. } | Stmt::StVarI { var, .. } => *var = VarId(var_map[&var.0]),
-            Stmt::If {
-                then_b, else_b, ..
-            } => {
+            Stmt::If { then_b, else_b, .. } => {
                 remap_vars_block(then_b, var_map);
                 remap_vars_block(else_b, var_map);
             }

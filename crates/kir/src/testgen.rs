@@ -90,7 +90,14 @@ impl Gen {
                 self.emit(b, scope, Op::BinF(op, f, f2));
             }
             1 => {
-                let ops = [IBin::Add, IBin::Sub, IBin::Mul, IBin::And, IBin::Xor, IBin::Min];
+                let ops = [
+                    IBin::Add,
+                    IBin::Sub,
+                    IBin::Mul,
+                    IBin::And,
+                    IBin::Xor,
+                    IBin::Min,
+                ];
                 let op = Self::pick(&ops, c / 13);
                 self.emit(b, scope, Op::BinI(op, i, i2));
             }
@@ -164,7 +171,7 @@ impl Gen {
                     start,
                     end,
                     body,
-                    vectorize: c % 2 == 0,
+                    vectorize: c.is_multiple_of(2),
                 });
             }
             11 if depth < 2 => {
@@ -241,7 +248,11 @@ pub fn gen_program(seed: &[u64], len: usize) -> Program {
         vars: vec![],
         budget: 400,
     };
-    let seed: Vec<u64> = if seed.is_empty() { vec![1] } else { seed.to_vec() };
+    let seed: Vec<u64> = if seed.is_empty() {
+        vec![1]
+    } else {
+        seed.to_vec()
+    };
     let mut it = seed
         .into_iter()
         .cycle()

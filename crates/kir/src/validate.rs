@@ -59,9 +59,10 @@ impl<'p> Checker<'p> {
     fn check_var(&self, var: VarId, want: Ty, ctx: &str) -> Result<(), ValidateError> {
         match self.p.vars.get(var.0 as usize) {
             None => self.err(format!("{var:?} out of range in {ctx}")),
-            Some(info) if info.ty != want => {
-                self.err(format!("{var:?} is {:?}, expected {want:?} in {ctx}", info.ty))
-            }
+            Some(info) if info.ty != want => self.err(format!(
+                "{var:?} is {:?}, expected {want:?} in {ctx}",
+                info.ty
+            )),
             _ => Ok(()),
         }
     }
@@ -69,9 +70,10 @@ impl<'p> Checker<'p> {
     fn check_shared(&self, sh: u32, want: Ty, ctx: &str) -> Result<(), ValidateError> {
         match self.p.shared.get(sh as usize) {
             None => self.err(format!("@sh{sh} out of range in {ctx}")),
-            Some(info) if info.ty != want => {
-                self.err(format!("@sh{sh} is {:?}, expected {want:?} in {ctx}", info.ty))
-            }
+            Some(info) if info.ty != want => self.err(format!(
+                "@sh{sh} is {:?}, expected {want:?} in {ctx}",
+                info.ty
+            )),
             _ => Ok(()),
         }
     }

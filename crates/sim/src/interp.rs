@@ -20,14 +20,23 @@
 //! `alpaka_kir::eval` (shared scalar semantics), which cross-backend tests
 //! rely on.
 
+// The interpreter's hot loops iterate lane indices under an active mask and
+// index several parallel per-lane arrays at once — the explicit-index form
+// is the clearest way to write lockstep execution.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::Mutex;
+use std::time::Instant;
+
 use alpaka_core::acc::DeviceKind;
+use alpaka_core::pool::run_team;
 use alpaka_core::vec::Vecn;
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_kir::ir::*;
 use alpaka_kir::semantics as sem;
 
 use crate::cache::CacheSim;
-use crate::memory::{DeviceMem, SimBufF, SimBufI};
+use crate::memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
 use crate::spec::{CacheScope, DeviceSpec};
 use crate::stats::{estimate_time, LaunchStats, TimeBreakdown};
 
@@ -57,9 +66,106 @@ pub struct SimReport {
     pub time: TimeBreakdown,
     /// True when block sampling was used (results incomplete).
     pub sampled: bool,
+    /// Host-side interpreter throughput (wall clock, not simulated time).
+    pub host: HostPerf,
+}
+
+/// How fast the *host* interpreted the launch — wall-clock measurements of
+/// the simulator itself, as opposed to `TimeBreakdown`, which is the
+/// modeled device time. Not deterministic across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostPerf {
+    /// Wall-clock seconds spent interpreting the launch.
+    pub wall_s: f64,
+    /// Blocks actually interpreted per wall-clock second (sampling modes
+    /// count only the interpreted blocks, not the extrapolated total).
+    pub blocks_per_sec: f64,
+    /// Warp-instructions interpreted per wall-clock second.
+    pub instrs_per_sec: f64,
+    /// Interpreter worker threads the launch ran on.
+    pub workers: usize,
 }
 
 const DEFAULT_FUEL: u64 = 50_000_000_000;
+
+/// Interpreter threads to use given a configured value: the
+/// `ALPAKA_SIM_THREADS` environment variable wins when set to a positive
+/// integer, otherwise `configured` (clamped to at least 1) is used.
+pub fn resolve_sim_threads(configured: usize) -> usize {
+    match std::env::var("ALPAKA_SIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => configured.max(1),
+        },
+        Err(_) => configured.max(1),
+    }
+}
+
+/// Global memory as seen by one interpreter worker: exclusive during serial
+/// runs, a concurrent element-wise view during parallel ones.
+enum MemAccess<'a> {
+    Excl(&'a mut DeviceMem),
+    Shared(&'a SharedMem<'a>),
+}
+
+impl MemAccess<'_> {
+    #[inline]
+    fn len_f(&self, b: SimBufF) -> usize {
+        match self {
+            MemAccess::Excl(m) => m.f(b).len(),
+            MemAccess::Shared(v) => v.len_f(b),
+        }
+    }
+    #[inline]
+    fn len_i(&self, b: SimBufI) -> usize {
+        match self {
+            MemAccess::Excl(m) => m.i(b).len(),
+            MemAccess::Shared(v) => v.len_i(b),
+        }
+    }
+    #[inline]
+    fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
+        match self {
+            MemAccess::Excl(m) => m.f(b)[idx],
+            MemAccess::Shared(v) => v.read_f(b, idx),
+        }
+    }
+    #[inline]
+    fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
+        match self {
+            MemAccess::Excl(m) => m.i(b)[idx],
+            MemAccess::Shared(v) => v.read_i(b, idx),
+        }
+    }
+    #[inline]
+    fn write_f(&mut self, b: SimBufF, idx: usize, val: f64) {
+        match self {
+            MemAccess::Excl(m) => m.f_mut(b)[idx] = val,
+            MemAccess::Shared(v) => v.write_f(b, idx, val),
+        }
+    }
+    #[inline]
+    fn write_i(&mut self, b: SimBufI, idx: usize, val: i64) {
+        match self {
+            MemAccess::Excl(m) => m.i_mut(b)[idx] = val,
+            MemAccess::Shared(v) => v.write_i(b, idx, val),
+        }
+    }
+    #[inline]
+    fn addr_f(&self, b: SimBufF, idx: u64) -> u64 {
+        match self {
+            MemAccess::Excl(m) => m.addr_f(b, idx),
+            MemAccess::Shared(v) => v.addr_f(b, idx),
+        }
+    }
+    #[inline]
+    fn addr_i(&self, b: SimBufI, idx: u64) -> u64 {
+        match self {
+            MemAccess::Excl(m) => m.addr_i(b, idx),
+            MemAccess::Shared(v) => v.addr_i(b, idx),
+        }
+    }
+}
 
 enum Caches {
     None,
@@ -151,7 +257,7 @@ impl BlockState {
 struct Machine<'a> {
     prog: &'a Program,
     spec: &'a DeviceSpec,
-    mem: &'a mut DeviceMem,
+    mem: MemAccess<'a>,
     args: &'a SimArgs,
     grid: [i64; 3],
     block: [i64; 3],
@@ -550,13 +656,13 @@ impl<'a> Machine<'a> {
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
-                        let len = self.mem.f(b).len();
+                        let len = self.mem.len_f(b);
                         if i < 0 || i as usize >= len {
                             return Err(format!(
                                 "ld.global.f64: index {i} out of bounds (len {len})"
                             ));
                         }
-                        let v = self.mem.f(b)[i as usize];
+                        let v = self.mem.read_f(b, i as usize);
                         bs.sf(d, l, v);
                         addrs.push((l, self.mem.addr_f(b, i as u64)));
                     }
@@ -570,13 +676,13 @@ impl<'a> Machine<'a> {
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
-                        let len = self.mem.i(b).len();
+                        let len = self.mem.len_i(b);
                         if i < 0 || i as usize >= len {
                             return Err(format!(
                                 "ld.global.s64: index {i} out of bounds (len {len})"
                             ));
                         }
-                        let v = self.mem.i(b)[i as usize];
+                        let v = self.mem.read_i(b, i as usize);
                         bs.si(d, l, v);
                         addrs.push((l, self.mem.addr_i(b, i as u64)));
                     }
@@ -653,22 +759,25 @@ impl<'a> Machine<'a> {
                     }
                 }
             }
+            // Atomics run as read-modify-write without synchronization:
+            // the parallel path refuses programs containing them (see
+            // `program_uses_global_atomics`), so they only ever execute on
+            // a single interpreter thread.
             Op::AtomicGF { op, buf, idx, val } => {
                 let b = self.buf_f(*buf)?;
                 self.stats.atomics += active;
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
-                        let len = self.mem.f(b).len();
+                        let len = self.mem.len_f(b);
                         if i < 0 || i as usize >= len {
                             return Err(format!(
                                 "atom.global.f64: index {i} out of bounds (len {len})"
                             ));
                         }
                         let v = bs.rf(*val, l);
-                        let cell = &mut self.mem.f_mut(b)[i as usize];
-                        let old = *cell;
-                        *cell = sem::atomic_f(*op, old, v);
+                        let old = self.mem.read_f(b, i as usize);
+                        self.mem.write_f(b, i as usize, sem::atomic_f(*op, old, v));
                         bs.sf(d, l, old);
                     }
                 }
@@ -679,16 +788,15 @@ impl<'a> Machine<'a> {
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
-                        let len = self.mem.i(b).len();
+                        let len = self.mem.len_i(b);
                         if i < 0 || i as usize >= len {
                             return Err(format!(
                                 "atom.global.s64: index {i} out of bounds (len {len})"
                             ));
                         }
                         let v = bs.ri(*val, l);
-                        let cell = &mut self.mem.i_mut(b)[i as usize];
-                        let old = *cell;
-                        *cell = sem::atomic_i(*op, old, v);
+                        let old = self.mem.read_i(b, i as usize);
+                        self.mem.write_i(b, i as usize, sem::atomic_i(*op, old, v));
                         bs.si(d, l, old);
                     }
                 }
@@ -712,14 +820,14 @@ impl<'a> Machine<'a> {
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
-                            let len = self.mem.f(b).len();
+                            let len = self.mem.len_f(b);
                             if i < 0 || i as usize >= len {
                                 return Err(format!(
                                     "st.global.f64: index {i} out of bounds (len {len})"
                                 ));
                             }
                             let v = bs.rf(*val, l);
-                            self.mem.f_mut(b)[i as usize] = v;
+                            self.mem.write_f(b, i as usize, v);
                             addrs.push((l, self.mem.addr_f(b, i as u64)));
                         }
                     }
@@ -737,14 +845,14 @@ impl<'a> Machine<'a> {
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
-                            let len = self.mem.i(b).len();
+                            let len = self.mem.len_i(b);
                             if i < 0 || i as usize >= len {
                                 return Err(format!(
                                     "st.global.s64: index {i} out of bounds (len {len})"
                                 ));
                             }
                             let v = bs.ri(*val, l);
-                            self.mem.i_mut(b)[i as usize] = v;
+                            self.mem.write_i(b, i as usize, v);
                             addrs.push((l, self.mem.addr_i(b, i as u64)));
                         }
                     }
@@ -839,11 +947,9 @@ impl<'a> Machine<'a> {
                 }
                 Stmt::Sync => {
                     if mask.iter().any(|&m| !m) {
-                        return Err(
-                            "bar.sync reached inside divergent control flow (the block \
+                        return Err("bar.sync reached inside divergent control flow (the block \
                              barrier requires all threads of the block)"
-                                .into(),
-                        );
+                            .into());
                     }
                     self.stats.syncs += self.n_warps as u64;
                 }
@@ -855,8 +961,7 @@ impl<'a> Machine<'a> {
                 } => {
                     let taken: Vec<bool> = (0..bs.lanes).map(|l| bs.rb(*cond, l)).collect();
                     self.note_divergence(mask, &taken);
-                    let then_mask: Vec<bool> =
-                        (0..bs.lanes).map(|l| mask[l] && taken[l]).collect();
+                    let then_mask: Vec<bool> = (0..bs.lanes).map(|l| mask[l] && taken[l]).collect();
                     let else_mask: Vec<bool> =
                         (0..bs.lanes).map(|l| mask[l] && !taken[l]).collect();
                     if then_mask.iter().any(|&m| m) {
@@ -1040,8 +1145,201 @@ impl<'a> Machine<'a> {
     }
 }
 
+/// True when `prog` contains a global atomic anywhere in its body. Such
+/// programs run on the serial path: the interpreter's atomics are plain
+/// read-modify-write sequences, and for floating point even a locked
+/// parallel ordering would change rounding versus the serial block order.
+pub fn program_uses_global_atomics(prog: &Program) -> bool {
+    fn block_has(b: &Block) -> bool {
+        b.0.iter().any(|stmt| match stmt {
+            Stmt::I(instr) => {
+                matches!(instr.op, Op::AtomicGF { .. } | Op::AtomicGI { .. })
+            }
+            Stmt::If { then_b, else_b, .. } => block_has(then_b) || block_has(else_b),
+            Stmt::ForRange { body, .. } => block_has(body),
+            Stmt::While {
+                cond_block, body, ..
+            } => block_has(cond_block) || block_has(body),
+            _ => false,
+        })
+    }
+    block_has(&prog.body)
+}
+
+/// Strictly increasing linear block indices for `ExecMode::SampleBlocks`:
+/// ~`k` blocks evenly spaced over `0..total`, never duplicated, never out
+/// of range. `k` is clamped to `1..=total`.
+fn sample_indices(total: usize, k: usize) -> Vec<usize> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, total);
+    let stride = total as f64 / k as f64;
+    let mut idx = Vec::with_capacity(k);
+    for j in 0..k {
+        let i = (((j as f64 + 0.5) * stride) as usize).min(total - 1);
+        // Rounding can land two sample points on the same block; keep the
+        // sequence strictly increasing instead of deduping afterwards.
+        if idx.last().is_none_or(|&last| i > last) {
+            idx.push(i);
+        }
+    }
+    idx
+}
+
+/// Launch geometry and bindings shared by every interpreter worker.
+struct LaunchCtx<'a> {
+    spec: &'a DeviceSpec,
+    prog: &'a Program,
+    args: &'a SimArgs,
+    grid: [i64; 3],
+    block: [i64; 3],
+    elems: [i64; 3],
+    warp_w: usize,
+    n_warps: usize,
+    lanes: usize,
+    grid_ext: Vecn<3>,
+    thread_ext: Vecn<3>,
+}
+
+/// Interpret the subset of `indices` owned by `worker` of a `team`.
+///
+/// Blocks are assigned to SMs round-robin (`sm = lin % sms`, as the serial
+/// interpreter always did) and SMs are partitioned across workers
+/// (`worker = sm % team`), so each per-SM cache sees exactly the access
+/// stream it would see serially: worker-private caches make the parallel
+/// hit/miss counts bit-identical to a serial run. Errors carry the linear
+/// block index so the caller can report the first failing block
+/// deterministically.
+fn interpret_blocks(
+    ctx: &LaunchCtx<'_>,
+    mem: MemAccess<'_>,
+    team: usize,
+    worker: usize,
+    indices: &[usize],
+) -> Result<LaunchStats, (usize, String)> {
+    let spec = ctx.spec;
+    let prog = ctx.prog;
+    let sms = spec.sms.max(1);
+    let caches = match spec.cache_scope {
+        CacheScope::None => Caches::None,
+        // Only the SMs this worker owns, compacted: global SM `s` lives at
+        // local slot `s / team` (for team == 1 that is the identity).
+        CacheScope::PerSm => Caches::PerSm(
+            (0..sms)
+                .filter(|s| s % team == worker)
+                .map(|_| CacheSim::new(spec.cache_kib, spec.cache_assoc, spec.line_bytes))
+                .collect(),
+        ),
+        // A device-wide cache cannot be split; the caller never parallelizes
+        // this scope (see `run_kernel_launch_threads`).
+        CacheScope::Shared => {
+            debug_assert_eq!(team, 1, "shared-cache launches must be serial");
+            Caches::Shared(CacheSim::new(
+                spec.cache_kib,
+                spec.cache_assoc,
+                spec.line_bytes,
+            ))
+        }
+    };
+
+    let lanes = ctx.lanes;
+    let mut m = Machine {
+        prog,
+        spec,
+        mem,
+        args: ctx.args,
+        grid: ctx.grid,
+        block: ctx.block,
+        elems: ctx.elems,
+        warp_w: ctx.warp_w,
+        n_warps: ctx.n_warps,
+        stats: LaunchStats::default(),
+        region: None,
+        caches,
+        cur_sm: 0,
+        fuel: DEFAULT_FUEL,
+    };
+    let mut bs = BlockState {
+        lanes,
+        regs: vec![0; prog.n_vals as usize * lanes],
+        vars: vec![0; prog.vars.len() * lanes],
+        sh_f: prog
+            .shared
+            .iter()
+            .map(|s| {
+                if s.ty == Ty::F64 {
+                    vec![0.0; s.len]
+                } else {
+                    vec![]
+                }
+            })
+            .collect(),
+        sh_i: prog
+            .shared
+            .iter()
+            .map(|s| {
+                if s.ty == Ty::I64 {
+                    vec![0; s.len]
+                } else {
+                    vec![]
+                }
+            })
+            .collect(),
+        loc_f: prog
+            .locals
+            .iter()
+            .map(|l| vec![0.0; l.len * lanes])
+            .collect(),
+        tid: (0..lanes)
+            .map(|t| ctx.thread_ext.delinearize(t).map_i64())
+            .collect(),
+        bidx: [0; 3],
+    };
+
+    // Shared/local arrays must be zero at block entry. They start zeroed,
+    // so resetting is only needed *between* blocks, and only when the
+    // program declares any such arrays at all.
+    let has_block_arrays = bs.sh_f.iter().any(|a| !a.is_empty())
+        || bs.sh_i.iter().any(|a| !a.is_empty())
+        || bs.loc_f.iter().any(|a| !a.is_empty());
+    let mut ran_a_block = false;
+
+    let full_mask = vec![true; lanes];
+    for &lin in indices {
+        let sm = lin % sms;
+        if sm % team != worker {
+            continue;
+        }
+        if has_block_arrays && ran_a_block {
+            for a in &mut bs.sh_f {
+                a.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for a in &mut bs.sh_i {
+                a.iter_mut().for_each(|v| *v = 0);
+            }
+            for a in &mut bs.loc_f {
+                a.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        ran_a_block = true;
+        m.cur_sm = sm / team;
+        bs.bidx = ctx.grid_ext.delinearize(lin).map_i64();
+        m.exec_block(&mut bs, &prog.body, &full_mask)
+            .map_err(|e| (lin, format!("block {:?}: {e}", bs.bidx)))?;
+        m.stats.blocks += 1;
+        m.stats.warps += m.n_warps as u64;
+        m.stats.threads += lanes as u64;
+    }
+    Ok(m.stats)
+}
+
 /// Interpret a launch of `prog` with work division `wd` on a device
 /// described by `spec`, memory `mem` and argument bindings `args`.
+///
+/// Runs on `spec.sim_threads` interpreter threads (overridable via the
+/// `ALPAKA_SIM_THREADS` environment variable); see
+/// [`run_kernel_launch_threads`] for the exact parallel-execution rules.
 pub fn run_kernel_launch(
     spec: &DeviceSpec,
     mem: &mut DeviceMem,
@@ -1050,6 +1348,52 @@ pub fn run_kernel_launch(
     args: &SimArgs,
     mode: ExecMode,
 ) -> Result<SimReport, String> {
+    run_kernel_launch_threads(
+        spec,
+        mem,
+        prog,
+        wd,
+        args,
+        mode,
+        resolve_sim_threads(spec.sim_threads),
+    )
+}
+
+/// One worker's outcome: merged stats, or the failing block's linear index
+/// plus its error message (so the lowest-index error can be selected, as
+/// serial execution would report it).
+type WorkerSlot = Mutex<Option<Result<LaunchStats, (usize, String)>>>;
+
+/// [`run_kernel_launch`] with an explicit interpreter thread count.
+///
+/// With `threads == 1` this is the exact serial interpreter. With
+/// `threads > 1` the block loop is sharded over a worker team — each worker
+/// owns a disjoint set of SMs (and their cache models) plus the blocks
+/// scheduled onto them, interprets its blocks in increasing linear order,
+/// and the per-worker [`LaunchStats`] are merged in fixed worker-index
+/// order. Buffer contents, `LaunchStats` and `TimeBreakdown` are
+/// bit-identical to the serial run for race-free kernels. Two launch
+/// classes always take the serial path regardless of `threads`:
+///
+/// * programs with global atomics (their results depend on execution
+///   order — float atomics even round differently), and
+/// * devices with a [`CacheScope::Shared`] cache, whose single device-wide
+///   cache model would see an order-dependent access stream.
+///
+/// Each worker gets its own instruction-fuel budget, so a pathological
+/// runaway kernel may burn up to `threads`× the serial budget before
+/// erroring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_launch_threads(
+    spec: &DeviceSpec,
+    mem: &mut DeviceMem,
+    prog: &Program,
+    wd: &WorkDiv,
+    args: &SimArgs,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<SimReport, String> {
+    let host_t0 = Instant::now();
     let threads_per_block = wd.threads_per_block();
     if threads_per_block > spec.max_threads_per_block {
         return Err(format!(
@@ -1071,116 +1415,94 @@ pub fn run_kernel_launch(
         ));
     }
 
-    let caches = match spec.cache_scope {
-        CacheScope::None => Caches::None,
-        CacheScope::PerSm => Caches::PerSm(
-            (0..spec.sms)
-                .map(|_| CacheSim::new(spec.cache_kib, spec.cache_assoc, spec.line_bytes))
-                .collect(),
-        ),
-        CacheScope::Shared => Caches::Shared(CacheSim::new(
-            spec.cache_kib,
-            spec.cache_assoc,
-            spec.line_bytes,
-        )),
+    let total_blocks = wd.block_count();
+    let (indices, scale, sampled): (Vec<usize>, f64, bool) = match mode {
+        ExecMode::Full => ((0..total_blocks).collect(), 1.0, false),
+        ExecMode::SampleBlocks(k) => {
+            let idx = sample_indices(total_blocks, k);
+            let scale = total_blocks as f64 / idx.len().max(1) as f64;
+            (idx, scale, total_blocks > k)
+        }
     };
 
     let warp_w = spec.warp_width.max(1);
-    let mut m = Machine {
-        prog,
+    let ctx = LaunchCtx {
         spec,
-        mem,
+        prog,
         args,
         grid: wd.blocks.map(|v| v as i64),
         block: wd.threads.map(|v| v as i64),
         elems: wd.elems.map(|v| v as i64),
         warp_w,
         n_warps: threads_per_block.div_ceil(warp_w),
-        stats: LaunchStats::default(),
-        region: None,
-        caches,
-        cur_sm: 0,
-        fuel: DEFAULT_FUEL,
+        lanes: threads_per_block,
+        grid_ext: Vecn(wd.blocks),
+        thread_ext: Vecn(wd.threads),
     };
 
-    let total_blocks = wd.block_count();
-    let grid_ext = Vecn(wd.blocks);
-    let thread_ext = Vecn(wd.threads);
+    // A worker without SMs would idle, so the team never exceeds the SM
+    // count (nor the block count).
+    let team = threads
+        .max(1)
+        .min(spec.sms.max(1))
+        .min(indices.len().max(1));
+    let parallel =
+        team > 1 && spec.cache_scope != CacheScope::Shared && !program_uses_global_atomics(prog);
 
-    let (indices, scale, sampled): (Vec<usize>, f64, bool) = match mode {
-        ExecMode::Full => ((0..total_blocks).collect(), 1.0, false),
-        ExecMode::SampleBlocks(k) => {
-            let k = k.clamp(1, total_blocks);
-            let stride = total_blocks as f64 / k as f64;
-            let mut idx: Vec<usize> = (0..k)
-                .map(|j| ((j as f64 + 0.5) * stride) as usize)
-                .collect();
-            idx.dedup();
-            let scale = total_blocks as f64 / idx.len() as f64;
-            (idx, scale, total_blocks > k)
-        }
-    };
-
-    let lanes = threads_per_block;
-    let mut bs = BlockState {
-        lanes,
-        regs: vec![0; prog.n_vals as usize * lanes],
-        vars: vec![0; prog.vars.len() * lanes],
-        sh_f: prog
-            .shared
-            .iter()
-            .map(|s| {
-                if s.ty == Ty::F64 {
-                    vec![0.0; s.len]
-                } else {
-                    vec![]
-                }
-            })
-            .collect(),
-        sh_i: prog
-            .shared
-            .iter()
-            .map(|s| if s.ty == Ty::I64 { vec![0; s.len] } else { vec![] })
-            .collect(),
-        loc_f: prog
-            .locals
-            .iter()
-            .map(|l| vec![0.0; l.len * lanes])
-            .collect(),
-        tid: (0..lanes).map(|t| thread_ext.delinearize(t).map_i64()).collect(),
-        bidx: [0; 3],
-    };
-
-    let full_mask = vec![true; lanes];
-    for lin in indices {
-        m.cur_sm = lin % spec.sms.max(1);
-        bs.bidx = grid_ext.delinearize(lin).map_i64();
-        for a in &mut bs.sh_f {
-            a.iter_mut().for_each(|v| *v = 0.0);
-        }
-        for a in &mut bs.sh_i {
-            a.iter_mut().for_each(|v| *v = 0);
-        }
-        for a in &mut bs.loc_f {
-            a.iter_mut().for_each(|v| *v = 0.0);
-        }
-        m.exec_block(&mut bs, &prog.body, &full_mask)
-            .map_err(|e| format!("block {:?}: {e}", bs.bidx))?;
-        m.stats.blocks += 1;
-        m.stats.warps += m.n_warps as u64;
-        m.stats.threads += lanes as u64;
-    }
-
-    let stats = if sampled {
-        m.stats.scaled(scale)
+    let (raw_stats, workers) = if !parallel {
+        let stats =
+            interpret_blocks(&ctx, MemAccess::Excl(mem), 1, 0, &indices).map_err(|(_, msg)| msg)?;
+        (stats, 1)
     } else {
-        m.stats
+        let view = mem.shared_view();
+        let slots: Vec<WorkerSlot> = (0..team).map(|_| Mutex::new(None)).collect();
+        run_team(team, |w| {
+            let result = interpret_blocks(&ctx, MemAccess::Shared(&view), team, w, &indices);
+            *slots[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        })
+        .map_err(|p| format!("simulator worker panicked: {p}"))?;
+
+        // Merge in fixed worker-index order; error on the lowest failing
+        // block so the message matches what the serial run would report.
+        let mut merged = LaunchStats::default();
+        let mut first_err: Option<(usize, String)> = None;
+        for slot in &slots {
+            match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some(Ok(stats)) => merged.add(&stats),
+                Some(Err((lin, msg))) => {
+                    if first_err.as_ref().is_none_or(|(l, _)| lin < *l) {
+                        first_err = Some((lin, msg));
+                    }
+                }
+                None => return Err("simulator worker produced no result".into()),
+            }
+        }
+        if let Some((_, msg)) = first_err {
+            return Err(msg);
+        }
+        (merged, team)
+    };
+
+    let interpreted_blocks = raw_stats.blocks;
+    let interpreted_instrs = raw_stats.scalar_issue + raw_stats.vec_issue;
+    let stats = if sampled {
+        raw_stats.scaled(scale)
+    } else {
+        raw_stats
     };
     let time = estimate_time(spec, &stats, threads_per_block, prog.shared_bytes());
+    let wall_s = host_t0.elapsed().as_secs_f64();
+    let host = HostPerf {
+        wall_s,
+        blocks_per_sec: interpreted_blocks as f64 / wall_s.max(1e-12),
+        instrs_per_sec: interpreted_instrs as f64 / wall_s.max(1e-12),
+        workers,
+    };
     Ok(SimReport {
         stats,
         time,
         sampled,
+        host,
     })
 }
 
@@ -1191,5 +1513,45 @@ trait MapI64 {
 impl MapI64 for Vecn<3> {
     fn map_i64(self) -> [i64; 3] {
         [self.0[0] as i64, self.0[1] as i64, self.0[2] as i64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_indices;
+
+    fn assert_strictly_increasing(idx: &[usize]) {
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "{idx:?}");
+    }
+
+    #[test]
+    fn sample_more_than_total_visits_each_block_once() {
+        let idx = sample_indices(7, 100);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn sample_one_picks_a_middle_block() {
+        let idx = sample_indices(100, 1);
+        assert_eq!(idx, vec![50]);
+        assert_eq!(sample_indices(1, 1), vec![0]);
+    }
+
+    #[test]
+    fn samples_are_strictly_increasing_and_in_range() {
+        for total in [1usize, 2, 3, 10, 97, 1024] {
+            for k in [1usize, 2, 3, 7, 64, 2000] {
+                let idx = sample_indices(total, k);
+                assert!(!idx.is_empty());
+                assert!(idx.len() <= k.min(total));
+                assert_strictly_increasing(&idx);
+                assert!(idx.iter().all(|&i| i < total), "{total} {k} {idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_samples_nothing() {
+        assert!(sample_indices(0, 5).is_empty());
     }
 }

@@ -24,8 +24,11 @@ pub mod spec;
 pub mod stats;
 
 pub use cache::CacheSim;
-pub use interp::{run_kernel_launch, ExecMode, SimArgs, SimReport};
-pub use memory::{DeviceMem, SimBufF, SimBufI};
+pub use interp::{
+    program_uses_global_atomics, resolve_sim_threads, run_kernel_launch, run_kernel_launch_threads,
+    ExecMode, HostPerf, SimArgs, SimReport,
+};
+pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
 pub use spec::{CacheScope, DeviceSpec};
 pub use stats::{estimate_time, transfer_time, LaunchStats, TimeBreakdown};
 
@@ -89,8 +92,7 @@ mod tests {
         optimize(&mut prog);
         // 128 threads/block, 1 elem: ceil(1000/128) = 8 blocks.
         let wd = WorkDiv::d1(8, 128, 1);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         let y = args.bufs_f[1];
         for i in 0..n {
             assert_eq!(mem.f(y)[i], 2.0 * i as f64 + 1.0, "i={i}");
@@ -113,8 +115,7 @@ mod tests {
         let prog = trace_kernel(&Daxpy, 1);
         // CPU mapping: blocks of 1 thread, 64 elements each.
         let wd = WorkDiv::d1(n / 64, 1, 64);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         let y = args.bufs_f[1];
         for i in 0..n {
             assert_eq!(mem.f(y)[i], 2.0 * i as f64 + 1.0);
@@ -164,8 +165,7 @@ mod tests {
         let (mut mem, args) = daxpy_setup(n);
         let prog = trace_kernel(&StridedDaxpy, 1);
         let wd = WorkDiv::d1(8, 1, n / 8);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         let y = args.bufs_f[1];
         for i in 0..n {
             assert_eq!(mem.f(y)[i], 2.0 * i as f64 + 1.0);
@@ -253,8 +253,7 @@ mod tests {
         };
         let prog = trace_kernel(&Divergent, 1);
         let wd = WorkDiv::d1(1, 64, 1);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         assert!(report.stats.divergent_branches >= 2);
         for t in 0..64 {
             assert_eq!(mem.f(buf)[t], if t % 2 == 1 { 1.0 } else { 2.0 });
@@ -348,8 +347,7 @@ mod tests {
         };
         let prog = trace_kernel(&BlockSum, 1);
         let wd = WorkDiv::d1(4, 64, 1);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         let total: f64 = mem.f(out).iter().sum();
         assert_eq!(total, (n * (n - 1) / 2) as f64);
         assert!(report.stats.syncs > 0);
@@ -406,8 +404,7 @@ mod tests {
         };
         let prog = trace_kernel(&AtomicSum, 1);
         let wd = WorkDiv::d1(4, 64, 1);
-        let report =
-            run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
+        let report = run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap();
         assert_eq!(mem.f(acc)[0], (255 * 256 / 2) as f64);
         assert_eq!(report.stats.atomics, 256);
     }

@@ -79,6 +79,109 @@ impl DeviceMem {
         self.bufs_f.iter().map(|b| b.len() * 8).sum::<usize>()
             + self.bufs_i.iter().map(|b| b.len() * 8).sum::<usize>()
     }
+
+    /// A view that multiple interpreter workers can read and write
+    /// concurrently. Borrows the memory mutably, so no `&mut DeviceMem`
+    /// access is possible while the view is alive.
+    pub fn shared_view(&mut self) -> SharedMem<'_> {
+        SharedMem {
+            bufs_f: self
+                .bufs_f
+                .iter_mut()
+                .map(|b| (b.as_mut_ptr(), b.len()))
+                .collect(),
+            bufs_i: self
+                .bufs_i
+                .iter_mut()
+                .map(|b| (b.as_mut_ptr(), b.len()))
+                .collect(),
+            base_f: &self.base_f,
+            base_i: &self.base_i,
+            _mem: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Concurrent element-wise view of a [`DeviceMem`] for parallel block
+/// interpretation.
+///
+/// Every element access goes through a relaxed `AtomicU64` (same size and
+/// alignment as the stored `f64`/`i64`), so concurrent accesses to the
+/// *same* element are well-defined even if a simulated kernel races on it
+/// (the simulator's parallel path additionally refuses kernels with global
+/// atomics, see `alpaka_sim::interp`). On x86-64 a relaxed load/store
+/// compiles to a plain `mov`, so the serial interpreter path loses nothing.
+pub struct SharedMem<'a> {
+    bufs_f: Vec<(*mut f64, usize)>,
+    bufs_i: Vec<(*mut i64, usize)>,
+    base_f: &'a [u64],
+    base_i: &'a [u64],
+    _mem: std::marker::PhantomData<&'a mut DeviceMem>,
+}
+
+// SAFETY: the raw buffer pointers come from a `&mut DeviceMem` borrowed for
+// the view's lifetime, so nothing else touches the buffers while workers
+// hold `&SharedMem`; element accesses themselves are atomic.
+unsafe impl Send for SharedMem<'_> {}
+unsafe impl Sync for SharedMem<'_> {}
+
+impl SharedMem<'_> {
+    #[inline]
+    fn cell_f(&self, b: SimBufF, idx: usize) -> &std::sync::atomic::AtomicU64 {
+        let (ptr, len) = self.bufs_f[b.0];
+        assert!(idx < len, "f64 buffer index {idx} out of bounds ({len})");
+        // SAFETY: in-bounds element of a live, 8-aligned f64 allocation.
+        unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) }
+    }
+
+    #[inline]
+    fn cell_i(&self, b: SimBufI, idx: usize) -> &std::sync::atomic::AtomicU64 {
+        let (ptr, len) = self.bufs_i[b.0];
+        assert!(idx < len, "i64 buffer index {idx} out of bounds ({len})");
+        // SAFETY: in-bounds element of a live, 8-aligned i64 allocation.
+        unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) }
+    }
+
+    #[inline]
+    pub fn len_f(&self, b: SimBufF) -> usize {
+        self.bufs_f[b.0].1
+    }
+    #[inline]
+    pub fn len_i(&self, b: SimBufI) -> usize {
+        self.bufs_i[b.0].1
+    }
+
+    #[inline]
+    pub fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
+        f64::from_bits(
+            self.cell_f(b, idx)
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+    #[inline]
+    pub fn write_f(&self, b: SimBufF, idx: usize, v: f64) {
+        self.cell_f(b, idx)
+            .store(v.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
+        self.cell_i(b, idx)
+            .load(std::sync::atomic::Ordering::Relaxed) as i64
+    }
+    #[inline]
+    pub fn write_i(&self, b: SimBufI, idx: usize, v: i64) {
+        self.cell_i(b, idx)
+            .store(v as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn addr_f(&self, b: SimBufF, idx: u64) -> u64 {
+        self.base_f[b.0] + idx * 8
+    }
+    #[inline]
+    pub fn addr_i(&self, b: SimBufI, idx: u64) -> u64 {
+        self.base_i[b.0] + idx * 8
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +210,32 @@ mod tests {
         assert_eq!(m.i(i)[3], -7);
         assert_eq!(m.allocated_bytes(), 64);
         assert_ne!(m.addr_f(f, 0), m.addr_i(i, 0));
+    }
+
+    #[test]
+    fn shared_view_round_trips_and_is_concurrent() {
+        let mut m = DeviceMem::new();
+        let f = m.alloc_f(64);
+        let i = m.alloc_i(64);
+        m.f_mut(f)[1] = 2.5;
+        {
+            let view = m.shared_view();
+            assert_eq!(view.len_f(f), 64);
+            assert_eq!(view.read_f(f, 1), 2.5);
+            assert_eq!(view.addr_f(f, 3) - view.addr_f(f, 0), 24);
+            std::thread::scope(|s| {
+                for w in 0..4usize {
+                    let view = &view;
+                    s.spawn(move || {
+                        for k in (w..64).step_by(4) {
+                            view.write_f(f, k, k as f64);
+                            view.write_i(i, k, -(k as i64));
+                        }
+                    });
+                }
+            });
+        }
+        assert!((0..64).all(|k| m.f(f)[k] == k as f64 && m.i(i)[k] == -(k as i64)));
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct DeviceSpec {
     /// Host<->device copy bandwidth in GB/s and latency in microseconds.
     pub transfer_bw_gbs: f64,
     pub transfer_latency_us: f64,
+    /// Host worker threads used to interpret blocks in parallel (1 = the
+    /// exact serial path). Overridable per process via the
+    /// `ALPAKA_SIM_THREADS` environment variable; see
+    /// `alpaka_sim::resolve_sim_threads`.
+    pub sim_threads: usize,
 }
 
 impl DeviceSpec {
@@ -86,6 +91,7 @@ impl DeviceSpec {
             launch_overhead_us: 5.0,
             transfer_bw_gbs: 6.0,
             transfer_latency_us: 10.0,
+            sim_threads: 1,
         }
     }
 
@@ -112,6 +118,7 @@ impl DeviceSpec {
             launch_overhead_us: 5.0,
             transfer_bw_gbs: 6.0,
             transfer_latency_us: 10.0,
+            sim_threads: 1,
         }
     }
 
@@ -138,6 +145,7 @@ impl DeviceSpec {
             launch_overhead_us: 1.0,
             transfer_bw_gbs: 30.0,
             transfer_latency_us: 0.5,
+            sim_threads: 1,
         }
     }
 
@@ -165,6 +173,7 @@ impl DeviceSpec {
             launch_overhead_us: 1.0,
             transfer_bw_gbs: 30.0,
             transfer_latency_us: 0.5,
+            sim_threads: 1,
         }
     }
 
@@ -192,6 +201,7 @@ impl DeviceSpec {
             launch_overhead_us: 1.0,
             transfer_bw_gbs: 20.0,
             transfer_latency_us: 0.5,
+            sim_threads: 1,
         }
     }
 
@@ -220,6 +230,7 @@ impl DeviceSpec {
             launch_overhead_us: 2.0,
             transfer_bw_gbs: 6.0,
             transfer_latency_us: 10.0,
+            sim_threads: 1,
         }
     }
 
@@ -239,11 +250,10 @@ impl DeviceSpec {
     pub fn resident_blocks_per_sm(&self, threads_per_block: usize, shared_bytes: usize) -> usize {
         let warps_per_block = threads_per_block.div_ceil(self.warp_width).max(1);
         let by_warps = (self.max_resident_warps_per_sm / warps_per_block).max(1);
-        let by_shared = if shared_bytes == 0 {
-            usize::MAX
-        } else {
-            (self.shared_mem_per_block / shared_bytes).max(1)
-        };
+        let by_shared = self
+            .shared_mem_per_block
+            .checked_div(shared_bytes)
+            .map_or(usize::MAX, |v| v.max(1));
         by_warps.min(by_shared)
     }
 }
@@ -266,7 +276,11 @@ mod tests {
     #[test]
     fn xeon_phi_future_work_spec() {
         let phi = DeviceSpec::xeon_phi_5110p();
-        assert!((phi.peak_gflops() - 1010.0).abs() < 15.0, "{}", phi.peak_gflops());
+        assert!(
+            (phi.peak_gflops() - 1010.0).abs() < 15.0,
+            "{}",
+            phi.peak_gflops()
+        );
         assert_eq!(phi.simd_width, 8);
     }
 

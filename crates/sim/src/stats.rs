@@ -141,7 +141,7 @@ pub fn estimate_time(
     // GPUs need many resident warps to hide DRAM latency; CPUs prefetch
     // well with a single thread.
     let hide_warps = if spec.warp_width > 1 { 16.0 } else { 1.0 };
-    let mem_efficiency = ((resident_warps as f64) / hide_warps).min(1.0).max(0.05);
+    let mem_efficiency = ((resident_warps as f64) / hide_warps).clamp(0.05, 1.0);
     let memory_s = stats.dram_bytes as f64 / (spec.mem_bw_gbs * 1e9 * mem_efficiency);
 
     // --- issue roofline ---------------------------------------------------
@@ -239,7 +239,10 @@ mod tests {
         // Plenty of resident warps -> full bandwidth.
         let t = estimate_time(&spec, &stats, 256, 0);
         let bw = stats.dram_bytes as f64 / t.total_s / 1e9;
-        assert!(bw > spec.mem_bw_gbs * 0.5 && bw <= spec.mem_bw_gbs * 1.01, "{bw}");
+        assert!(
+            bw > spec.mem_bw_gbs * 0.5 && bw <= spec.mem_bw_gbs * 1.01,
+            "{bw}"
+        );
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Parallel interpretation must be *bit-identical* to serial.
+//!
+//! The parallel block interpreter partitions SMs across workers, so every
+//! per-SM access stream (and hence every cache hit/miss count) is the same
+//! as in the serial schedule, and the u64 stat counters are merged in fixed
+//! worker order. These tests pin that contract for the three workload
+//! shapes named in the design: streaming (DAXPY), compute-bound with inner
+//! loops (DGEMM) and global-atomics (histogram, which must take the serial
+//! fallback and still be correct).
+//!
+//! NOTE: kernels are defined locally because `alpaka-kernels` sits above
+//! this crate in the dependency graph.
+
+use alpaka_core::kernel::Kernel;
+use alpaka_core::ops::{KernelOps, KernelOpsExt};
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_kir::{optimize, trace_kernel};
+use alpaka_sim::{
+    program_uses_global_atomics, resolve_sim_threads, run_kernel_launch_threads, DeviceMem,
+    DeviceSpec, ExecMode, SimArgs, SimReport,
+};
+use proptest::prelude::*;
+
+struct Daxpy;
+impl Kernel for Daxpy {
+    fn name(&self) -> &str {
+        "daxpy"
+    }
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let x = o.buf_f(0);
+        let y = o.buf_f(1);
+        let a = o.param_f(0);
+        let n = o.param_i(0);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let xv = o.ld_gf(x, i);
+                let yv = o.ld_gf(y, i);
+                let r = o.fma_f(xv, a, yv);
+                o.st_gf(y, i, r);
+            });
+        });
+    }
+}
+
+/// Naive row-per-thread DGEMM: `C[r, c] += A[r, k] * B[k, c]`.
+struct Dgemm;
+impl Kernel for Dgemm {
+    fn name(&self) -> &str {
+        "dgemm"
+    }
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let a = o.buf_f(0);
+        let b = o.buf_f(1);
+        let c = o.buf_f(2);
+        let n = o.param_i(0);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        let nn = o.mul_i(n, n);
+        o.for_elements(0, |o, e| {
+            let idx = o.add_i(base, e);
+            let in_range = o.lt_i(idx, nn);
+            o.if_(in_range, |o| {
+                let row = o.div_i(idx, n);
+                let col = o.rem_i(idx, n);
+                let zero = o.lit_i(0);
+                let init = o.lit_f(0.0);
+                let row_base = o.mul_i(row, n);
+                let acc = o.fold_range_f(zero, n, init, |o, k, acc| {
+                    let ai = o.add_i(row_base, k);
+                    let bi = o.mul_i(k, n);
+                    let bi = o.add_i(bi, col);
+                    let av = o.ld_gf(a, ai);
+                    let bv = o.ld_gf(b, bi);
+                    o.fma_f(av, bv, acc)
+                });
+                let ci = o.add_i(row_base, col);
+                let old = o.ld_gf(c, ci);
+                let sum = o.add_f(old, acc);
+                o.st_gf(c, ci, sum);
+            });
+        });
+    }
+}
+
+/// Histogram with global integer atomics — many threads hit the same bin,
+/// so the parallel path must refuse it and fall back to serial.
+struct Histogram;
+impl Kernel for Histogram {
+    fn name(&self) -> &str {
+        "histogram"
+    }
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let data = o.buf_i(0);
+        let bins = o.buf_i(1);
+        let n = o.param_i(0);
+        let nbins = o.param_i(1);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let val = o.ld_gi(data, i);
+                let bin = o.rem_i(val, nbins);
+                let one = o.lit_i(1);
+                o.atomic_add_gi(bins, bin, one);
+            });
+        });
+    }
+}
+
+/// Run `kernel` twice from identical initial memory — serial and with
+/// `threads` workers — and require bit-identical buffers, stats and times.
+fn assert_bit_identical<K: Kernel>(
+    kernel: &K,
+    spec: &DeviceSpec,
+    wd: &WorkDiv,
+    setup: impl Fn() -> (DeviceMem, SimArgs),
+    threads: usize,
+    mode: ExecMode,
+) -> (SimReport, SimReport, DeviceMem, DeviceMem) {
+    let mut prog = trace_kernel(kernel, wd.dim);
+    optimize(&mut prog);
+
+    let (mut mem_s, args) = setup();
+    let serial = run_kernel_launch_threads(spec, &mut mem_s, &prog, wd, &args, mode, 1).unwrap();
+
+    let (mut mem_p, args_p) = setup();
+    assert_eq!(args.bufs_f, args_p.bufs_f);
+    let par =
+        run_kernel_launch_threads(spec, &mut mem_p, &prog, wd, &args_p, mode, threads).unwrap();
+
+    assert_eq!(
+        serial.stats, par.stats,
+        "LaunchStats diverged ({threads} threads)"
+    );
+    assert_eq!(
+        serial.time, par.time,
+        "TimeBreakdown diverged ({threads} threads)"
+    );
+    assert_eq!(serial.sampled, par.sampled);
+    for (slot, b) in args.bufs_f.iter().enumerate() {
+        let s: Vec<u64> = mem_s.f(*b).iter().map(|v| v.to_bits()).collect();
+        let p: Vec<u64> = mem_p.f(*b).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(s, p, "f64 buffer slot {slot} diverged ({threads} threads)");
+    }
+    for (slot, b) in args.bufs_i.iter().enumerate() {
+        assert_eq!(
+            mem_s.i(*b),
+            mem_p.i(*b),
+            "i64 buffer slot {slot} diverged ({threads} threads)"
+        );
+    }
+    (serial, par, mem_s, mem_p)
+}
+
+fn daxpy_setup(n: usize) -> (DeviceMem, SimArgs) {
+    let mut mem = DeviceMem::new();
+    let x = mem.alloc_f(n);
+    let y = mem.alloc_f(n);
+    for i in 0..n {
+        mem.f_mut(x)[i] = (i as f64).sin() * 1e3;
+        mem.f_mut(y)[i] = 1.0 + i as f64 * 0.25;
+    }
+    let args = SimArgs {
+        bufs_f: vec![x, y],
+        bufs_i: vec![],
+        params_f: vec![2.5],
+        params_i: vec![n as i64],
+    };
+    (mem, args)
+}
+
+fn dgemm_setup(n: usize) -> (DeviceMem, SimArgs) {
+    let mut mem = DeviceMem::new();
+    let a = mem.alloc_f(n * n);
+    let b = mem.alloc_f(n * n);
+    let c = mem.alloc_f(n * n);
+    for i in 0..n * n {
+        mem.f_mut(a)[i] = ((i * 7 + 3) % 13) as f64 * 0.5;
+        mem.f_mut(b)[i] = ((i * 5 + 1) % 11) as f64 - 5.0;
+    }
+    let args = SimArgs {
+        bufs_f: vec![a, b, c],
+        bufs_i: vec![],
+        params_f: vec![],
+        params_i: vec![n as i64],
+    };
+    (mem, args)
+}
+
+fn histogram_setup(n: usize, nbins: usize) -> (DeviceMem, SimArgs) {
+    let mut mem = DeviceMem::new();
+    let data = mem.alloc_i(n);
+    let bins = mem.alloc_i(nbins);
+    for i in 0..n {
+        mem.i_mut(data)[i] = ((i * 2654435761) % 1_000_003) as i64;
+    }
+    let args = SimArgs {
+        bufs_f: vec![],
+        bufs_i: vec![data, bins],
+        params_f: vec![],
+        params_i: vec![n as i64, nbins as i64],
+    };
+    (mem, args)
+}
+
+#[test]
+fn daxpy_parallel_matches_serial_bit_for_bit() {
+    // e5-2630v3: 8 per-core caches -> up to 8 workers, each owning a
+    // disjoint SM subset.
+    let spec = DeviceSpec::e5_2630v3();
+    let n = 4096;
+    let wd = WorkDiv::d1(n / 64, 1, 64);
+    for threads in [2, 3, 8] {
+        let (_, par, mem, _) = assert_bit_identical(
+            &Daxpy,
+            &spec,
+            &wd,
+            || daxpy_setup(n),
+            threads,
+            ExecMode::Full,
+        );
+        // And the result is actually right, not just consistently wrong.
+        let (_, args) = daxpy_setup(n);
+        let y = args.bufs_f[1];
+        for i in 0..n {
+            // fma in the kernel -> fused rounding in the reference too.
+            let want = ((i as f64).sin() * 1e3).mul_add(2.5, 1.0 + i as f64 * 0.25);
+            assert_eq!(mem.f(y)[i], want, "i={i}");
+        }
+        assert!(par.host.workers >= 1);
+    }
+}
+
+#[test]
+fn daxpy_parallel_matches_serial_on_many_sm_device() {
+    // Xeon Phi: 60 per-core caches, more SMs than workers.
+    let spec = DeviceSpec::xeon_phi_5110p();
+    let n = 16384;
+    let wd = WorkDiv::d1(n / 32, 1, 32);
+    assert_bit_identical(&Daxpy, &spec, &wd, || daxpy_setup(n), 7, ExecMode::Full);
+}
+
+#[test]
+fn dgemm_parallel_matches_serial_bit_for_bit() {
+    let spec = DeviceSpec::e5_2630v3();
+    let n: usize = 48; // 2304 threads -> 36 blocks of 64
+    let wd = WorkDiv::d1((n * n).div_ceil(64), 1, 64);
+    let (_, _, mem, _) =
+        assert_bit_identical(&Dgemm, &spec, &wd, || dgemm_setup(n), 4, ExecMode::Full);
+    // Spot-check against a host-side reference.
+    let (_, args) = dgemm_setup(n);
+    let (a, b, c) = (args.bufs_f[0], args.bufs_f[1], args.bufs_f[2]);
+    let (ha, hb) = {
+        let (m, _) = dgemm_setup(n);
+        (m.f(a).to_vec(), m.f(b).to_vec())
+    };
+    for &(r, col) in &[(0usize, 0usize), (7, 31), (n - 1, n - 1)] {
+        let mut want = 0.0f64;
+        for k in 0..n {
+            want = ha[r * n + k].mul_add(hb[k * n + col], want);
+        }
+        assert_eq!(mem.f(c)[r * n + col], want, "C[{r},{col}]");
+    }
+}
+
+#[test]
+fn dgemm_sampled_mode_is_deterministic_too() {
+    let spec = DeviceSpec::e5_2630v3();
+    let n: usize = 64;
+    let wd = WorkDiv::d1((n * n).div_ceil(64), 1, 64);
+    assert_bit_identical(
+        &Dgemm,
+        &spec,
+        &wd,
+        || dgemm_setup(n),
+        8,
+        ExecMode::SampleBlocks(16),
+    );
+}
+
+#[test]
+fn histogram_atomics_fall_back_to_serial_and_stay_correct() {
+    let spec = DeviceSpec::e5_2630v3();
+    let n: usize = 10_000;
+    let nbins = 32;
+    let wd = WorkDiv::d1(n.div_ceil(64), 1, 64);
+
+    let prog = {
+        let mut p = trace_kernel(&Histogram, 1);
+        optimize(&mut p);
+        p
+    };
+    assert!(
+        program_uses_global_atomics(&prog),
+        "histogram must be detected as an atomics kernel"
+    );
+
+    let (_, par, mem, _) = assert_bit_identical(
+        &Histogram,
+        &spec,
+        &wd,
+        || histogram_setup(n, nbins),
+        8,
+        ExecMode::Full,
+    );
+    // Serial fallback: one interpreter worker regardless of the request.
+    assert_eq!(par.host.workers, 1);
+    let (_, args) = histogram_setup(n, nbins);
+    let bins = args.bufs_i[1];
+    assert_eq!(mem.i(bins).iter().sum::<i64>(), n as i64);
+    // Host-side reference histogram.
+    let (ref_mem, _) = histogram_setup(n, nbins);
+    let data = args.bufs_i[0];
+    let mut want = vec![0i64; nbins];
+    for &v in ref_mem.i(data) {
+        want[(v % nbins as i64) as usize] += 1;
+    }
+    assert_eq!(mem.i(bins), &want[..]);
+}
+
+#[test]
+fn shared_cache_gpu_spec_falls_back_to_serial() {
+    // K20 models one device-wide L2: hit/miss counts depend on the global
+    // interleaving, so the parallel path must decline.
+    let spec = DeviceSpec::k20();
+    let n = 2048;
+    let wd = WorkDiv::d1(n / 128, 128, 1);
+    let (_, par, _, _) =
+        assert_bit_identical(&Daxpy, &spec, &wd, || daxpy_setup(n), 8, ExecMode::Full);
+    assert_eq!(par.host.workers, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (n, elems-per-thread, team size) combination agrees with serial.
+    #[test]
+    fn daxpy_determinism_holds_for_arbitrary_shapes(
+        n in 1usize..3000,
+        elems in 1usize..96,
+        threads in 2usize..9,
+    ) {
+        let spec = DeviceSpec::e5_2630v3();
+        let blocks = n.div_ceil(elems).max(1);
+        let wd = WorkDiv::d1(blocks, 1, elems);
+        assert_bit_identical(&Daxpy, &spec, &wd, || daxpy_setup(n), threads, ExecMode::Full);
+    }
+}
+
+#[test]
+fn env_var_override_of_one_matches_serial() {
+    // This is the only test in this binary that touches the process
+    // environment; everything else passes thread counts explicitly.
+    let spec = DeviceSpec::e5_2630v3();
+    std::env::set_var("ALPAKA_SIM_THREADS", "1");
+    assert_eq!(resolve_sim_threads(8), 1);
+    std::env::set_var("ALPAKA_SIM_THREADS", "6");
+    assert_eq!(resolve_sim_threads(1), 6);
+    std::env::set_var("ALPAKA_SIM_THREADS", "not-a-number");
+    assert_eq!(resolve_sim_threads(3), 3);
+    std::env::set_var("ALPAKA_SIM_THREADS", "0");
+    assert_eq!(resolve_sim_threads(3), 3);
+    std::env::remove_var("ALPAKA_SIM_THREADS");
+    assert_eq!(resolve_sim_threads(spec.sim_threads), 1);
+}

@@ -42,7 +42,11 @@ fn main() {
     let pitch = a.layout().pitch as i64;
 
     let caps = dev.caps();
-    let bt = if caps.requires_single_thread_blocks { 1 } else { 4 };
+    let bt = if caps.requires_single_thread_blocks {
+        1
+    } else {
+        4
+    };
     let wd = JacobiStep::workdiv(rows, cols, bt, 4);
 
     // Enqueue every step; ping-pong between the two buffers.
@@ -65,7 +69,11 @@ fn main() {
     println!("halfway event signaled (step {})", steps / 2);
     queue.wait().unwrap();
 
-    let result = if steps % 2 == 0 { a.download() } else { b.download() };
+    let result = if steps.is_multiple_of(2) {
+        a.download()
+    } else {
+        b.download()
+    };
     // Print a coarse vertical temperature profile through the middle column.
     let col = cols / 2;
     println!("vertical profile (column {col}):");

@@ -15,6 +15,7 @@ use alpaka_core::kernel::Kernel;
 use alpaka_kernels::host::{dgemm_ref, random_matrix, rel_err};
 use alpaka_kernels::{DgemmNaive, DgemmTiled, DgemmTiledCuda};
 
+#[allow(clippy::too_many_arguments)] // demo helper: one slice per matrix
 fn run_one<K: Kernel + Clone + Send + 'static>(
     dev: &Device,
     kernel: &K,
@@ -68,7 +69,7 @@ fn main() {
         "{:<42} {:>14} {:>10} {:>8}",
         "kernel / back-end", "time [s]", "unit", "correct"
     );
-    let mut show = |label: &str, r: Option<(f64, bool)>, sim: bool| match r {
+    let show = |label: &str, r: Option<(f64, bool)>, sim: bool| match r {
         Some((t, ok)) => println!(
             "{:<42} {:>14.6} {:>10} {:>8}",
             label,
@@ -81,9 +82,17 @@ fn main() {
 
     // Naive: rows over single-thread blocks (CPU home turf).
     let wd = DgemmNaive::workdiv(n, 4);
-    show("naive          on CpuBlocks", run_one(&cpu, &DgemmNaive, &wd, n, &a, &b, &c0, &want), false);
+    show(
+        "naive          on CpuBlocks",
+        run_one(&cpu, &DgemmNaive, &wd, n, &a, &b, &c0, &want),
+        false,
+    );
     let wd_gpu_naive = WorkDiv::d1(n.div_ceil(128).max(1), 128, 1);
-    show("naive          on SimK20", run_one(&gpu, &DgemmNaive, &wd_gpu_naive, n, &a, &b, &c0, &want), true);
+    show(
+        "naive          on SimK20",
+        run_one(&gpu, &DgemmNaive, &wd_gpu_naive, n, &a, &b, &c0, &want),
+        true,
+    );
 
     // CUDA-style tiled: needs multi-thread blocks.
     let k = DgemmTiledCuda { ts: 16 };
@@ -92,7 +101,11 @@ fn main() {
         run_one(&cpu_threads, &k, &k.workdiv(n, n), n, &a, &b, &c0, &want),
         false,
     );
-    show("tiled (CUDA)   on SimK20", run_one(&gpu, &k, &k.workdiv(n, n), n, &a, &b, &c0, &want), true);
+    show(
+        "tiled (CUDA)   on SimK20",
+        run_one(&gpu, &k, &k.workdiv(n, n), n, &a, &b, &c0, &want),
+        true,
+    );
 
     // Single-source hierarchical tiling: CPU mapping and GPU mapping of
     // the SAME kernel, different work divisions only.

@@ -30,7 +30,9 @@ fn pick_backend(name: &str) -> AccKind {
 }
 
 fn main() {
-    let backend = std::env::args().nth(1).unwrap_or_else(|| "cpu-serial".into());
+    let backend = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cpu-serial".into());
 
     // The one line that changes per platform:
     let dev = Device::new(pick_backend(&backend));
@@ -42,8 +44,10 @@ fn main() {
     let x = dev.alloc_f64(BufLayout::d1(n));
     let y = dev.alloc_f64(BufLayout::d1(n));
     let z = dev.alloc_f64(BufLayout::d1(n));
-    x.upload(&(0..n).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
-    y.upload(&(0..n).map(|i| (n - i) as f64).collect::<Vec<_>>()).unwrap();
+    x.upload(&(0..n).map(|i| i as f64).collect::<Vec<_>>())
+        .unwrap();
+    y.upload(&(0..n).map(|i| (n - i) as f64).collect::<Vec<_>>())
+        .unwrap();
 
     // Work division: how the grid/block/thread/element hierarchy maps onto
     // this accelerator (Table 2 shapes).

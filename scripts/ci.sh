@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build and the full test suite.
+# Mirrors what reviewers run before merging; keep it fast and offline
+# (all dependencies are vendored under shims/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "CI OK"

@@ -1,0 +1,269 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `Throughput::Elements`, `BenchmarkId::new`, `bench_function` with
+//! `b.iter(..)`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is simple wall-clock sampling: each sample times a batch of
+//! iterations sized so a batch takes at least ~1 ms, then the median
+//! per-iteration time (and throughput, if configured) is printed. There is
+//! no statistical regression analysis, HTML report, or baseline storage —
+//! the numbers are for relative comparison within one run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus a parameter rendered with
+/// `Display` (e.g. a problem size).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample lasts >= ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        {
+            let mut b = Bencher {
+                samples: &mut samples,
+                sample_size: self.criterion.sample_size,
+            };
+            f(&mut b);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        let lo = samples.first().copied().unwrap_or(0.0);
+        let hi = samples.last().copied().unwrap_or(0.0);
+        let mut line = format!(
+            "{}/{:<28} time: [{} {} {}]",
+            self.name,
+            id.label,
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!("  thrpt: {}", fmt_rate(count / median, unit)));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.4} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.4} {unit}")
+    }
+}
+
+/// Benchmark runner configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups; kept for API parity.
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 100), |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

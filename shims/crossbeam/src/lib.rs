@@ -1,0 +1,100 @@
+//! Minimal vendored stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset it uses: `crossbeam::channel` with
+//! cloneable receivers (mpmc consumption), built on `std::sync::mpsc` with
+//! the receiver behind a mutex. Throughput is adequate for the coarse jobs
+//! the back-ends enqueue (whole kernel launches, whole blocks).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Sending half of a channel (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of a channel; cloneable so multiple workers can
+    /// compete for jobs, crossbeam-style.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+    }
+
+    /// Unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Bounded channel. The vendored shim does not enforce the capacity
+    /// (senders never block); the in-tree users only rely on delivery
+    /// order, not on backpressure.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::thread;
+
+    #[test]
+    fn cloneable_receivers_compete() {
+        let (tx, rx) = unbounded::<usize>();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = 0usize;
+                while rx.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn bounded_delivers_in_order() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

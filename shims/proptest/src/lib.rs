@@ -1,0 +1,261 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest it uses:
+//!
+//! * the `proptest! { #![proptest_config(..)] #[test] fn name(x in strat) {..} }`
+//!   macro form,
+//! * range strategies (`1usize..9`), `any::<T>()`, and
+//!   `proptest::collection::vec(strategy, len_range)`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs printed, which is enough to reproduce since generation
+//! is deterministic per test name), and strategies are sampled eagerly.
+
+use rand::prelude::*;
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// A value generator. The vendored version is just "sample a value";
+/// there is no shrink tree.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Full-range generation for a type (the `any::<T>()` strategy).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: uniform over the whole type.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty => $sample:expr),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $sample;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_any! {
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    u32 => |r| (r.next_u64() >> 32) as u32,
+    i64 => |r| r.next_u64() as i64,
+    i32 => |r| (r.next_u64() >> 32) as i32,
+    u8 => |r| (r.next_u64() >> 56) as u8,
+    bool => |r| r.next_u64() & 1 == 1,
+    f64 => |r| r.gen_range(-1.0e6..1.0e6),
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Constant strategy (`Just(v)`).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing a `Vec` whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so failures
+/// reproduce across runs, plus the case index.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// The `proptest!` block: expands each contained function into a plain
+/// `#[test]` that samples its inputs `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __case_desc = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                        case $(, &$arg)*
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(payload) = __result {
+                        eprintln!("proptest failure in {}: {}", stringify!($name), __case_desc);
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strat),* ) $body )*
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(a in 1usize..9, b in 0u64..20) {
+            prop_assert!((1..9).contains(&a));
+            prop_assert!(b < 20);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(seed in collection::vec(any::<u64>(), 4..40)) {
+            prop_assert!(seed.len() >= 4 && seed.len() < 40);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = 3usize..14;
+        let a: Vec<usize> = (0..10)
+            .map(|c| Strategy::generate(&s, &mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<usize> = (0..10)
+            .map(|c| Strategy::generate(&s, &mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

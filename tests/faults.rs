@@ -31,7 +31,11 @@ fn out_of_bounds_store_is_a_kernel_fault_everywhere() {
         let dev = Device::with_workers(kind.clone(), 2);
         let buf = dev.alloc_f64(BufLayout::d1(8));
         let err = dev
-            .launch(&OobStore { idx: 99 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .launch(
+                &OobStore { idx: 99 },
+                &WorkDiv::d1(1, 1, 1),
+                &Args::new().buf_f(&buf),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
     }
@@ -43,7 +47,11 @@ fn negative_index_is_a_kernel_fault_everywhere() {
         let dev = Device::with_workers(kind.clone(), 2);
         let buf = dev.alloc_f64(BufLayout::d1(8));
         let err = dev
-            .launch(&OobStore { idx: -1 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
+            .launch(
+                &OobStore { idx: -1 },
+                &WorkDiv::d1(1, 1, 1),
+                &Args::new().buf_f(&buf),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
     }
@@ -197,7 +205,11 @@ fn device_keeps_working_after_a_fault() {
     for kind in all_kinds() {
         let dev = Device::with_workers(kind.clone(), 2);
         let buf = dev.alloc_f64(BufLayout::d1(4));
-        let _ = dev.launch(&OobStore { idx: 50 }, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf));
+        let _ = dev.launch(
+            &OobStore { idx: 50 },
+            &WorkDiv::d1(1, 1, 1),
+            &Args::new().buf_f(&buf),
+        );
         dev.launch(&Fine, &WorkDiv::d1(1, 1, 1), &Args::new().buf_f(&buf))
             .unwrap_or_else(|e| panic!("{kind:?} poisoned: {e}"));
         assert_eq!(buf.download()[0], 7.0, "{kind:?}");

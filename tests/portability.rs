@@ -110,7 +110,11 @@ fn stencil_time_series_identical() {
         let b = dev.alloc_f64(layout);
         a.upload(&init).unwrap();
         let pitch = a.layout().pitch as i64;
-        let bt = if dev.caps().requires_single_thread_blocks { 1 } else { 4 };
+        let bt = if dev.caps().requires_single_thread_blocks {
+            1
+        } else {
+            4
+        };
         let wd = JacobiStep::workdiv(rows, cols, bt, 2);
         for s in 0..steps {
             let (src, dst) = if s % 2 == 0 { (&a, &b) } else { (&b, &a) };
@@ -122,7 +126,11 @@ fn stencil_time_series_identical() {
                 .scalar_i(pitch);
             dev.launch(&JacobiStep, &wd, &args).unwrap();
         }
-        let got = if steps % 2 == 0 { a.download() } else { b.download() };
+        let got = if steps % 2 == 0 {
+            a.download()
+        } else {
+            b.download()
+        };
         match &reference {
             None => reference = Some(got),
             Some(want) => assert_eq!(&got, want, "{kind:?}"),
@@ -167,8 +175,12 @@ fn reduce_blocks_partials_identical_on_threaded_backends() {
         let out = dev.alloc_f64(BufLayout::d1(blocks));
         input.upload(&data).unwrap();
         let args = Args::new().buf_f(&input).buf_f(&out).scalar_i(n as i64);
-        dev.launch(&ReduceBlocks { block }, &WorkDiv::d1(blocks, block, 1), &args)
-            .unwrap();
+        dev.launch(
+            &ReduceBlocks { block },
+            &WorkDiv::d1(blocks, block, 1),
+            &args,
+        )
+        .unwrap();
         let got = out.download();
         match &reference {
             None => {

@@ -117,11 +117,13 @@ proptest! {
             };
             for b in 0..blocks {
                 for t in 0..block {
-                    let mut sp = SpecialValues::default();
-                    sp.grid_blocks = [1, 1, blocks];
-                    sp.block_threads = [1, 1, block];
-                    sp.block_idx = [0, 0, b];
-                    sp.thread_idx = [0, 0, t];
+                    let sp = SpecialValues {
+                        grid_blocks: [1, 1, blocks],
+                        block_threads: [1, 1, block],
+                        block_idx: [0, 0, b],
+                        thread_idx: [0, 0, t],
+                        ..Default::default()
+                    };
                     let inp = EvalInputs {
                         params_f: &[alpha],
                         params_i: &[n as i64],

@@ -30,11 +30,7 @@ impl Kernel for TwicePlusOne {
 }
 
 fn kinds() -> Vec<AccKind> {
-    vec![
-        AccKind::CpuSerial,
-        AccKind::CpuBlocks,
-        AccKind::sim_k20(),
-    ]
+    vec![AccKind::CpuSerial, AccKind::CpuBlocks, AccKind::sim_k20()]
 }
 
 #[test]
@@ -91,10 +87,18 @@ fn two_queues_one_device() {
     b2.upload(&vec![10.0; n]).unwrap();
     let wd = dev.suggest_workdiv_1d(n);
     for _ in 0..3 {
-        q1.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&b1).scalar_i(n as i64))
-            .unwrap();
-        q2.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&b2).scalar_i(n as i64))
-            .unwrap();
+        q1.enqueue_kernel(
+            &TwicePlusOne,
+            &wd,
+            &Args::new().buf_f(&b1).scalar_i(n as i64),
+        )
+        .unwrap();
+        q2.enqueue_kernel(
+            &TwicePlusOne,
+            &wd,
+            &Args::new().buf_f(&b2).scalar_i(n as i64),
+        )
+        .unwrap();
     }
     q1.wait().unwrap();
     q2.wait().unwrap();
@@ -114,8 +118,12 @@ fn copy_then_kernel_then_copy_back() {
     let d = gpu.alloc_f64(BufLayout::d1(n));
     q.enqueue_copy_f64(&d, &h).unwrap();
     let wd = gpu.suggest_workdiv_1d(n);
-    q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&d).scalar_i(n as i64))
-        .unwrap();
+    q.enqueue_kernel(
+        &TwicePlusOne,
+        &wd,
+        &Args::new().buf_f(&d).scalar_i(n as i64),
+    )
+    .unwrap();
     let back = host_dev.alloc_f64(BufLayout::d1(n));
     q.enqueue_copy_f64(&back, &d).unwrap();
     q.wait().unwrap();
@@ -140,7 +148,8 @@ fn queue_error_surfaces_at_wait_and_clears() {
     let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
     let buf = dev.alloc_f64(BufLayout::d1(4));
     let wd = alpaka::WorkDiv::d1(1, 1, 1);
-    q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf)).unwrap();
+    q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf))
+        .unwrap();
     assert!(q.wait().is_err());
     // Error taken: queue is usable again.
     q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
