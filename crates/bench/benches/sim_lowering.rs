@@ -1,0 +1,161 @@
+//! Lowering on/off comparison: interpreter throughput with the pre-decoded
+//! warp program (`Engine::Lowered`, the default) vs. the tree-walking
+//! reference engine (`Engine::Reference`) on the same 4096-block DGEMM
+//! workload as `sim_throughput`, at 1 interpreter thread.
+//!
+//! Both engines are asserted bit-identical (buffers, `LaunchStats`,
+//! `TimeBreakdown`) before anything is timed, so the bench cannot compare
+//! different computations. Besides the criterion timings, the bench writes
+//! `BENCH_sim.json` at the repo root — blocks/s and instrs/s from the
+//! simulator's own `HostPerf` counters for each engine plus the speedup —
+//! so the perf trajectory is tracked from this PR on.
+//!
+//! `cargo bench --bench sim_lowering -- --test` runs the parity guard only
+//! (the CI smoke mode).
+
+use alpaka_kernels::DgemmNaive;
+use alpaka_kir::{optimize, trace_kernel, Program};
+use alpaka_sim::{
+    run_kernel_launch_engine, DeviceMem, DeviceSpec, Engine, ExecMode, SimArgs, SimReport,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::Write as _;
+
+const BLOCKS: usize = 4096;
+const N: usize = 64; // C is BLOCKS x N, A is BLOCKS x N, B is N x N
+
+fn setup() -> (DeviceMem, SimArgs) {
+    let mut mem = DeviceMem::new();
+    let a = mem.alloc_f(BLOCKS * N);
+    let b = mem.alloc_f(N * N);
+    let c = mem.alloc_f(BLOCKS * N);
+    for i in 0..BLOCKS * N {
+        mem.f_mut(a)[i] = ((i * 7 + 3) % 17) as f64 * 0.25;
+    }
+    for i in 0..N * N {
+        mem.f_mut(b)[i] = ((i * 5 + 1) % 13) as f64 - 6.0;
+    }
+    let args = SimArgs {
+        bufs_f: vec![a, b, c],
+        bufs_i: vec![],
+        params_f: vec![1.0, 0.0],
+        params_i: vec![
+            BLOCKS as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+        ],
+    };
+    (mem, args)
+}
+
+fn program() -> Program {
+    let mut prog = trace_kernel(&DgemmNaive, 1);
+    optimize(&mut prog);
+    prog
+}
+
+fn run(prog: &Program, engine: Engine) -> (SimReport, Vec<u64>) {
+    let wd = DgemmNaive::workdiv(BLOCKS, 1);
+    let (mut mem, args) = setup();
+    let rep = run_kernel_launch_engine(
+        &DeviceSpec::e5_2630v3(),
+        &mut mem,
+        prog,
+        &wd,
+        &args,
+        ExecMode::Full,
+        1,
+        engine,
+    )
+    .unwrap();
+    let c = args.bufs_f[2];
+    let bits = mem.f(c).iter().map(|v| v.to_bits()).collect();
+    (rep, bits)
+}
+
+/// Median-by-throughput `HostPerf` over `k` fresh launches.
+fn host_perf(prog: &Program, engine: Engine, k: usize) -> alpaka_sim::HostPerf {
+    let mut perfs: Vec<alpaka_sim::HostPerf> = (0..k).map(|_| run(prog, engine).0.host).collect();
+    perfs.sort_by(|a, b| a.blocks_per_sec.partial_cmp(&b.blocks_per_sec).unwrap());
+    perfs[perfs.len() / 2]
+}
+
+fn json_entry(p: &alpaka_sim::HostPerf) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"blocks_per_sec\": {:.1}, \"instrs_per_sec\": {:.1}, \"workers\": {}}}",
+        p.wall_s, p.blocks_per_sec, p.instrs_per_sec, p.workers
+    )
+}
+
+fn bench_sim_lowering(c: &mut Criterion) {
+    let prog = program();
+
+    // Guard: the lowered engine must be bit-identical to the reference.
+    let (reference, ref_bits) = run(&prog, Engine::Reference);
+    let (lowered, low_bits) = run(&prog, Engine::Lowered);
+    assert_eq!(
+        reference.stats, lowered.stats,
+        "lowered run diverged from reference (stats)"
+    );
+    assert_eq!(
+        reference.time, lowered.time,
+        "lowered run diverged from reference (time model)"
+    );
+    assert_eq!(
+        ref_bits, low_bits,
+        "lowered run diverged from reference (buffers)"
+    );
+    assert_eq!(lowered.stats.blocks as usize, BLOCKS);
+
+    if std::env::args().any(|a| a == "--test") {
+        eprintln!("sim_lowering: --test smoke mode, parity guard passed");
+        return;
+    }
+
+    let mut group = c.benchmark_group("sim_dgemm_lowering_4096_blocks");
+    group.throughput(Throughput::Elements(BLOCKS as u64));
+    group.sample_size(10);
+    for (engine, label) in [
+        (Engine::Reference, "reference"),
+        (Engine::Lowered, "lowered"),
+    ] {
+        group.bench_function(BenchmarkId::new("engine", label), |b| {
+            b.iter(|| run(&prog, engine));
+        });
+    }
+    group.finish();
+
+    // One-shot host-perf summary from the simulator's own counters, and the
+    // machine-readable trajectory file at the repo root.
+    let ref_perf = host_perf(&prog, Engine::Reference, 5);
+    let low_perf = host_perf(&prog, Engine::Lowered, 5);
+    let speedup = low_perf.blocks_per_sec / ref_perf.blocks_per_sec;
+    eprintln!(
+        "sim_lowering: reference blocks/s={:.0} lowered blocks/s={:.0} speedup={speedup:.2}x",
+        ref_perf.blocks_per_sec, low_perf.blocks_per_sec
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_sim.json");
+    let json = format!(
+        "{{\n  \"workload\": \"dgemm_naive\",\n  \"blocks\": {BLOCKS},\n  \"n\": {N},\n  \
+         \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n  \
+         \"reference\": {},\n  \"lowered\": {},\n  \"speedup_blocks_per_sec\": {speedup:.3}\n}}\n",
+        json_entry(&ref_perf),
+        json_entry(&low_perf),
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("sim_lowering: wrote {path}"),
+        Err(e) => eprintln!("sim_lowering: could not write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_lowering
+}
+criterion_main!(benches);

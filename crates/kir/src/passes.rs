@@ -819,6 +819,155 @@ fn prune_block(
 }
 
 // ---------------------------------------------------------------------
+// Uniformity (scalarization) analysis
+// ---------------------------------------------------------------------
+
+/// Lane-uniformity classification of a [`Program`]: which values ([`ValId`])
+/// and mutable registers ([`VarId`]) are provably identical across all
+/// threads of a block ("uniform"), and which may differ per lane
+/// ("varying"). The SIMT interpreter uses this to compute uniform values
+/// once per warp into a scalar register file instead of once per lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uniformity {
+    /// `vals[v]` — is `ValId(v)` lane-invariant?
+    pub vals: Vec<bool>,
+    /// `vars[v]` — is `VarId(v)` lane-invariant?
+    pub vars: Vec<bool>,
+}
+
+impl Uniformity {
+    pub fn val(&self, v: ValId) -> bool {
+        self.vals[v.0 as usize]
+    }
+    pub fn var(&self, v: VarId) -> bool {
+        self.vars[v.0 as usize]
+    }
+}
+
+/// Classify every value and var of a (validated) program as uniform or
+/// varying. Optimistic fixpoint: everything starts uniform and is degraded
+/// monotonically until stable.
+///
+/// Rules (sound over-approximation of "may differ between lanes"):
+/// * `Special(ThreadIdx)`, local-array loads (per-lane storage) and atomics
+///   (per-lane results) seed *varying*; constants, params and the remaining
+///   specials (block index, extents) are uniform.
+/// * A pure op is uniform iff all its operands are uniform.
+/// * A global/shared load is uniform iff its index is uniform (all lanes
+///   then read the same cell in the same lockstep step).
+/// * `LdVar` has its var's class. A var becomes varying when any store to
+///   it stores a varying value **or** occurs in a divergent context (inside
+///   a branch of a varying `if`, the body of a loop with varying bounds, or
+///   a varying `while`) — lanes could then disagree on whether the store
+///   ran.
+/// * A `for` counter is uniform iff both bounds are; the loop body is a
+///   divergent context iff the bounds are varying.
+///
+/// Uniform values executed under a partial mask are still well-defined for
+/// every consumer: the IR scope rule means consumers only run under
+/// sub-masks of the defining statement's mask.
+pub fn uniformity(p: &Program) -> Uniformity {
+    let mut u = Uniformity {
+        vals: vec![true; p.n_vals as usize],
+        vars: vec![true; p.vars.len()],
+    };
+    loop {
+        let mut changed = false;
+        scan_uniform(&p.body, false, &mut u, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    u
+}
+
+fn op_uniform(op: &Op, u: &Uniformity) -> bool {
+    match op {
+        Op::Special(SpecialReg::ThreadIdx(_)) => false,
+        Op::LdLF { .. } => false,
+        Op::AtomicGF { .. } | Op::AtomicGI { .. } => false,
+        Op::LdVarF(v) | Op::LdVarI(v) => u.vars[v.0 as usize],
+        // Pure ops (and global/shared loads, whose only operand is the
+        // index): uniform iff every operand is.
+        _ => {
+            let mut all = true;
+            op.for_each_operand(|o| all &= u.vals[o.0 as usize]);
+            all
+        }
+    }
+}
+
+fn clear_val(u: &mut Uniformity, v: ValId, changed: &mut bool) {
+    let slot = &mut u.vals[v.0 as usize];
+    if *slot {
+        *slot = false;
+        *changed = true;
+    }
+}
+
+fn clear_var(u: &mut Uniformity, v: VarId, changed: &mut bool) {
+    let slot = &mut u.vars[v.0 as usize];
+    if *slot {
+        *slot = false;
+        *changed = true;
+    }
+}
+
+fn scan_uniform(b: &Block, divergent: bool, u: &mut Uniformity, changed: &mut bool) {
+    for s in &b.0 {
+        match s {
+            Stmt::I(i) if !op_uniform(&i.op, u) => {
+                clear_val(u, i.dst, changed);
+            }
+            Stmt::I(_) => {}
+            Stmt::StVarF { var, val } | Stmt::StVarI { var, val }
+                if divergent || !u.vals[val.0 as usize] =>
+            {
+                clear_var(u, *var, changed);
+            }
+            Stmt::StVarF { .. } | Stmt::StVarI { .. } => {}
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let d = divergent || !u.vals[cond.0 as usize];
+                scan_uniform(then_b, d, u, changed);
+                scan_uniform(else_b, d, u, changed);
+            }
+            Stmt::ForRange {
+                counter,
+                start,
+                end,
+                body,
+                ..
+            } => {
+                let bounds_u = u.vals[start.0 as usize] && u.vals[end.0 as usize];
+                if !bounds_u {
+                    clear_val(u, *counter, changed);
+                }
+                scan_uniform(body, divergent || !bounds_u, u, changed);
+            }
+            Stmt::While {
+                cond_block,
+                cond,
+                body,
+            } => {
+                // The condition block re-runs under the shrinking loop mask;
+                // its divergence context tracks the (possibly degraded)
+                // condition. Re-read the class after scanning the condition
+                // block in case it just degraded.
+                let d = divergent || !u.vals[cond.0 as usize];
+                scan_uniform(cond_block, d, u, changed);
+                let d = divergent || !u.vals[cond.0 as usize];
+                scan_uniform(body, d, u, changed);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Renumbering
 // ---------------------------------------------------------------------
 
@@ -1213,6 +1362,192 @@ mod tests {
         optimize(&mut p1);
         optimize(&mut p2);
         assert_eq!(print_stream(&p1), print_stream(&p2));
+    }
+
+    /// Hand-build a 1-D program from statements (uniformity tests).
+    fn prog_of(stmts: Vec<Stmt>, n_vals: u32, vars: Vec<VarInfo>) -> Program {
+        Program {
+            name: "uniformity-test".into(),
+            dims: 1,
+            body: Block(stmts),
+            n_vals,
+            vars,
+            shared: vec![],
+            locals: vec![],
+            n_bufs_f: 1,
+            n_bufs_i: 0,
+            n_params_f: 1,
+            n_params_i: 1,
+        }
+    }
+
+    fn instr(dst: u32, op: Op) -> Stmt {
+        Stmt::I(Instr {
+            dst: ValId(dst),
+            op,
+        })
+    }
+
+    #[test]
+    fn uniformity_thread_vs_block_index() {
+        let p = prog_of(
+            vec![
+                instr(0, Op::Special(SpecialReg::ThreadIdx(2))),
+                instr(1, Op::Special(SpecialReg::BlockIdx(2))),
+                instr(2, Op::BinI(IBin::Add, ValId(0), ValId(1))), // tid-derived
+                instr(3, Op::BinI(IBin::Add, ValId(1), ValId(1))), // block-derived
+                instr(4, Op::ParamI(0)),
+                instr(5, Op::ConstI(7)),
+            ],
+            6,
+            vec![],
+        );
+        let u = uniformity(&p);
+        assert!(!u.val(ValId(0)), "thread idx must be varying");
+        assert!(u.val(ValId(1)), "block idx is uniform");
+        assert!(!u.val(ValId(2)), "tid-derived value must be varying");
+        assert!(u.val(ValId(3)));
+        assert!(u.val(ValId(4)));
+        assert!(u.val(ValId(5)));
+    }
+
+    #[test]
+    fn uniformity_loads_follow_index() {
+        let p = prog_of(
+            vec![
+                instr(0, Op::Special(SpecialReg::ThreadIdx(2))),
+                instr(1, Op::ConstI(3)),
+                instr(
+                    2,
+                    Op::LdGF {
+                        buf: 0,
+                        idx: ValId(1),
+                    },
+                ), // uniform idx
+                instr(
+                    3,
+                    Op::LdGF {
+                        buf: 0,
+                        idx: ValId(0),
+                    },
+                ), // varying idx
+            ],
+            4,
+            vec![],
+        );
+        let u = uniformity(&p);
+        assert!(u.val(ValId(2)), "load at uniform index is uniform");
+        assert!(!u.val(ValId(3)), "load at varying index is varying");
+    }
+
+    #[test]
+    fn uniformity_divergent_store_taints_var() {
+        // var0 is stored (a uniform value) under a tid-dependent branch:
+        // lanes can disagree on whether the store ran -> varying. var1 gets
+        // the same store at top level -> uniform. The fixpoint must also
+        // carry the taint through a LdVar that executes *before* the store
+        // in program order.
+        let p = prog_of(
+            vec![
+                instr(0, Op::Special(SpecialReg::ThreadIdx(2))),
+                instr(1, Op::ConstI(1)),
+                instr(2, Op::LdVarI(VarId(0))), // reads var0: varying via fixpoint
+                instr(3, Op::CmpI(Cmp::Lt, ValId(0), ValId(1))),
+                Stmt::If {
+                    cond: ValId(3),
+                    then_b: Block(vec![Stmt::StVarI {
+                        var: VarId(0),
+                        val: ValId(1),
+                    }]),
+                    else_b: Block::default(),
+                },
+                Stmt::StVarI {
+                    var: VarId(1),
+                    val: ValId(1),
+                },
+            ],
+            4,
+            vec![VarInfo { ty: Ty::I64 }, VarInfo { ty: Ty::I64 }],
+        );
+        let u = uniformity(&p);
+        assert!(!u.var(VarId(0)), "divergent-context store taints the var");
+        assert!(u.var(VarId(1)));
+        assert!(!u.val(ValId(2)), "LdVar of a tainted var is varying");
+    }
+
+    #[test]
+    fn uniformity_for_counter_follows_bounds() {
+        let uniform_loop = prog_of(
+            vec![
+                instr(0, Op::ConstI(0)),
+                instr(1, Op::ParamI(0)),
+                Stmt::ForRange {
+                    counter: ValId(2),
+                    start: ValId(0),
+                    end: ValId(1),
+                    body: Block(vec![Stmt::StVarI {
+                        var: VarId(0),
+                        val: ValId(2),
+                    }]),
+                    vectorize: false,
+                },
+            ],
+            3,
+            vec![VarInfo { ty: Ty::I64 }],
+        );
+        let u = uniformity(&uniform_loop);
+        assert!(u.val(ValId(2)), "counter with uniform bounds is uniform");
+        assert!(u.var(VarId(0)), "store in a uniform loop body is uniform");
+
+        let varying_loop = prog_of(
+            vec![
+                instr(0, Op::ConstI(0)),
+                instr(1, Op::Special(SpecialReg::ThreadIdx(2))),
+                Stmt::ForRange {
+                    counter: ValId(2),
+                    start: ValId(0),
+                    end: ValId(1),
+                    body: Block(vec![Stmt::StVarI {
+                        var: VarId(0),
+                        val: ValId(0),
+                    }]),
+                    vectorize: false,
+                },
+            ],
+            3,
+            vec![VarInfo { ty: Ty::I64 }],
+        );
+        let u = uniformity(&varying_loop);
+        assert!(!u.val(ValId(2)), "counter with varying end is varying");
+        assert!(
+            !u.var(VarId(0)),
+            "store in a varying-trip loop body is divergent"
+        );
+    }
+
+    #[test]
+    fn uniformity_on_traced_kernels() {
+        // The per-thread guard of the optimized DAXPY depends on the global
+        // thread index: the condition and everything under it must be
+        // varying, while the parameter load stays uniform.
+        let spec = SpecConsts {
+            thread_elem_extent: Some([1, 1, 1]),
+            ..Default::default()
+        };
+        let mut p = trace_kernel_spec(&AlpakaDaxpy, 1, spec);
+        optimize(&mut p);
+        let u = uniformity(&p);
+        let mut saw_varying_if = false;
+        p.body.visit(&mut |s| {
+            if let Stmt::If { cond, .. } = s {
+                if !u.val(*cond) {
+                    saw_varying_if = true;
+                }
+            }
+        });
+        assert!(saw_varying_if, "daxpy guard should be varying");
+        // There must be at least one uniform value (params / extents).
+        assert!(u.vals.iter().any(|&b| b));
     }
 
     #[test]

@@ -46,8 +46,13 @@ impl CacheSim {
 
     /// Access the line containing `byte_addr`; returns true on hit.
     pub fn access(&mut self, byte_addr: u64) -> bool {
+        self.access_line(byte_addr / self.line_bytes as u64)
+    }
+
+    /// Access by line index directly (callers that already work in line
+    /// units skip the byte-address division).
+    pub fn access_line(&mut self, line: u64) -> bool {
         self.tick += 1;
-        let line = byte_addr / self.line_bytes as u64;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.assoc;
         let ways = &mut self.tags[base..base + self.assoc];

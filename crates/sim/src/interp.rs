@@ -90,76 +90,95 @@ const DEFAULT_FUEL: u64 = 50_000_000_000;
 
 /// Interpreter threads to use given a configured value: the
 /// `ALPAKA_SIM_THREADS` environment variable wins when set to a positive
-/// integer, otherwise `configured` (clamped to at least 1) is used.
+/// integer, otherwise `configured` (clamped to at least 1) is used. An
+/// unparsable value falls back to `configured` and warns once per process.
 pub fn resolve_sim_threads(configured: usize) -> usize {
-    match std::env::var("ALPAKA_SIM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => configured.max(1),
+    let env = std::env::var("ALPAKA_SIM_THREADS").ok();
+    let (n, invalid) = resolve_sim_threads_inner(env.as_deref(), configured);
+    if invalid {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: ALPAKA_SIM_THREADS={:?} is not a positive integer; \
+                 using {n} interpreter thread(s)",
+                env.as_deref().unwrap_or("")
+            );
+        });
+    }
+    n
+}
+
+/// Pure core of [`resolve_sim_threads`]: returns the thread count plus
+/// whether the environment value was set but unusable (the warning case).
+fn resolve_sim_threads_inner(env: Option<&str>, configured: usize) -> (usize, bool) {
+    match env {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, false),
+            _ => (configured.max(1), true),
         },
-        Err(_) => configured.max(1),
+        None => (configured.max(1), false),
     }
 }
 
 /// Global memory as seen by one interpreter worker: exclusive during serial
 /// runs, a concurrent element-wise view during parallel ones.
-enum MemAccess<'a> {
+pub(crate) enum MemAccess<'a> {
     Excl(&'a mut DeviceMem),
     Shared(&'a SharedMem<'a>),
 }
 
 impl MemAccess<'_> {
     #[inline]
-    fn len_f(&self, b: SimBufF) -> usize {
+    pub(crate) fn len_f(&self, b: SimBufF) -> usize {
         match self {
             MemAccess::Excl(m) => m.f(b).len(),
             MemAccess::Shared(v) => v.len_f(b),
         }
     }
     #[inline]
-    fn len_i(&self, b: SimBufI) -> usize {
+    pub(crate) fn len_i(&self, b: SimBufI) -> usize {
         match self {
             MemAccess::Excl(m) => m.i(b).len(),
             MemAccess::Shared(v) => v.len_i(b),
         }
     }
     #[inline]
-    fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
+    pub(crate) fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
         match self {
             MemAccess::Excl(m) => m.f(b)[idx],
             MemAccess::Shared(v) => v.read_f(b, idx),
         }
     }
     #[inline]
-    fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
+    pub(crate) fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
         match self {
             MemAccess::Excl(m) => m.i(b)[idx],
             MemAccess::Shared(v) => v.read_i(b, idx),
         }
     }
     #[inline]
-    fn write_f(&mut self, b: SimBufF, idx: usize, val: f64) {
+    pub(crate) fn write_f(&mut self, b: SimBufF, idx: usize, val: f64) {
         match self {
             MemAccess::Excl(m) => m.f_mut(b)[idx] = val,
             MemAccess::Shared(v) => v.write_f(b, idx, val),
         }
     }
     #[inline]
-    fn write_i(&mut self, b: SimBufI, idx: usize, val: i64) {
+    pub(crate) fn write_i(&mut self, b: SimBufI, idx: usize, val: i64) {
         match self {
             MemAccess::Excl(m) => m.i_mut(b)[idx] = val,
             MemAccess::Shared(v) => v.write_i(b, idx, val),
         }
     }
     #[inline]
-    fn addr_f(&self, b: SimBufF, idx: u64) -> u64 {
+    pub(crate) fn addr_f(&self, b: SimBufF, idx: u64) -> u64 {
         match self {
             MemAccess::Excl(m) => m.addr_f(b, idx),
             MemAccess::Shared(v) => v.addr_f(b, idx),
         }
     }
     #[inline]
-    fn addr_i(&self, b: SimBufI, idx: u64) -> u64 {
+    pub(crate) fn addr_i(&self, b: SimBufI, idx: u64) -> u64 {
         match self {
             MemAccess::Excl(m) => m.addr_i(b, idx),
             MemAccess::Shared(v) => v.addr_i(b, idx),
@@ -174,17 +193,17 @@ enum Caches {
 }
 
 #[derive(Default)]
-struct RegionAcc {
-    issue: u64,
-    flops: u64,
-    special: u64,
+pub(crate) struct RegionAcc {
+    pub(crate) issue: u64,
+    pub(crate) flops: u64,
+    pub(crate) special: u64,
     /// Element-loop nesting depth within the region.
-    depth: u32,
+    pub(crate) depth: u32,
     /// Address log of the first two iterations of the outermost loop.
-    iter: u32,
+    pub(crate) iter: u32,
     addrs0: Vec<u64>,
     addrs1: Vec<u64>,
-    probe_failed: bool,
+    pub(crate) probe_failed: bool,
 }
 
 impl RegionAcc {
@@ -192,7 +211,7 @@ impl RegionAcc {
         self.iter < 2 && !self.probe_failed
     }
 
-    fn vectorized(&self) -> bool {
+    pub(crate) fn vectorized(&self) -> bool {
         if self.probe_failed || self.iter < 2 || self.addrs0.len() != self.addrs1.len() {
             return false;
         }
@@ -217,9 +236,27 @@ struct BlockState {
     loc_f: Vec<Vec<f64>>,
     tid: Vec<[i64; 3]>,
     bidx: [i64; 3],
+    /// Reusable (lane, byte address) scratch for global-access coalescing.
+    scratch_addrs: Vec<(usize, u64)>,
+    /// Reusable (lane, element index) scratch for shared-access accounting.
+    scratch_elems: Vec<(usize, i64)>,
+    /// Recycled lane-mask buffers for divergent control flow.
+    mask_pool: Vec<Vec<bool>>,
 }
 
 impl BlockState {
+    /// Borrow a cleared mask buffer from the pool (or allocate one).
+    #[inline]
+    fn take_mask(&mut self) -> Vec<bool> {
+        self.mask_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a mask buffer to the pool for reuse.
+    #[inline]
+    fn put_mask(&mut self, mut m: Vec<bool>) {
+        m.clear();
+        self.mask_pool.push(m);
+    }
     #[inline]
     fn reg(&self, v: ValId, lane: usize) -> u64 {
         self.regs[v.0 as usize * self.lanes + lane]
@@ -254,27 +291,31 @@ impl BlockState {
     }
 }
 
-struct Machine<'a> {
+pub(crate) struct Machine<'a> {
     prog: &'a Program,
-    spec: &'a DeviceSpec,
-    mem: MemAccess<'a>,
-    args: &'a SimArgs,
-    grid: [i64; 3],
-    block: [i64; 3],
-    elems: [i64; 3],
-    warp_w: usize,
-    n_warps: usize,
-    stats: LaunchStats,
-    region: Option<RegionAcc>,
+    pub(crate) spec: &'a DeviceSpec,
+    pub(crate) mem: MemAccess<'a>,
+    pub(crate) args: &'a SimArgs,
+    pub(crate) grid: [i64; 3],
+    pub(crate) block: [i64; 3],
+    pub(crate) elems: [i64; 3],
+    pub(crate) warp_w: usize,
+    pub(crate) n_warps: usize,
+    pub(crate) stats: LaunchStats,
+    pub(crate) region: Option<RegionAcc>,
     caches: Caches,
-    cur_sm: usize,
-    fuel: u64,
+    pub(crate) cur_sm: usize,
+    pub(crate) fuel: u64,
+    /// Reusable line buffer for `mem_access` coalescing.
+    scratch_lines: Vec<u64>,
+    /// Reusable per-bank index lists for `shared_access`.
+    scratch_banks: Vec<Vec<i64>>,
 }
 
-type R<T> = Result<T, String>;
+pub(crate) type R<T> = Result<T, String>;
 
 impl<'a> Machine<'a> {
-    fn burn(&mut self) -> R<()> {
+    pub(crate) fn burn(&mut self) -> R<()> {
         if self.fuel == 0 {
             return Err("simulation instruction budget exhausted (runaway loop?)".into());
         }
@@ -282,8 +323,18 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    /// Burn `n` instructions of fuel at once (used by the lowered engine to
+    /// charge a straight-line run in one step).
+    pub(crate) fn burn_n(&mut self, n: u64) -> R<()> {
+        if self.fuel < n {
+            return Err("simulation instruction budget exhausted (runaway loop?)".into());
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
     #[inline]
-    fn add_issue(&mut self, n: u64) {
+    pub(crate) fn add_issue(&mut self, n: u64) {
         match &mut self.region {
             Some(r) => r.issue += n,
             None => self.stats.scalar_issue += n,
@@ -291,7 +342,7 @@ impl<'a> Machine<'a> {
     }
 
     #[inline]
-    fn add_flops(&mut self, n: u64) {
+    pub(crate) fn add_flops(&mut self, n: u64) {
         match &mut self.region {
             Some(r) => r.flops += n,
             None => self.stats.scalar_flops += n,
@@ -299,7 +350,7 @@ impl<'a> Machine<'a> {
     }
 
     #[inline]
-    fn add_special(&mut self, n: u64) {
+    pub(crate) fn add_special(&mut self, n: u64) {
         match &mut self.region {
             Some(r) => r.special += n,
             None => self.stats.special_ops += n,
@@ -345,9 +396,37 @@ impl<'a> Machine<'a> {
         }
     }
 
+    /// Charge one cache/transaction access for a coalesced line.
+    #[inline]
+    fn line_access(&mut self, line_idx: u64) {
+        let line = self.spec.line_bytes as u64;
+        self.stats.mem_transactions += 1;
+        // The caches share the spec's line size, so the line index needs no
+        // byte-address round trip.
+        match &mut self.caches {
+            Caches::None => self.stats.dram_bytes += line,
+            Caches::PerSm(cs) => {
+                if cs[self.cur_sm].access_line(line_idx) {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                    self.stats.dram_bytes += line;
+                }
+            }
+            Caches::Shared(c) => {
+                if c.access_line(line_idx) {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                    self.stats.dram_bytes += line;
+                }
+            }
+        }
+    }
+
     /// Account a warp-coalesced global access; `addrs` holds (lane, byte
     /// address) pairs of active lanes in lane order.
-    fn mem_access(&mut self, addrs: &[(usize, u64)]) {
+    pub(crate) fn mem_access(&mut self, addrs: &[(usize, u64)]) {
         let line = self.spec.line_bytes as u64;
         // Probe log for element-loop vectorization detection.
         if let Some(r) = &mut self.region {
@@ -365,11 +444,12 @@ impl<'a> Machine<'a> {
                 }
             }
         }
+        let mut lines = std::mem::take(&mut self.scratch_lines);
         let mut i = 0;
         while i < addrs.len() {
             let warp = addrs[i].0 / self.warp_w;
             // Gather this warp's lines.
-            let mut lines: Vec<u64> = Vec::with_capacity(self.warp_w);
+            lines.clear();
             while i < addrs.len() && addrs[i].0 / self.warp_w == warp {
                 let l = addrs[i].1 / line;
                 if !lines.contains(&l) {
@@ -377,57 +457,89 @@ impl<'a> Machine<'a> {
                 }
                 i += 1;
             }
-            for l in lines {
-                self.stats.mem_transactions += 1;
-                let byte = l * line;
-                match &mut self.caches {
-                    Caches::None => self.stats.dram_bytes += line,
-                    Caches::PerSm(cs) => {
-                        if cs[self.cur_sm].access(byte) {
-                            self.stats.cache_hits += 1;
-                        } else {
-                            self.stats.cache_misses += 1;
-                            self.stats.dram_bytes += line;
-                        }
-                    }
-                    Caches::Shared(c) => {
-                        if c.access(byte) {
-                            self.stats.cache_hits += 1;
-                        } else {
-                            self.stats.cache_misses += 1;
-                            self.stats.dram_bytes += line;
-                        }
-                    }
+            for &l in &lines {
+                self.line_access(l);
+            }
+        }
+        self.scratch_lines = lines;
+    }
+
+    /// Account a global access by a single active lane — equivalent to
+    /// [`Machine::mem_access`] with a one-entry address list (one probe-log
+    /// entry, one line per warp), without touching the line scratch.
+    pub(crate) fn mem_access_one(&mut self, addr: u64) {
+        if let Some(r) = &mut self.region {
+            if r.probing() {
+                let log = if r.iter == 0 {
+                    &mut r.addrs0
+                } else {
+                    &mut r.addrs1
+                };
+                log.push(addr);
+                if log.len() > 4096 {
+                    r.probe_failed = true;
                 }
             }
+        }
+        self.line_access(addr / self.spec.line_bytes as u64);
+    }
+
+    /// Account a global access where every active lane touches the same byte
+    /// address (a statically uniform load/store): per warp with any active
+    /// lane — `warp_issues` of them — the coalescer emits one line-sized
+    /// transaction, and the probe log records the address once per active
+    /// lane, exactly as [`Machine::mem_access`] would for the equivalent
+    /// per-lane address list.
+    pub(crate) fn access_uniform(&mut self, addr: u64, active: u64, warp_issues: u64) {
+        if let Some(r) = &mut self.region {
+            if r.probing() {
+                let log = if r.iter == 0 {
+                    &mut r.addrs0
+                } else {
+                    &mut r.addrs1
+                };
+                for _ in 0..active {
+                    log.push(addr);
+                }
+                if log.len() > 4096 {
+                    r.probe_failed = true;
+                }
+            }
+        }
+        let line_idx = addr / self.spec.line_bytes as u64;
+        for _ in 0..warp_issues {
+            self.line_access(line_idx);
         }
     }
 
     /// Account shared-memory bank conflicts for one warp-wide access.
     /// `elem_idx` holds (lane, element index) pairs of active lanes.
-    fn shared_access(&mut self, elem_idx: &[(usize, i64)]) {
+    pub(crate) fn shared_access(&mut self, elem_idx: &[(usize, i64)]) {
         const BANKS: usize = 32;
         self.stats.shared_accesses += elem_idx.len() as u64;
+        let mut banks = std::mem::take(&mut self.scratch_banks);
+        banks.resize_with(BANKS, Vec::new);
         let mut i = 0;
         while i < elem_idx.len() {
             let warp = elem_idx[i].0 / self.warp_w;
-            let mut bank_addrs: [Vec<i64>; BANKS] = std::array::from_fn(|_| Vec::new());
+            banks.iter_mut().for_each(Vec::clear);
             while i < elem_idx.len() && elem_idx[i].0 / self.warp_w == warp {
                 let idx = elem_idx[i].1;
                 let bank = (idx.rem_euclid(BANKS as i64)) as usize;
-                if !bank_addrs[bank].contains(&idx) {
-                    bank_addrs[bank].push(idx);
+                if !banks[bank].contains(&idx) {
+                    banks[bank].push(idx);
                 }
                 i += 1;
             }
-            let degree = bank_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+            let degree = banks.iter().map(|v| v.len()).max().unwrap_or(0);
             if degree > 1 {
                 self.stats.bank_conflict_cycles += (degree - 1) as u64;
             }
         }
+        self.scratch_banks = banks;
     }
 
-    fn buf_f(&self, slot: u32) -> R<SimBufF> {
+    pub(crate) fn buf_f(&self, slot: u32) -> R<SimBufF> {
         self.args
             .bufs_f
             .get(slot as usize)
@@ -435,7 +547,7 @@ impl<'a> Machine<'a> {
             .ok_or_else(|| format!("f64 buffer slot {slot} not bound"))
     }
 
-    fn buf_i(&self, slot: u32) -> R<SimBufI> {
+    pub(crate) fn buf_i(&self, slot: u32) -> R<SimBufI> {
         self.args
             .bufs_i
             .get(slot as usize)
@@ -652,7 +764,7 @@ impl<'a> Machine<'a> {
             }
             Op::LdGF { buf, idx } => {
                 let b = self.buf_f(*buf)?;
-                let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                bs.scratch_addrs.clear();
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -664,15 +776,15 @@ impl<'a> Machine<'a> {
                         }
                         let v = self.mem.read_f(b, i as usize);
                         bs.sf(d, l, v);
-                        addrs.push((l, self.mem.addr_f(b, i as u64)));
+                        bs.scratch_addrs.push((l, self.mem.addr_f(b, i as u64)));
                     }
                 }
                 self.stats.global_loads += active;
-                self.mem_access(&addrs);
+                self.mem_access(&bs.scratch_addrs);
             }
             Op::LdGI { buf, idx } => {
                 let b = self.buf_i(*buf)?;
-                let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                bs.scratch_addrs.clear();
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -684,14 +796,14 @@ impl<'a> Machine<'a> {
                         }
                         let v = self.mem.read_i(b, i as usize);
                         bs.si(d, l, v);
-                        addrs.push((l, self.mem.addr_i(b, i as u64)));
+                        bs.scratch_addrs.push((l, self.mem.addr_i(b, i as u64)));
                     }
                 }
                 self.stats.global_loads += active;
-                self.mem_access(&addrs);
+                self.mem_access(&bs.scratch_addrs);
             }
             Op::LdSF { sh, idx } => {
-                let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                bs.scratch_elems.clear();
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -704,13 +816,13 @@ impl<'a> Machine<'a> {
                         }
                         let v = arr[i as usize];
                         bs.sf(d, l, v);
-                        elems.push((l, i));
+                        bs.scratch_elems.push((l, i));
                     }
                 }
-                self.shared_access(&elems);
+                self.shared_access(&bs.scratch_elems);
             }
             Op::LdSI { sh, idx } => {
-                let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                bs.scratch_elems.clear();
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -723,10 +835,10 @@ impl<'a> Machine<'a> {
                         }
                         let v = arr[i as usize];
                         bs.si(d, l, v);
-                        elems.push((l, i));
+                        bs.scratch_elems.push((l, i));
                     }
                 }
-                self.shared_access(&elems);
+                self.shared_access(&bs.scratch_elems);
             }
             Op::LdLF { loc, idx } => {
                 let len = self.prog.locals[*loc as usize].len;
@@ -816,7 +928,7 @@ impl<'a> Machine<'a> {
                         continue;
                     }
                     let b = self.buf_f(*buf)?;
-                    let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                    bs.scratch_addrs.clear();
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
@@ -828,11 +940,11 @@ impl<'a> Machine<'a> {
                             }
                             let v = bs.rf(*val, l);
                             self.mem.write_f(b, i as usize, v);
-                            addrs.push((l, self.mem.addr_f(b, i as u64)));
+                            bs.scratch_addrs.push((l, self.mem.addr_f(b, i as u64)));
                         }
                     }
                     self.stats.global_stores += active;
-                    self.mem_access(&addrs);
+                    self.mem_access(&bs.scratch_addrs);
                 }
                 Stmt::StGI { buf, idx, val } => {
                     self.burn()?;
@@ -841,7 +953,7 @@ impl<'a> Machine<'a> {
                         continue;
                     }
                     let b = self.buf_i(*buf)?;
-                    let mut addrs = Vec::with_capacity(bs.lanes.min(64));
+                    bs.scratch_addrs.clear();
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
@@ -853,11 +965,11 @@ impl<'a> Machine<'a> {
                             }
                             let v = bs.ri(*val, l);
                             self.mem.write_i(b, i as usize, v);
-                            addrs.push((l, self.mem.addr_i(b, i as u64)));
+                            bs.scratch_addrs.push((l, self.mem.addr_i(b, i as u64)));
                         }
                     }
                     self.stats.global_stores += active;
-                    self.mem_access(&addrs);
+                    self.mem_access(&bs.scratch_addrs);
                 }
                 Stmt::StLF { loc, idx, val } => {
                     self.burn()?;
@@ -885,7 +997,7 @@ impl<'a> Machine<'a> {
                     if active == 0 {
                         continue;
                     }
-                    let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                    bs.scratch_elems.clear();
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
@@ -898,10 +1010,10 @@ impl<'a> Machine<'a> {
                                 ));
                             }
                             arr[i as usize] = v;
-                            elems.push((l, i));
+                            bs.scratch_elems.push((l, i));
                         }
                     }
-                    self.shared_access(&elems);
+                    self.shared_access(&bs.scratch_elems);
                 }
                 Stmt::StSI { sh, idx, val } => {
                     self.burn()?;
@@ -909,7 +1021,7 @@ impl<'a> Machine<'a> {
                     if active == 0 {
                         continue;
                     }
-                    let mut elems = Vec::with_capacity(bs.lanes.min(64));
+                    bs.scratch_elems.clear();
                     for l in 0..bs.lanes {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
@@ -922,10 +1034,10 @@ impl<'a> Machine<'a> {
                                 ));
                             }
                             arr[i as usize] = v;
-                            elems.push((l, i));
+                            bs.scratch_elems.push((l, i));
                         }
                     }
-                    self.shared_access(&elems);
+                    self.shared_access(&bs.scratch_elems);
                 }
                 Stmt::StVarF { var, val } => {
                     self.burn()?;
@@ -959,17 +1071,22 @@ impl<'a> Machine<'a> {
                     then_b,
                     else_b,
                 } => {
-                    let taken: Vec<bool> = (0..bs.lanes).map(|l| bs.rb(*cond, l)).collect();
+                    let mut taken = bs.take_mask();
+                    taken.extend((0..bs.lanes).map(|l| bs.rb(*cond, l)));
                     self.note_divergence(mask, &taken);
-                    let then_mask: Vec<bool> = (0..bs.lanes).map(|l| mask[l] && taken[l]).collect();
-                    let else_mask: Vec<bool> =
-                        (0..bs.lanes).map(|l| mask[l] && !taken[l]).collect();
+                    let mut then_mask = bs.take_mask();
+                    then_mask.extend((0..bs.lanes).map(|l| mask[l] && taken[l]));
+                    let mut else_mask = bs.take_mask();
+                    else_mask.extend((0..bs.lanes).map(|l| mask[l] && !taken[l]));
+                    bs.put_mask(taken);
                     if then_mask.iter().any(|&m| m) {
                         self.exec_block(bs, then_b, &then_mask)?;
                     }
                     if else_mask.iter().any(|&m| m) && !else_b.is_empty() {
                         self.exec_block(bs, else_b, &else_mask)?;
                     }
+                    bs.put_mask(then_mask);
+                    bs.put_mask(else_mask);
                 }
                 Stmt::ForRange {
                     counter,
@@ -985,14 +1102,17 @@ impl<'a> Machine<'a> {
                     cond,
                     body,
                 } => {
-                    let mut active = mask.to_vec();
+                    let mut active = bs.take_mask();
+                    active.extend_from_slice(mask);
+                    let mut taken = bs.take_mask();
                     loop {
                         self.burn()?;
                         if !active.iter().any(|&m| m) {
                             break;
                         }
                         self.exec_block(bs, cond_block, &active)?;
-                        let taken: Vec<bool> = (0..bs.lanes).map(|l| bs.rb(*cond, l)).collect();
+                        taken.clear();
+                        taken.extend((0..bs.lanes).map(|l| bs.rb(*cond, l)));
                         self.note_divergence(&active, &taken);
                         for l in 0..bs.lanes {
                             active[l] = active[l] && taken[l];
@@ -1002,6 +1122,8 @@ impl<'a> Machine<'a> {
                         }
                         self.exec_block(bs, body, &active)?;
                     }
+                    bs.put_mask(active);
+                    bs.put_mask(taken);
                 }
             }
         }
@@ -1112,21 +1234,21 @@ impl<'a> Machine<'a> {
                     r.probe_failed = true;
                 }
             }
+            let mut active = bs.take_mask();
             let mut iter: i64 = 0;
             loop {
                 self.burn()?;
                 let mut any = false;
-                let active: Vec<bool> = (0..bs.lanes)
-                    .map(|l| {
-                        let a = mask[l] && {
-                            let s = bs.ri(start, l);
-                            let e = bs.ri(end, l);
-                            s + iter < e
-                        };
-                        any |= a;
-                        a
-                    })
-                    .collect();
+                active.clear();
+                active.extend((0..bs.lanes).map(|l| {
+                    let a = mask[l] && {
+                        let s = bs.ri(start, l);
+                        let e = bs.ri(end, l);
+                        s + iter < e
+                    };
+                    any |= a;
+                    a
+                }));
                 if !any {
                     break;
                 }
@@ -1140,6 +1262,7 @@ impl<'a> Machine<'a> {
                 self.exec_block(bs, body, &active)?;
                 iter += 1;
             }
+            bs.put_mask(active);
         }
         Ok(())
     }
@@ -1187,39 +1310,46 @@ fn sample_indices(total: usize, k: usize) -> Vec<usize> {
     idx
 }
 
-/// Launch geometry and bindings shared by every interpreter worker.
-struct LaunchCtx<'a> {
-    spec: &'a DeviceSpec,
-    prog: &'a Program,
-    args: &'a SimArgs,
-    grid: [i64; 3],
-    block: [i64; 3],
-    elems: [i64; 3],
-    warp_w: usize,
-    n_warps: usize,
-    lanes: usize,
-    grid_ext: Vecn<3>,
-    thread_ext: Vecn<3>,
+/// Which interpreter executes the blocks of a launch.
+///
+/// Both engines produce bit-identical buffers, [`LaunchStats`] and
+/// [`TimeBreakdown`]; `Reference` exists so tests and benchmarks can compare
+/// against the tree-walking interpreter the lowered engine replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Pre-lowered warp programs (see `crate::lower`): the program is
+    /// flattened and uniformity-analyzed once, then executed per block.
+    Lowered,
+    /// Direct tree-walking interpretation of the structured IR.
+    Reference,
 }
 
-/// Interpret the subset of `indices` owned by `worker` of a `team`.
-///
-/// Blocks are assigned to SMs round-robin (`sm = lin % sms`, as the serial
-/// interpreter always did) and SMs are partitioned across workers
-/// (`worker = sm % team`), so each per-SM cache sees exactly the access
-/// stream it would see serially: worker-private caches make the parallel
-/// hit/miss counts bit-identical to a serial run. Errors carry the linear
-/// block index so the caller can report the first failing block
-/// deterministically.
-fn interpret_blocks(
-    ctx: &LaunchCtx<'_>,
-    mem: MemAccess<'_>,
+/// Launch geometry and bindings shared by every interpreter worker.
+pub(crate) struct LaunchCtx<'a> {
+    pub(crate) spec: &'a DeviceSpec,
+    pub(crate) prog: &'a Program,
+    pub(crate) args: &'a SimArgs,
+    pub(crate) grid: [i64; 3],
+    pub(crate) block: [i64; 3],
+    pub(crate) elems: [i64; 3],
+    pub(crate) warp_w: usize,
+    pub(crate) n_warps: usize,
+    pub(crate) lanes: usize,
+    pub(crate) grid_ext: Vecn<3>,
+    pub(crate) thread_ext: Vecn<3>,
+    /// Pre-lowered form of `prog`, when the launch runs the lowered engine.
+    pub(crate) lowered: Option<std::sync::Arc<crate::lower::WarpProgram>>,
+}
+
+/// Build one worker's [`Machine`]: stats accumulator, cache models for the
+/// SMs this worker owns, and the reusable accounting scratch.
+pub(crate) fn make_machine<'a>(
+    ctx: &'a LaunchCtx<'_>,
+    mem: MemAccess<'a>,
     team: usize,
     worker: usize,
-    indices: &[usize],
-) -> Result<LaunchStats, (usize, String)> {
+) -> Machine<'a> {
     let spec = ctx.spec;
-    let prog = ctx.prog;
     let sms = spec.sms.max(1);
     let caches = match spec.cache_scope {
         CacheScope::None => Caches::None,
@@ -1242,10 +1372,8 @@ fn interpret_blocks(
             ))
         }
     };
-
-    let lanes = ctx.lanes;
-    let mut m = Machine {
-        prog,
+    Machine {
+        prog: ctx.prog,
         spec,
         mem,
         args: ctx.args,
@@ -1259,7 +1387,35 @@ fn interpret_blocks(
         caches,
         cur_sm: 0,
         fuel: DEFAULT_FUEL,
-    };
+        scratch_lines: Vec::new(),
+        scratch_banks: Vec::new(),
+    }
+}
+
+/// Interpret the subset of `indices` owned by `worker` of a `team`.
+///
+/// Blocks are assigned to SMs round-robin (`sm = lin % sms`, as the serial
+/// interpreter always did) and SMs are partitioned across workers
+/// (`worker = sm % team`), so each per-SM cache sees exactly the access
+/// stream it would see serially: worker-private caches make the parallel
+/// hit/miss counts bit-identical to a serial run. Errors carry the linear
+/// block index so the caller can report the first failing block
+/// deterministically.
+fn interpret_blocks(
+    ctx: &LaunchCtx<'_>,
+    mem: MemAccess<'_>,
+    team: usize,
+    worker: usize,
+    indices: &[usize],
+) -> Result<LaunchStats, (usize, String)> {
+    if let Some(wp) = &ctx.lowered {
+        return crate::lower::interpret_blocks_lowered(ctx, mem, team, worker, indices, wp);
+    }
+    let spec = ctx.spec;
+    let prog = ctx.prog;
+    let sms = spec.sms.max(1);
+    let lanes = ctx.lanes;
+    let mut m = make_machine(ctx, mem, team, worker);
     let mut bs = BlockState {
         lanes,
         regs: vec![0; prog.n_vals as usize * lanes],
@@ -1295,6 +1451,9 @@ fn interpret_blocks(
             .map(|t| ctx.thread_ext.delinearize(t).map_i64())
             .collect(),
         bidx: [0; 3],
+        scratch_addrs: Vec::new(),
+        scratch_elems: Vec::new(),
+        mask_pool: Vec::new(),
     };
 
     // Shared/local arrays must be zero at block entry. They start zeroed,
@@ -1393,6 +1552,26 @@ pub fn run_kernel_launch_threads(
     mode: ExecMode,
     threads: usize,
 ) -> Result<SimReport, String> {
+    run_kernel_launch_engine(spec, mem, prog, wd, args, mode, threads, Engine::Lowered)
+}
+
+/// [`run_kernel_launch_threads`] with an explicit [`Engine`] choice.
+///
+/// `Engine::Lowered` (the default everywhere else) pre-lowers the program —
+/// falling back to the reference interpreter if the program fails IR
+/// validation — while `Engine::Reference` forces the tree-walking
+/// interpreter. Results are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_launch_engine(
+    spec: &DeviceSpec,
+    mem: &mut DeviceMem,
+    prog: &Program,
+    wd: &WorkDiv,
+    args: &SimArgs,
+    mode: ExecMode,
+    threads: usize,
+    engine: Engine,
+) -> Result<SimReport, String> {
     let host_t0 = Instant::now();
     let threads_per_block = wd.threads_per_block();
     if threads_per_block > spec.max_threads_per_block {
@@ -1438,6 +1617,10 @@ pub fn run_kernel_launch_threads(
         lanes: threads_per_block,
         grid_ext: Vecn(wd.blocks),
         thread_ext: Vecn(wd.threads),
+        lowered: match engine {
+            Engine::Lowered => crate::lower::lowered_for(prog, spec),
+            Engine::Reference => None,
+        },
     };
 
     // A worker without SMs would idle, so the team never exceeds the SM
@@ -1506,7 +1689,7 @@ pub fn run_kernel_launch_threads(
     })
 }
 
-trait MapI64 {
+pub(crate) trait MapI64 {
     fn map_i64(self) -> [i64; 3];
 }
 
@@ -1518,7 +1701,30 @@ impl MapI64 for Vecn<3> {
 
 #[cfg(test)]
 mod tests {
-    use super::sample_indices;
+    use super::{resolve_sim_threads_inner, sample_indices};
+
+    #[test]
+    fn sim_threads_env_unset_uses_configured() {
+        assert_eq!(resolve_sim_threads_inner(None, 4), (4, false));
+        assert_eq!(resolve_sim_threads_inner(None, 0), (1, false));
+    }
+
+    #[test]
+    fn sim_threads_valid_env_wins() {
+        assert_eq!(resolve_sim_threads_inner(Some("6"), 2), (6, false));
+        assert_eq!(resolve_sim_threads_inner(Some(" 3 "), 2), (3, false));
+    }
+
+    #[test]
+    fn sim_threads_invalid_env_warns_and_falls_back() {
+        assert_eq!(
+            resolve_sim_threads_inner(Some("not-a-number"), 4),
+            (4, true)
+        );
+        assert_eq!(resolve_sim_threads_inner(Some("0"), 4), (4, true));
+        assert_eq!(resolve_sim_threads_inner(Some(""), 0), (1, true));
+        assert_eq!(resolve_sim_threads_inner(Some("-2"), 3), (3, true));
+    }
 
     fn assert_strictly_increasing(idx: &[usize]) {
         assert!(idx.windows(2).all(|w| w[0] < w[1]), "{idx:?}");

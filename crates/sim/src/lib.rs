@@ -19,15 +19,17 @@
 
 pub mod cache;
 pub mod interp;
+pub mod lower;
 pub mod memory;
 pub mod spec;
 pub mod stats;
 
 pub use cache::CacheSim;
 pub use interp::{
-    program_uses_global_atomics, resolve_sim_threads, run_kernel_launch, run_kernel_launch_threads,
-    ExecMode, HostPerf, SimArgs, SimReport,
+    program_uses_global_atomics, resolve_sim_threads, run_kernel_launch, run_kernel_launch_engine,
+    run_kernel_launch_threads, Engine, ExecMode, HostPerf, SimArgs, SimReport,
 };
+pub use lower::{lower, WarpProgram};
 pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
 pub use spec::{CacheScope, DeviceSpec};
 pub use stats::{estimate_time, transfer_time, LaunchStats, TimeBreakdown};

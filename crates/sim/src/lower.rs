@@ -1,0 +1,2090 @@
+//! Pre-lowered warp programs: the compile-once / execute-many fast path of
+//! the interpreter.
+//!
+//! [`lower`] turns a validated [`Program`] into a [`WarpProgram`] — a flat
+//! array of pre-decoded ops with all operand slots resolved — using the
+//! static uniformity analysis from `alpaka_kir::passes`:
+//!
+//! * **Uniform** values (lane-invariant: block indices, params, constants,
+//!   loads at uniform indices, …) live in a *scalar* register file and are
+//!   computed once per block instead of once per lane. Instruction issue,
+//!   divergence and coalescing accounting still charge full-warp costs —
+//!   the analysis changes host work, never the modeled device time.
+//! * Constants are folded into a per-worker register preload and disappear
+//!   from the execution stream entirely (their issue/fuel charge remains).
+//! * Straight-line runs of instructions are charged as one `Account` op:
+//!   one fuel check and one issue/flop update per run instead of per
+//!   instruction.
+//! * Structured control flow becomes range-delimited regions over the flat
+//!   op array, executed under pooled lane masks with per-warp active and
+//!   issue counts precomputed.
+//!
+//! Execution results — buffer contents, `LaunchStats`, `TimeBreakdown` —
+//! are bit-identical to the tree-walking reference interpreter in
+//! `crate::interp` and to `alpaka_kir::eval`; the determinism suite in
+//! `tests/parallel_determinism.rs` pins this. Programs that fail IR
+//! validation are not lowered (the caller falls back to the reference
+//! engine, preserving its error behavior).
+
+// Lockstep execution iterates lane indices under an active mask across
+// several parallel per-lane arrays; the explicit-index form is clearest.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use alpaka_core::acc::DeviceKind;
+use alpaka_kir::ir::*;
+use alpaka_kir::semantics as sem;
+use alpaka_kir::{uniformity, validate, Uniformity};
+
+use crate::interp::RegionAcc;
+use crate::interp::{make_machine, LaunchCtx, Machine, MapI64, MemAccess, R};
+use crate::spec::DeviceSpec;
+use crate::stats::LaunchStats;
+
+/// Register-slot encoding: the top bit selects the scalar (uniform) file,
+/// the low bits are the `ValId`/`VarId` index.
+const U_BIT: u32 = 1 << 31;
+
+#[inline]
+fn is_u(slot: u32) -> bool {
+    slot & U_BIT != 0
+}
+
+#[inline]
+fn idx(slot: u32) -> usize {
+    (slot & !U_BIT) as usize
+}
+
+/// One pre-decoded op. Operand fields are register slots (`U_BIT` selects
+/// the uniform file); control-flow ops delimit ranges of the flat array.
+#[derive(Debug, Clone, Copy)]
+enum LOp {
+    /// Charge a straight-line run: `n` instructions of fuel and issue,
+    /// plus `flops`/`special` per active lane.
+    Account {
+        n: u64,
+        flops: u64,
+        special: u64,
+    },
+    BinF {
+        op: FBin,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    UnF {
+        op: FUn,
+        d: u32,
+        a: u32,
+    },
+    Fma {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    BinI {
+        op: IBin,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    NegI {
+        d: u32,
+        a: u32,
+    },
+    CmpF {
+        op: Cmp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpI {
+        op: Cmp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    BinB {
+        op: BBin,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    NotB {
+        d: u32,
+        a: u32,
+    },
+    /// `SelF`/`SelI` unified: selection is a bit-level copy.
+    Sel {
+        d: u32,
+        c: u32,
+        t: u32,
+        e: u32,
+    },
+    I2F {
+        d: u32,
+        a: u32,
+    },
+    F2I {
+        d: u32,
+        a: u32,
+    },
+    U2UnitF {
+        d: u32,
+        a: u32,
+    },
+    Special {
+        d: u32,
+        r: SpecialReg,
+    },
+    ParamF {
+        d: u32,
+        s: u32,
+    },
+    ParamI {
+        d: u32,
+        s: u32,
+    },
+    LdGF {
+        d: u32,
+        buf: u32,
+        i: u32,
+    },
+    LdGI {
+        d: u32,
+        buf: u32,
+        i: u32,
+    },
+    LdSF {
+        d: u32,
+        sh: u32,
+        i: u32,
+    },
+    LdSI {
+        d: u32,
+        sh: u32,
+        i: u32,
+    },
+    LdLF {
+        d: u32,
+        loc: u32,
+        i: u32,
+        len: u32,
+    },
+    /// `LdVarF`/`LdVarI` unified: a bit-level copy from the var file.
+    LdVar {
+        d: u32,
+        v: u32,
+    },
+    StGF {
+        buf: u32,
+        i: u32,
+        val: u32,
+    },
+    StGI {
+        buf: u32,
+        i: u32,
+        val: u32,
+    },
+    StSF {
+        sh: u32,
+        i: u32,
+        val: u32,
+    },
+    StSI {
+        sh: u32,
+        i: u32,
+        val: u32,
+    },
+    StLF {
+        loc: u32,
+        i: u32,
+        val: u32,
+        len: u32,
+    },
+    /// `StVarF`/`StVarI` unified: a bit-level copy into the var file.
+    StVar {
+        v: u32,
+        val: u32,
+    },
+    Sync,
+    AtomicF {
+        op: AtomicOp,
+        d: u32,
+        buf: u32,
+        i: u32,
+        val: u32,
+    },
+    AtomicI {
+        op: AtomicOp,
+        d: u32,
+        buf: u32,
+        i: u32,
+        val: u32,
+    },
+    /// `then` ops follow immediately, `else` ops after them.
+    If {
+        cond: u32,
+        then_len: u32,
+        else_len: u32,
+    },
+    /// Body ops follow immediately. `counter` carries `U_BIT` iff the
+    /// bounds are statically uniform.
+    For {
+        counter: u32,
+        start: u32,
+        end: u32,
+        body_len: u32,
+        vectorize: bool,
+    },
+    /// Condition ops follow immediately, body ops after them.
+    While {
+        cond: u32,
+        cond_len: u32,
+        body_len: u32,
+    },
+}
+
+/// A lowered program: flat op stream plus the constant preload. Produced by
+/// [`lower`], cached per `(Program, DeviceSpec)` by `lowered_for`, shared
+/// across interpreter workers via `Arc`.
+#[derive(Debug)]
+pub struct WarpProgram {
+    ops: Vec<LOp>,
+    /// `(uniform-register, bits)` pairs written once per worker.
+    const_init: Vec<(u32, u64)>,
+    n_vals: usize,
+    n_vars: usize,
+}
+
+impl WarpProgram {
+    /// Number of pre-decoded ops in the flat stream.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the op stream is empty (a program with an empty body).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+struct Lowerer<'a> {
+    u: &'a Uniformity,
+    prog: &'a Program,
+    ops: Vec<LOp>,
+    const_init: Vec<(u32, u64)>,
+    /// Index of the currently open `Account` op, if any.
+    acct: Option<usize>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn slot(&self, v: ValId) -> u32 {
+        if self.u.val(v) {
+            v.0 | U_BIT
+        } else {
+            v.0
+        }
+    }
+
+    fn var_slot(&self, v: VarId) -> u32 {
+        if self.u.var(v) {
+            v.0 | U_BIT
+        } else {
+            v.0
+        }
+    }
+
+    /// Charge one issuing instruction (with optional flop/special weight)
+    /// to the open straight-line run, opening one if needed.
+    fn charge(&mut self, flops: u64, special: u64) {
+        match self.acct {
+            Some(i) => {
+                if let LOp::Account {
+                    n,
+                    flops: f,
+                    special: s,
+                } = &mut self.ops[i]
+                {
+                    *n += 1;
+                    *f += flops;
+                    *s += special;
+                }
+            }
+            None => {
+                self.ops.push(LOp::Account {
+                    n: 1,
+                    flops,
+                    special,
+                });
+                self.acct = Some(self.ops.len() - 1);
+            }
+        }
+    }
+
+    /// End the current straight-line run (before control flow or a region
+    /// boundary).
+    fn seal(&mut self) {
+        self.acct = None;
+    }
+
+    fn lower_block(&mut self, b: &Block) {
+        self.seal();
+        for stmt in &b.0 {
+            self.lower_stmt(stmt);
+        }
+        self.seal();
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::I(instr) => self.lower_instr(instr),
+            Stmt::StGF { buf, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StGF {
+                    buf: *buf,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+            Stmt::StGI { buf, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StGI {
+                    buf: *buf,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+            Stmt::StLF { loc, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StLF {
+                    loc: *loc,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                    len: self.prog.locals[*loc as usize].len as u32,
+                });
+            }
+            Stmt::StSF { sh, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StSF {
+                    sh: *sh,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+            Stmt::StSI { sh, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StSI {
+                    sh: *sh,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+            Stmt::StVarF { var, val } | Stmt::StVarI { var, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::StVar {
+                    v: self.var_slot(*var),
+                    val: self.slot(*val),
+                });
+            }
+            // Barriers neither burn fuel nor issue; they stay inside runs.
+            Stmt::Sync => self.ops.push(LOp::Sync),
+            Stmt::Comment(_) => {}
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                self.seal();
+                let at = self.ops.len();
+                self.ops.push(LOp::If {
+                    cond: self.slot(*cond),
+                    then_len: 0,
+                    else_len: 0,
+                });
+                let t0 = self.ops.len();
+                self.lower_block(then_b);
+                let tl = (self.ops.len() - t0) as u32;
+                let e0 = self.ops.len();
+                self.lower_block(else_b);
+                let el = (self.ops.len() - e0) as u32;
+                if let LOp::If {
+                    then_len, else_len, ..
+                } = &mut self.ops[at]
+                {
+                    *then_len = tl;
+                    *else_len = el;
+                }
+            }
+            Stmt::ForRange {
+                counter,
+                start,
+                end,
+                body,
+                vectorize,
+            } => {
+                self.seal();
+                let at = self.ops.len();
+                self.ops.push(LOp::For {
+                    counter: self.slot(*counter),
+                    start: self.slot(*start),
+                    end: self.slot(*end),
+                    body_len: 0,
+                    vectorize: *vectorize,
+                });
+                let b0 = self.ops.len();
+                self.lower_block(body);
+                let bl = (self.ops.len() - b0) as u32;
+                if let LOp::For { body_len, .. } = &mut self.ops[at] {
+                    *body_len = bl;
+                }
+            }
+            Stmt::While {
+                cond_block,
+                cond,
+                body,
+            } => {
+                self.seal();
+                let at = self.ops.len();
+                self.ops.push(LOp::While {
+                    cond: self.slot(*cond),
+                    cond_len: 0,
+                    body_len: 0,
+                });
+                let c0 = self.ops.len();
+                self.lower_block(cond_block);
+                let cl = (self.ops.len() - c0) as u32;
+                let b0 = self.ops.len();
+                self.lower_block(body);
+                let bl = (self.ops.len() - b0) as u32;
+                if let LOp::While {
+                    cond_len, body_len, ..
+                } = &mut self.ops[at]
+                {
+                    *cond_len = cl;
+                    *body_len = bl;
+                }
+            }
+        }
+    }
+
+    fn lower_instr(&mut self, instr: &Instr) {
+        let d = self.slot(instr.dst);
+        match &instr.op {
+            // Constants are always uniform: evaluate now, preload once per
+            // worker, keep only the issue/fuel charge in the stream.
+            Op::ConstF(v) => {
+                self.charge(0, 0);
+                self.const_init.push((instr.dst.0, v.to_bits()));
+            }
+            Op::ConstI(v) => {
+                self.charge(0, 0);
+                self.const_init.push((instr.dst.0, *v as u64));
+            }
+            Op::ConstB(v) => {
+                self.charge(0, 0);
+                self.const_init.push((instr.dst.0, *v as u64));
+            }
+            Op::Special(r) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::Special { d, r: *r });
+            }
+            Op::ParamF(s) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::ParamF { d, s: *s });
+            }
+            Op::ParamI(s) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::ParamI { d, s: *s });
+            }
+            Op::BinF(op, a, b) => {
+                self.charge(if *op == FBin::Div { 4 } else { 1 }, 0);
+                self.ops.push(LOp::BinF {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                });
+            }
+            Op::UnF(op, a) => {
+                match op {
+                    FUn::Sqrt | FUn::Exp | FUn::Ln | FUn::Sin | FUn::Cos => self.charge(0, 1),
+                    _ => self.charge(1, 0),
+                }
+                self.ops.push(LOp::UnF {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::Fma(a, b, c) => {
+                self.charge(2, 0);
+                self.ops.push(LOp::Fma {
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                    c: self.slot(*c),
+                });
+            }
+            Op::BinI(op, a, b) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::BinI {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                });
+            }
+            Op::NegI(a) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::NegI {
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::CmpF(op, a, b) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::CmpF {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                });
+            }
+            Op::CmpI(op, a, b) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::CmpI {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                });
+            }
+            Op::BinB(op, a, b) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::BinB {
+                    op: *op,
+                    d,
+                    a: self.slot(*a),
+                    b: self.slot(*b),
+                });
+            }
+            Op::NotB(a) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::NotB {
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::SelF(c, t, e) | Op::SelI(c, t, e) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::Sel {
+                    d,
+                    c: self.slot(*c),
+                    t: self.slot(*t),
+                    e: self.slot(*e),
+                });
+            }
+            Op::I2F(a) => {
+                self.charge(1, 0);
+                self.ops.push(LOp::I2F {
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::F2I(a) => {
+                self.charge(1, 0);
+                self.ops.push(LOp::F2I {
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::U2UnitF(a) => {
+                self.charge(2, 0);
+                self.ops.push(LOp::U2UnitF {
+                    d,
+                    a: self.slot(*a),
+                });
+            }
+            Op::LdGF { buf, idx } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdGF {
+                    d,
+                    buf: *buf,
+                    i: self.slot(*idx),
+                });
+            }
+            Op::LdGI { buf, idx } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdGI {
+                    d,
+                    buf: *buf,
+                    i: self.slot(*idx),
+                });
+            }
+            Op::LdSF { sh, idx } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdSF {
+                    d,
+                    sh: *sh,
+                    i: self.slot(*idx),
+                });
+            }
+            Op::LdSI { sh, idx } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdSI {
+                    d,
+                    sh: *sh,
+                    i: self.slot(*idx),
+                });
+            }
+            Op::LdLF { loc, idx } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdLF {
+                    d,
+                    loc: *loc,
+                    i: self.slot(*idx),
+                    len: self.prog.locals[*loc as usize].len as u32,
+                });
+            }
+            Op::LdVarF(v) | Op::LdVarI(v) => {
+                self.charge(0, 0);
+                self.ops.push(LOp::LdVar {
+                    d,
+                    v: self.var_slot(*v),
+                });
+            }
+            Op::AtomicGF { op, buf, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::AtomicF {
+                    op: *op,
+                    d,
+                    buf: *buf,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+            Op::AtomicGI { op, buf, idx, val } => {
+                self.charge(0, 0);
+                self.ops.push(LOp::AtomicI {
+                    op: *op,
+                    d,
+                    buf: *buf,
+                    i: self.slot(*idx),
+                    val: self.slot(*val),
+                });
+            }
+        }
+    }
+}
+
+/// Lower `prog` to its pre-decoded warp form. Returns `None` when the
+/// program fails IR validation — the lowerer relies on single assignment
+/// and in-range resource indices, so such programs keep the reference
+/// interpreter's behavior instead.
+pub fn lower(prog: &Program) -> Option<WarpProgram> {
+    validate(prog).ok()?;
+    let u = uniformity(prog);
+    let mut lw = Lowerer {
+        u: &u,
+        prog,
+        ops: Vec::new(),
+        const_init: Vec::new(),
+        acct: None,
+    };
+    lw.lower_block(&prog.body);
+    Some(WarpProgram {
+        ops: lw.ops,
+        const_init: lw.const_init,
+        n_vals: prog.n_vals as usize,
+        n_vars: prog.vars.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lowered-program cache
+// ---------------------------------------------------------------------------
+
+struct CacheEntry {
+    prog: Program,
+    spec_name: String,
+    /// `None` records a failed lowering (invalid IR) so the reference
+    /// fallback is also decided once per program.
+    wp: Option<Arc<WarpProgram>>,
+}
+
+static CACHE: OnceLock<Mutex<Vec<CacheEntry>>> = OnceLock::new();
+const CACHE_CAP: usize = 32;
+
+/// The lowered form of `prog` for launches on `spec`, decoded at most once
+/// per `(Program, DeviceSpec)` and shared across launches and workers.
+pub(crate) fn lowered_for(prog: &Program, spec: &DeviceSpec) -> Option<Arc<WarpProgram>> {
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+        for e in guard.iter() {
+            if e.spec_name == spec.name && e.prog == *prog {
+                return e.wp.clone();
+            }
+        }
+    }
+    // Lower outside the lock; a racing duplicate insert is harmless.
+    let wp = lower(prog).map(Arc::new);
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.len() >= CACHE_CAP {
+        guard.remove(0);
+    }
+    guard.push(CacheEntry {
+        prog: prog.clone(),
+        spec_name: spec.name.clone(),
+        wp: wp.clone(),
+    });
+    wp
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// A lane mask with its per-warp accounting precomputed.
+#[derive(Default)]
+struct MaskBuf {
+    bits: Vec<bool>,
+    /// Total active lanes.
+    active: u64,
+    /// Warps with at least one active lane (issue slots per instruction).
+    warp_issues: u64,
+    /// All lanes active (enables the no-check lane loop and barriers).
+    full: bool,
+}
+
+/// Per-worker execution state of the lowered engine: split register files
+/// (uniform scalars vs. per-lane), block-shared arrays, and the recycled
+/// mask / address scratch.
+struct LowState {
+    lanes: usize,
+    uregs: Vec<u64>,
+    vregs: Vec<u64>,
+    uvars: Vec<u64>,
+    vvars: Vec<u64>,
+    sh_f: Vec<Vec<f64>>,
+    sh_i: Vec<Vec<i64>>,
+    /// Per-lane thread-private arrays: `loc_f[loc][lane * len + k]`.
+    loc_f: Vec<Vec<f64>>,
+    tid: Vec<[i64; 3]>,
+    bidx: [i64; 3],
+    /// Mask pool indexed by control-flow depth; slot 0 is the full mask.
+    masks: Vec<MaskBuf>,
+    /// Reusable (lane, byte address) scratch for coalescing.
+    addrs: Vec<(usize, u64)>,
+    /// Reusable (lane, element index) scratch for bank accounting.
+    elems: Vec<(usize, i64)>,
+}
+
+impl LowState {
+    #[inline]
+    fn rd(&self, s: u32, l: usize) -> u64 {
+        if is_u(s) {
+            self.uregs[idx(s)]
+        } else {
+            self.vregs[s as usize * self.lanes + l]
+        }
+    }
+    #[inline]
+    fn rdf(&self, s: u32, l: usize) -> f64 {
+        f64::from_bits(self.rd(s, l))
+    }
+    #[inline]
+    fn rdi(&self, s: u32, l: usize) -> i64 {
+        self.rd(s, l) as i64
+    }
+    #[inline]
+    fn rdb(&self, s: u32, l: usize) -> bool {
+        self.rd(s, l) != 0
+    }
+    #[inline]
+    fn ud(&self, s: u32) -> u64 {
+        self.uregs[idx(s)]
+    }
+    #[inline]
+    fn udf(&self, s: u32) -> f64 {
+        f64::from_bits(self.ud(s))
+    }
+    #[inline]
+    fn udi(&self, s: u32) -> i64 {
+        self.ud(s) as i64
+    }
+    #[inline]
+    fn udb(&self, s: u32) -> bool {
+        self.ud(s) != 0
+    }
+    #[inline]
+    fn wu(&mut self, d: u32, bits: u64) {
+        self.uregs[idx(d)] = bits;
+    }
+    #[inline]
+    fn wv(&mut self, d: u32, l: usize, bits: u64) {
+        self.vregs[d as usize * self.lanes + l] = bits;
+    }
+
+    /// Grow the mask pool so `masks[depth]` exists (bits sized to `lanes`).
+    fn ensure_mask(&mut self, depth: usize) {
+        while self.masks.len() <= depth {
+            self.masks.push(MaskBuf {
+                bits: vec![false; self.lanes],
+                ..Default::default()
+            });
+        }
+    }
+}
+
+/// Run `body` for every active lane of `mask`; the full-mask fast path
+/// skips the per-lane test entirely (always taken at 1 thread/block).
+macro_rules! for_active {
+    ($mask:expr, $l:ident, $body:block) => {
+        if $mask.full {
+            for $l in 0..$mask.bits.len() {
+                $body
+            }
+        } else {
+            for $l in 0..$mask.bits.len() {
+                if $mask.bits[$l] {
+                    $body
+                }
+            }
+        }
+    };
+}
+
+/// Fill `child` with the lanes of `parent` whose `cond` equals `polarity`,
+/// counting one divergent branch per warp whose active lanes disagree
+/// (only on the first of the two fill passes). Returns (any-true,
+/// any-false) over the parent's active lanes.
+fn fill_branch_mask(
+    m: &mut Machine<'_>,
+    st: &LowState,
+    cond: u32,
+    parent: &MaskBuf,
+    child: &mut MaskBuf,
+    polarity: bool,
+    count_div: bool,
+) -> (bool, bool) {
+    let lanes = st.lanes;
+    let warp_w = m.warp_w;
+    let mut active = 0u64;
+    let mut wi = 0u64;
+    let mut any_t_g = false;
+    let mut any_f_g = false;
+    let mut lo = 0;
+    while lo < lanes {
+        let hi = (lo + warp_w).min(lanes);
+        let mut any_t = false;
+        let mut any_f = false;
+        let mut warp_act = 0u64;
+        for l in lo..hi {
+            let mut b = false;
+            if parent.bits[l] {
+                let t = st.vregs[cond as usize * lanes + l] != 0;
+                if t {
+                    any_t = true;
+                } else {
+                    any_f = true;
+                }
+                b = t == polarity;
+            }
+            child.bits[l] = b;
+            if b {
+                warp_act += 1;
+            }
+        }
+        if count_div && any_t && any_f {
+            m.stats.divergent_branches += 1;
+        }
+        any_t_g |= any_t;
+        any_f_g |= any_f;
+        if warp_act > 0 {
+            wi += 1;
+            active += warp_act;
+        }
+        lo = hi;
+    }
+    child.active = active;
+    child.warp_issues = wi;
+    child.full = active as usize == lanes;
+    (any_t_g, any_f_g)
+}
+
+/// Fill `child` with the lanes of `parent` still inside a per-lane trip
+/// count (`start + iter < end`), counting divergence exactly as the
+/// reference loop does. Returns whether any lane remains.
+fn fill_for_mask(
+    m: &mut Machine<'_>,
+    st: &LowState,
+    start: u32,
+    endv: u32,
+    iter: i64,
+    parent: &MaskBuf,
+    child: &mut MaskBuf,
+) -> bool {
+    let lanes = st.lanes;
+    let warp_w = m.warp_w;
+    let mut active = 0u64;
+    let mut wi = 0u64;
+    let mut lo = 0;
+    while lo < lanes {
+        let hi = (lo + warp_w).min(lanes);
+        let mut any_t = false;
+        let mut any_f = false;
+        let mut warp_act = 0u64;
+        for l in lo..hi {
+            let mut b = false;
+            if parent.bits[l] {
+                let s = st.rdi(start, l);
+                let e = st.rdi(endv, l);
+                b = s + iter < e;
+                if b {
+                    any_t = true;
+                } else {
+                    any_f = true;
+                }
+            }
+            child.bits[l] = b;
+            if b {
+                warp_act += 1;
+            }
+        }
+        if any_t && any_f {
+            m.stats.divergent_branches += 1;
+        }
+        if warp_act > 0 {
+            wi += 1;
+            active += warp_act;
+        }
+        lo = hi;
+    }
+    child.active = active;
+    child.warp_issues = wi;
+    child.full = active as usize == lanes;
+    active > 0
+}
+
+/// Shrink a while-loop mask by its freshly computed condition, counting
+/// divergence against the pre-shrink mask. Returns whether any lane stays.
+fn shrink_while_mask(m: &mut Machine<'_>, st: &LowState, cond: u32, mask: &mut MaskBuf) -> bool {
+    let lanes = st.lanes;
+    let warp_w = m.warp_w;
+    let mut active = 0u64;
+    let mut wi = 0u64;
+    let mut lo = 0;
+    while lo < lanes {
+        let hi = (lo + warp_w).min(lanes);
+        let mut any_t = false;
+        let mut any_f = false;
+        let mut warp_act = 0u64;
+        for l in lo..hi {
+            if mask.bits[l] {
+                let t = st.vregs[cond as usize * lanes + l] != 0;
+                if t {
+                    any_t = true;
+                } else {
+                    any_f = true;
+                    mask.bits[l] = false;
+                }
+                if t {
+                    warp_act += 1;
+                }
+            }
+        }
+        if any_t && any_f {
+            m.stats.divergent_branches += 1;
+        }
+        if warp_act > 0 {
+            wi += 1;
+            active += warp_act;
+        }
+        lo = hi;
+    }
+    mask.active = active;
+    mask.warp_issues = wi;
+    mask.full = active as usize == lanes;
+    active > 0
+}
+
+/// Flush a gathered per-lane address list to the coalescing model, taking
+/// the single-lane fast path (the 1-thread-per-block shape) when possible.
+#[inline]
+fn flush_addrs(m: &mut Machine<'_>, addrs: &[(usize, u64)]) {
+    if addrs.len() == 1 {
+        m.mem_access_one(addrs[0].1);
+    } else {
+        m.mem_access(addrs);
+    }
+}
+
+/// Flush gathered shared-memory element indices to the bank model. A single
+/// active lane occupies one bank at degree 1: no conflict cycles, one
+/// access counted — the same outcome `shared_access` computes.
+#[inline]
+fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
+    if elems.len() == 1 {
+        m.stats.shared_accesses += 1;
+    } else {
+        m.shared_access(elems);
+    }
+}
+
+fn copy_mask(dst: &mut MaskBuf, src: &MaskBuf) {
+    dst.bits.clear();
+    dst.bits.extend_from_slice(&src.bits);
+    dst.active = src.active;
+    dst.warp_issues = src.warp_issues;
+    dst.full = src.full;
+}
+
+/// Execute `ops[lo..hi]` under the mask stored at `masks[depth]`; the mask
+/// is temporarily taken out of the pool so ops can borrow state freely.
+fn exec_range(
+    m: &mut Machine<'_>,
+    st: &mut LowState,
+    wp: &WarpProgram,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+) -> R<()> {
+    let mask = std::mem::take(&mut st.masks[depth]);
+    let r = exec_ops(m, st, wp, lo, hi, depth, &mask);
+    st.masks[depth] = mask;
+    r
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_ops(
+    m: &mut Machine<'_>,
+    st: &mut LowState,
+    wp: &WarpProgram,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    mask: &MaskBuf,
+) -> R<()> {
+    let mut pc = lo;
+    while pc < hi {
+        match wp.ops[pc] {
+            LOp::Account { n, flops, special } => {
+                m.burn_n(n)?;
+                m.add_issue(n * mask.warp_issues);
+                if flops > 0 {
+                    m.add_flops(flops * mask.active);
+                }
+                if special > 0 {
+                    m.add_special(special * mask.active);
+                }
+            }
+            LOp::BinF { op, d, a, b } => {
+                if is_u(d) {
+                    let r = sem::fbin(op, st.udf(a), st.udf(b));
+                    st.wu(d, r.to_bits());
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::fbin(op, st.rdf(a, l), st.rdf(b, l));
+                        st.wv(d, l, r.to_bits());
+                    });
+                }
+            }
+            LOp::UnF { op, d, a } => {
+                if is_u(d) {
+                    let r = sem::fun(op, st.udf(a));
+                    st.wu(d, r.to_bits());
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::fun(op, st.rdf(a, l));
+                        st.wv(d, l, r.to_bits());
+                    });
+                }
+            }
+            LOp::Fma { d, a, b, c } => {
+                if is_u(d) {
+                    let r = sem::fma(st.udf(a), st.udf(b), st.udf(c));
+                    st.wu(d, r.to_bits());
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::fma(st.rdf(a, l), st.rdf(b, l), st.rdf(c, l));
+                        st.wv(d, l, r.to_bits());
+                    });
+                }
+            }
+            LOp::BinI { op, d, a, b } => {
+                if is_u(d) {
+                    let r = sem::ibin(op, st.udi(a), st.udi(b));
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::ibin(op, st.rdi(a, l), st.rdi(b, l));
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::NegI { d, a } => {
+                if is_u(d) {
+                    let r = st.udi(a).wrapping_neg();
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = st.rdi(a, l).wrapping_neg();
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::CmpF { op, d, a, b } => {
+                if is_u(d) {
+                    let r = sem::cmp_f(op, st.udf(a), st.udf(b));
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::cmp_f(op, st.rdf(a, l), st.rdf(b, l));
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::CmpI { op, d, a, b } => {
+                if is_u(d) {
+                    let r = sem::cmp_i(op, st.udi(a), st.udi(b));
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::cmp_i(op, st.rdi(a, l), st.rdi(b, l));
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::BinB { op, d, a, b } => {
+                if is_u(d) {
+                    let r = sem::bbin(op, st.udb(a), st.udb(b));
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::bbin(op, st.rdb(a, l), st.rdb(b, l));
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::NotB { d, a } => {
+                if is_u(d) {
+                    let r = !st.udb(a);
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = !st.rdb(a, l);
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::Sel { d, c, t, e } => {
+                if is_u(d) {
+                    let bits = if st.udb(c) { st.ud(t) } else { st.ud(e) };
+                    st.wu(d, bits);
+                } else {
+                    for_active!(mask, l, {
+                        let bits = if st.rdb(c, l) {
+                            st.rd(t, l)
+                        } else {
+                            st.rd(e, l)
+                        };
+                        st.wv(d, l, bits);
+                    });
+                }
+            }
+            LOp::I2F { d, a } => {
+                if is_u(d) {
+                    let r = sem::i2f(st.udi(a));
+                    st.wu(d, r.to_bits());
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::i2f(st.rdi(a, l));
+                        st.wv(d, l, r.to_bits());
+                    });
+                }
+            }
+            LOp::F2I { d, a } => {
+                if is_u(d) {
+                    let r = sem::f2i(st.udf(a));
+                    st.wu(d, r as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::f2i(st.rdf(a, l));
+                        st.wv(d, l, r as u64);
+                    });
+                }
+            }
+            LOp::U2UnitF { d, a } => {
+                if is_u(d) {
+                    let r = sem::u2unit(st.udi(a));
+                    st.wu(d, r.to_bits());
+                } else {
+                    for_active!(mask, l, {
+                        let r = sem::u2unit(st.rdi(a, l));
+                        st.wv(d, l, r.to_bits());
+                    });
+                }
+            }
+            LOp::Special { d, r } => {
+                if is_u(d) {
+                    let v = match r {
+                        SpecialReg::GridBlockExtent(a) => m.grid[a as usize],
+                        SpecialReg::BlockThreadExtent(a) => m.block[a as usize],
+                        SpecialReg::ThreadElemExtent(a) => m.elems[a as usize],
+                        SpecialReg::BlockIdx(a) => st.bidx[a as usize],
+                        // ThreadIdx is seeded varying by the analysis.
+                        SpecialReg::ThreadIdx(a) => st.tid[0][a as usize],
+                    };
+                    st.wu(d, v as u64);
+                } else {
+                    for_active!(mask, l, {
+                        let v = match r {
+                            SpecialReg::GridBlockExtent(a) => m.grid[a as usize],
+                            SpecialReg::BlockThreadExtent(a) => m.block[a as usize],
+                            SpecialReg::ThreadElemExtent(a) => m.elems[a as usize],
+                            SpecialReg::BlockIdx(a) => st.bidx[a as usize],
+                            SpecialReg::ThreadIdx(a) => st.tid[l][a as usize],
+                        };
+                        st.wv(d, l, v as u64);
+                    });
+                }
+            }
+            LOp::ParamF { d, s } => {
+                let v = *m
+                    .args
+                    .params_f
+                    .get(s as usize)
+                    .ok_or_else(|| format!("f64 param slot {s} not bound"))?;
+                st.wu(d, v.to_bits());
+            }
+            LOp::ParamI { d, s } => {
+                let v = *m
+                    .args
+                    .params_i
+                    .get(s as usize)
+                    .ok_or_else(|| format!("i64 param slot {s} not bound"))?;
+                st.wu(d, v as u64);
+            }
+            LOp::LdGF { d, buf, i } => {
+                let b = m.buf_f(buf)?;
+                if is_u(d) {
+                    let ix = st.udi(i);
+                    let len = m.mem.len_f(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "ld.global.f64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = m.mem.read_f(b, ix as usize);
+                    st.wu(d, v.to_bits());
+                    m.stats.global_loads += mask.active;
+                    m.access_uniform(m.mem.addr_f(b, ix as u64), mask.active, mask.warp_issues);
+                } else {
+                    st.addrs.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let len = m.mem.len_f(b);
+                        if ix < 0 || ix as usize >= len {
+                            return Err(format!(
+                                "ld.global.f64: index {ix} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = m.mem.read_f(b, ix as usize);
+                        st.wv(d, l, v.to_bits());
+                        st.addrs.push((l, m.mem.addr_f(b, ix as u64)));
+                    });
+                    m.stats.global_loads += mask.active;
+                    flush_addrs(m, &st.addrs);
+                }
+            }
+            LOp::LdGI { d, buf, i } => {
+                let b = m.buf_i(buf)?;
+                if is_u(d) {
+                    let ix = st.udi(i);
+                    let len = m.mem.len_i(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "ld.global.s64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = m.mem.read_i(b, ix as usize);
+                    st.wu(d, v as u64);
+                    m.stats.global_loads += mask.active;
+                    m.access_uniform(m.mem.addr_i(b, ix as u64), mask.active, mask.warp_issues);
+                } else {
+                    st.addrs.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let len = m.mem.len_i(b);
+                        if ix < 0 || ix as usize >= len {
+                            return Err(format!(
+                                "ld.global.s64: index {ix} out of bounds (len {len})"
+                            ));
+                        }
+                        let v = m.mem.read_i(b, ix as usize);
+                        st.wv(d, l, v as u64);
+                        st.addrs.push((l, m.mem.addr_i(b, ix as u64)));
+                    });
+                    m.stats.global_loads += mask.active;
+                    flush_addrs(m, &st.addrs);
+                }
+            }
+            LOp::LdSF { d, sh, i } => {
+                if is_u(d) {
+                    let ix = st.udi(i);
+                    let arr = &st.sh_f[sh as usize];
+                    if ix < 0 || ix as usize >= arr.len() {
+                        return Err(format!(
+                            "ld.shared.f64: index {ix} out of bounds (len {})",
+                            arr.len()
+                        ));
+                    }
+                    let v = arr[ix as usize];
+                    st.wu(d, v.to_bits());
+                    // One bank, degree 1: accesses counted, no conflicts.
+                    m.stats.shared_accesses += mask.active;
+                } else {
+                    st.elems.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let arr = &st.sh_f[sh as usize];
+                        if ix < 0 || ix as usize >= arr.len() {
+                            return Err(format!(
+                                "ld.shared.f64: index {ix} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        let v = arr[ix as usize];
+                        st.wv(d, l, v.to_bits());
+                        st.elems.push((l, ix));
+                    });
+                    flush_elems(m, &st.elems);
+                }
+            }
+            LOp::LdSI { d, sh, i } => {
+                if is_u(d) {
+                    let ix = st.udi(i);
+                    let arr = &st.sh_i[sh as usize];
+                    if ix < 0 || ix as usize >= arr.len() {
+                        return Err(format!(
+                            "ld.shared.s64: index {ix} out of bounds (len {})",
+                            arr.len()
+                        ));
+                    }
+                    let v = arr[ix as usize];
+                    st.wu(d, v as u64);
+                    m.stats.shared_accesses += mask.active;
+                } else {
+                    st.elems.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let arr = &st.sh_i[sh as usize];
+                        if ix < 0 || ix as usize >= arr.len() {
+                            return Err(format!(
+                                "ld.shared.s64: index {ix} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        let v = arr[ix as usize];
+                        st.wv(d, l, v as u64);
+                        st.elems.push((l, ix));
+                    });
+                    flush_elems(m, &st.elems);
+                }
+            }
+            LOp::LdLF { d, loc, i, len } => {
+                let len = len as usize;
+                for_active!(mask, l, {
+                    let ix = st.rdi(i, l);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "ld.local.f64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = st.loc_f[loc as usize][l * len + ix as usize];
+                    st.wv(d, l, v.to_bits());
+                });
+            }
+            LOp::LdVar { d, v } => {
+                if is_u(v) {
+                    let bits = st.uvars[idx(v)];
+                    st.wu(d, bits);
+                } else {
+                    for_active!(mask, l, {
+                        let bits = st.vvars[v as usize * st.lanes + l];
+                        st.wv(d, l, bits);
+                    });
+                }
+            }
+            LOp::StGF { buf, i, val } => {
+                let b = m.buf_f(buf)?;
+                if is_u(i) {
+                    let ix = st.udi(i);
+                    let len = m.mem.len_f(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "st.global.f64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    if is_u(val) {
+                        m.mem.write_f(b, ix as usize, st.udf(val));
+                    } else {
+                        // Same address, per-lane values: lane order decides.
+                        for_active!(mask, l, {
+                            m.mem.write_f(b, ix as usize, st.rdf(val, l));
+                        });
+                    }
+                    m.stats.global_stores += mask.active;
+                    m.access_uniform(m.mem.addr_f(b, ix as u64), mask.active, mask.warp_issues);
+                } else {
+                    st.addrs.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let len = m.mem.len_f(b);
+                        if ix < 0 || ix as usize >= len {
+                            return Err(format!(
+                                "st.global.f64: index {ix} out of bounds (len {len})"
+                            ));
+                        }
+                        m.mem.write_f(b, ix as usize, st.rdf(val, l));
+                        st.addrs.push((l, m.mem.addr_f(b, ix as u64)));
+                    });
+                    m.stats.global_stores += mask.active;
+                    flush_addrs(m, &st.addrs);
+                }
+            }
+            LOp::StGI { buf, i, val } => {
+                let b = m.buf_i(buf)?;
+                if is_u(i) {
+                    let ix = st.udi(i);
+                    let len = m.mem.len_i(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "st.global.s64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    if is_u(val) {
+                        m.mem.write_i(b, ix as usize, st.udi(val));
+                    } else {
+                        for_active!(mask, l, {
+                            m.mem.write_i(b, ix as usize, st.rdi(val, l));
+                        });
+                    }
+                    m.stats.global_stores += mask.active;
+                    m.access_uniform(m.mem.addr_i(b, ix as u64), mask.active, mask.warp_issues);
+                } else {
+                    st.addrs.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let len = m.mem.len_i(b);
+                        if ix < 0 || ix as usize >= len {
+                            return Err(format!(
+                                "st.global.s64: index {ix} out of bounds (len {len})"
+                            ));
+                        }
+                        m.mem.write_i(b, ix as usize, st.rdi(val, l));
+                        st.addrs.push((l, m.mem.addr_i(b, ix as u64)));
+                    });
+                    m.stats.global_stores += mask.active;
+                    flush_addrs(m, &st.addrs);
+                }
+            }
+            LOp::StSF { sh, i, val } => {
+                if is_u(i) {
+                    let ix = st.udi(i);
+                    let arr_len = st.sh_f[sh as usize].len();
+                    if ix < 0 || ix as usize >= arr_len {
+                        return Err(format!(
+                            "st.shared.f64: index {ix} out of bounds (len {arr_len})"
+                        ));
+                    }
+                    if is_u(val) {
+                        let v = st.udf(val);
+                        st.sh_f[sh as usize][ix as usize] = v;
+                    } else {
+                        for_active!(mask, l, {
+                            let v = st.rdf(val, l);
+                            st.sh_f[sh as usize][ix as usize] = v;
+                        });
+                    }
+                    m.stats.shared_accesses += mask.active;
+                } else {
+                    st.elems.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let v = st.rdf(val, l);
+                        let arr = &mut st.sh_f[sh as usize];
+                        if ix < 0 || ix as usize >= arr.len() {
+                            return Err(format!(
+                                "st.shared.f64: index {ix} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        arr[ix as usize] = v;
+                        st.elems.push((l, ix));
+                    });
+                    flush_elems(m, &st.elems);
+                }
+            }
+            LOp::StSI { sh, i, val } => {
+                if is_u(i) {
+                    let ix = st.udi(i);
+                    let arr_len = st.sh_i[sh as usize].len();
+                    if ix < 0 || ix as usize >= arr_len {
+                        return Err(format!(
+                            "st.shared.s64: index {ix} out of bounds (len {arr_len})"
+                        ));
+                    }
+                    if is_u(val) {
+                        let v = st.udi(val);
+                        st.sh_i[sh as usize][ix as usize] = v;
+                    } else {
+                        for_active!(mask, l, {
+                            let v = st.rdi(val, l);
+                            st.sh_i[sh as usize][ix as usize] = v;
+                        });
+                    }
+                    m.stats.shared_accesses += mask.active;
+                } else {
+                    st.elems.clear();
+                    for_active!(mask, l, {
+                        let ix = st.rdi(i, l);
+                        let v = st.rdi(val, l);
+                        let arr = &mut st.sh_i[sh as usize];
+                        if ix < 0 || ix as usize >= arr.len() {
+                            return Err(format!(
+                                "st.shared.s64: index {ix} out of bounds (len {})",
+                                arr.len()
+                            ));
+                        }
+                        arr[ix as usize] = v;
+                        st.elems.push((l, ix));
+                    });
+                    flush_elems(m, &st.elems);
+                }
+            }
+            LOp::StLF { loc, i, val, len } => {
+                let len = len as usize;
+                for_active!(mask, l, {
+                    let ix = st.rdi(i, l);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "st.local.f64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = st.rdf(val, l);
+                    st.loc_f[loc as usize][l * len + ix as usize] = v;
+                });
+            }
+            LOp::StVar { v, val } => {
+                if is_u(v) {
+                    let bits = st.ud(val);
+                    st.uvars[idx(v)] = bits;
+                } else {
+                    for_active!(mask, l, {
+                        let bits = st.rd(val, l);
+                        st.vvars[v as usize * st.lanes + l] = bits;
+                    });
+                }
+            }
+            LOp::Sync => {
+                if !mask.full {
+                    return Err("bar.sync reached inside divergent control flow (the block \
+                         barrier requires all threads of the block)"
+                        .into());
+                }
+                m.stats.syncs += m.n_warps as u64;
+            }
+            LOp::AtomicF { op, d, buf, i, val } => {
+                let b = m.buf_f(buf)?;
+                m.stats.atomics += mask.active;
+                for_active!(mask, l, {
+                    let ix = st.rdi(i, l);
+                    let len = m.mem.len_f(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "atom.global.f64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = st.rdf(val, l);
+                    let old = m.mem.read_f(b, ix as usize);
+                    m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v));
+                    st.wv(d, l, old.to_bits());
+                });
+            }
+            LOp::AtomicI { op, d, buf, i, val } => {
+                let b = m.buf_i(buf)?;
+                m.stats.atomics += mask.active;
+                for_active!(mask, l, {
+                    let ix = st.rdi(i, l);
+                    let len = m.mem.len_i(b);
+                    if ix < 0 || ix as usize >= len {
+                        return Err(format!(
+                            "atom.global.s64: index {ix} out of bounds (len {len})"
+                        ));
+                    }
+                    let v = st.rdi(val, l);
+                    let old = m.mem.read_i(b, ix as usize);
+                    m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v));
+                    st.wv(d, l, old as u64);
+                });
+            }
+            LOp::If {
+                cond,
+                then_len,
+                else_len,
+            } => {
+                let t0 = pc + 1;
+                let e0 = t0 + then_len as usize;
+                let end = e0 + else_len as usize;
+                if is_u(cond) {
+                    // A uniform branch: all lanes agree, never divergent,
+                    // the untaken side is skipped outright.
+                    if st.udb(cond) {
+                        if then_len > 0 {
+                            exec_ops(m, st, wp, t0, e0, depth, mask)?;
+                        }
+                    } else if else_len > 0 {
+                        exec_ops(m, st, wp, e0, end, depth, mask)?;
+                    }
+                } else {
+                    st.ensure_mask(depth + 1);
+                    let (any_t, any_f) = {
+                        let mut child = std::mem::take(&mut st.masks[depth + 1]);
+                        let r = fill_branch_mask(m, st, cond, mask, &mut child, true, true);
+                        st.masks[depth + 1] = child;
+                        r
+                    };
+                    if any_t && then_len > 0 {
+                        exec_range(m, st, wp, t0, e0, depth + 1)?;
+                    }
+                    if any_f && else_len > 0 {
+                        let mut child = std::mem::take(&mut st.masks[depth + 1]);
+                        fill_branch_mask(m, st, cond, mask, &mut child, false, false);
+                        st.masks[depth + 1] = child;
+                        exec_range(m, st, wp, e0, end, depth + 1)?;
+                    }
+                }
+                pc = end;
+                continue;
+            }
+            LOp::For {
+                counter,
+                start,
+                end,
+                body_len,
+                vectorize,
+            } => {
+                let b0 = pc + 1;
+                let bend = b0 + body_len as usize;
+                // Open a vectorization region for outermost element loops
+                // on CPU device models (mirrors the reference engine).
+                let opened = vectorize
+                    && m.spec.kind == DeviceKind::Cpu
+                    && m.spec.simd_width > 1
+                    && m.region.is_none();
+                if opened {
+                    m.region = Some(RegionAcc::default());
+                } else if let Some(r) = &mut m.region {
+                    r.depth += 1;
+                }
+                let result = exec_for_lowered(
+                    m, st, wp, counter, start, end, b0, bend, depth, mask, opened,
+                );
+                if opened {
+                    let r = m.region.take().expect("region open");
+                    if r.vectorized() {
+                        m.stats.vec_issue += r.issue;
+                        m.stats.vec_flops += r.flops;
+                        // Special functions do not vectorize on the
+                        // modeled units.
+                        m.stats.special_ops += r.special;
+                    } else {
+                        m.stats.scalar_issue += r.issue;
+                        m.stats.scalar_flops += r.flops;
+                        m.stats.special_ops += r.special;
+                    }
+                } else if let Some(reg) = &mut m.region {
+                    reg.depth = reg.depth.saturating_sub(1);
+                }
+                result?;
+                pc = bend;
+                continue;
+            }
+            LOp::While {
+                cond,
+                cond_len,
+                body_len,
+            } => {
+                let c0 = pc + 1;
+                let b0 = c0 + cond_len as usize;
+                let end = b0 + body_len as usize;
+                if is_u(cond) {
+                    // A uniform loop: all lanes enter and leave together.
+                    loop {
+                        m.burn()?;
+                        exec_ops(m, st, wp, c0, b0, depth, mask)?;
+                        if !st.udb(cond) {
+                            break;
+                        }
+                        exec_ops(m, st, wp, b0, end, depth, mask)?;
+                    }
+                } else {
+                    st.ensure_mask(depth + 1);
+                    {
+                        let mut child = std::mem::take(&mut st.masks[depth + 1]);
+                        copy_mask(&mut child, mask);
+                        st.masks[depth + 1] = child;
+                    }
+                    loop {
+                        m.burn()?;
+                        if st.masks[depth + 1].active == 0 {
+                            break;
+                        }
+                        exec_range(m, st, wp, c0, b0, depth + 1)?;
+                        let any = {
+                            let mut child = std::mem::take(&mut st.masks[depth + 1]);
+                            let any = shrink_while_mask(m, st, cond, &mut child);
+                            st.masks[depth + 1] = child;
+                            any
+                        };
+                        if !any {
+                            break;
+                        }
+                        exec_range(m, st, wp, b0, end, depth + 1)?;
+                    }
+                }
+                pc = end;
+                continue;
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_for_lowered(
+    m: &mut Machine<'_>,
+    st: &mut LowState,
+    wp: &WarpProgram,
+    counter: u32,
+    start: u32,
+    endv: u32,
+    b0: usize,
+    bend: usize,
+    depth: usize,
+    mask: &MaskBuf,
+    probe: bool,
+) -> R<()> {
+    if is_u(counter) {
+        // Statically uniform bounds: no per-lane scan, scalar counter.
+        let s0 = st.udi(start);
+        let e0 = st.udi(endv);
+        let mut k = s0;
+        while k < e0 {
+            m.burn()?;
+            st.wu(counter, k as u64);
+            exec_ops(m, st, wp, b0, bend, depth, mask)?;
+            if probe {
+                if let Some(r) = &mut m.region {
+                    r.iter += 1;
+                }
+            }
+            k += 1;
+        }
+        return Ok(());
+    }
+
+    // Statically varying bounds: replicate the reference engine's dynamic
+    // uniformity scan — runtime-uniform trip counts still run in lockstep
+    // (and keep the vectorization probe alive).
+    let lanes = st.lanes;
+    let mut s0e0: Option<(i64, i64)> = None;
+    let mut uniform = true;
+    for l in 0..lanes {
+        if mask.bits[l] {
+            let s = st.rdi(start, l);
+            let e = st.rdi(endv, l);
+            match s0e0 {
+                None => s0e0 = Some((s, e)),
+                Some((ps, pe)) => {
+                    if ps != s || pe != e {
+                        uniform = false;
+                    }
+                }
+            }
+        }
+    }
+    let Some((s0, e0)) = s0e0 else {
+        return Ok(()); // no active lanes
+    };
+
+    if uniform {
+        let mut k = s0;
+        while k < e0 {
+            m.burn()?;
+            for_active!(mask, l, {
+                st.wv(counter, l, k as u64);
+            });
+            exec_ops(m, st, wp, b0, bend, depth, mask)?;
+            if probe {
+                if let Some(r) = &mut m.region {
+                    r.iter += 1;
+                }
+            }
+            k += 1;
+        }
+    } else {
+        // Per-lane trip counts: iterate with a shrinking mask.
+        if probe {
+            if let Some(r) = &mut m.region {
+                r.probe_failed = true;
+            }
+        }
+        st.ensure_mask(depth + 1);
+        let mut iter: i64 = 0;
+        loop {
+            m.burn()?;
+            let mut child = std::mem::take(&mut st.masks[depth + 1]);
+            let any = fill_for_mask(m, st, start, endv, iter, mask, &mut child);
+            if !any {
+                st.masks[depth + 1] = child;
+                break;
+            }
+            for l in 0..lanes {
+                if child.bits[l] {
+                    let s = st.rdi(start, l);
+                    st.wv(counter, l, (s + iter) as u64);
+                }
+            }
+            st.masks[depth + 1] = child;
+            exec_range(m, st, wp, b0, bend, depth + 1)?;
+            iter += 1;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker block loop
+// ---------------------------------------------------------------------------
+
+/// Lowered-engine counterpart of `interp::interpret_blocks`: identical SM
+/// partitioning, block order, per-block array resets and error reporting.
+pub(crate) fn interpret_blocks_lowered(
+    ctx: &LaunchCtx<'_>,
+    mem: MemAccess<'_>,
+    team: usize,
+    worker: usize,
+    indices: &[usize],
+    wp: &WarpProgram,
+) -> Result<LaunchStats, (usize, String)> {
+    let prog = ctx.prog;
+    let sms = ctx.spec.sms.max(1);
+    let lanes = ctx.lanes;
+    let mut m = make_machine(ctx, mem, team, worker);
+    let mut st = LowState {
+        lanes,
+        uregs: vec![0; wp.n_vals],
+        vregs: vec![0; wp.n_vals * lanes],
+        uvars: vec![0; wp.n_vars],
+        vvars: vec![0; wp.n_vars * lanes],
+        sh_f: prog
+            .shared
+            .iter()
+            .map(|s| {
+                if s.ty == Ty::F64 {
+                    vec![0.0; s.len]
+                } else {
+                    vec![]
+                }
+            })
+            .collect(),
+        sh_i: prog
+            .shared
+            .iter()
+            .map(|s| {
+                if s.ty == Ty::I64 {
+                    vec![0; s.len]
+                } else {
+                    vec![]
+                }
+            })
+            .collect(),
+        loc_f: prog
+            .locals
+            .iter()
+            .map(|l| vec![0.0; l.len * lanes])
+            .collect(),
+        tid: (0..lanes)
+            .map(|t| ctx.thread_ext.delinearize(t).map_i64())
+            .collect(),
+        bidx: [0; 3],
+        masks: vec![MaskBuf {
+            bits: vec![true; lanes],
+            active: lanes as u64,
+            warp_issues: ctx.n_warps as u64,
+            full: true,
+        }],
+        addrs: Vec::new(),
+        elems: Vec::new(),
+    };
+    // Constants are block-invariant: preload them once per worker.
+    for &(r, bits) in &wp.const_init {
+        st.uregs[r as usize] = bits;
+    }
+
+    // Shared/local arrays must be zero at block entry. They start zeroed,
+    // so resetting is only needed *between* blocks, and only when the
+    // program declares any such arrays at all.
+    let has_block_arrays = st.sh_f.iter().any(|a| !a.is_empty())
+        || st.sh_i.iter().any(|a| !a.is_empty())
+        || st.loc_f.iter().any(|a| !a.is_empty());
+    let mut ran_a_block = false;
+
+    for &lin in indices {
+        let sm = lin % sms;
+        if sm % team != worker {
+            continue;
+        }
+        if has_block_arrays && ran_a_block {
+            for a in &mut st.sh_f {
+                a.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for a in &mut st.sh_i {
+                a.iter_mut().for_each(|v| *v = 0);
+            }
+            for a in &mut st.loc_f {
+                a.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        ran_a_block = true;
+        m.cur_sm = sm / team;
+        st.bidx = ctx.grid_ext.delinearize(lin).map_i64();
+        exec_range(&mut m, &mut st, wp, 0, wp.ops.len(), 0)
+            .map_err(|e| (lin, format!("block {:?}: {e}", st.bidx)))?;
+        m.stats.blocks += 1;
+        m.stats.warps += m.n_warps as u64;
+        m.stats.threads += lanes as u64;
+    }
+    Ok(m.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daxpy_like() -> Program {
+        use alpaka_kir::ir::Op;
+        // tid-guarded store: v0 = tid, v1 = param, v2 = ld x[v0],
+        // v3 = fma(v2, v1, v2), st y[v0] = v3
+        Program {
+            name: "t".into(),
+            dims: 1,
+            body: Block(vec![
+                Stmt::I(Instr {
+                    dst: ValId(0),
+                    op: Op::Special(SpecialReg::ThreadIdx(2)),
+                }),
+                Stmt::I(Instr {
+                    dst: ValId(1),
+                    op: Op::ParamF(0),
+                }),
+                Stmt::I(Instr {
+                    dst: ValId(2),
+                    op: Op::LdGF {
+                        buf: 0,
+                        idx: ValId(0),
+                    },
+                }),
+                Stmt::I(Instr {
+                    dst: ValId(3),
+                    op: Op::Fma(ValId(2), ValId(1), ValId(2)),
+                }),
+                Stmt::StGF {
+                    buf: 0,
+                    idx: ValId(0),
+                    val: ValId(3),
+                },
+            ]),
+            n_vals: 4,
+            vars: vec![],
+            shared: vec![],
+            locals: vec![],
+            n_bufs_f: 1,
+            n_bufs_i: 0,
+            n_params_f: 1,
+            n_params_i: 0,
+        }
+    }
+
+    #[test]
+    fn valid_program_lowers() {
+        let wp = lower(&daxpy_like()).expect("lowers");
+        // Account + 4 stream ops (no constants to drop here).
+        assert!(!wp.is_empty());
+        assert!(wp.len() >= 5, "{}", wp.len());
+    }
+
+    #[test]
+    fn invalid_program_does_not_lower() {
+        let mut p = daxpy_like();
+        // Use a value out of scope: point the store at an undefined id.
+        if let Stmt::StGF { val, .. } = &mut p.body.0[4] {
+            *val = ValId(9);
+        }
+        p.n_vals = 10;
+        assert!(lower(&p).is_none());
+    }
+
+    #[test]
+    fn constants_fold_into_preload() {
+        let p = Program {
+            name: "c".into(),
+            dims: 1,
+            body: Block(vec![
+                Stmt::I(Instr {
+                    dst: ValId(0),
+                    op: Op::ConstI(5),
+                }),
+                Stmt::I(Instr {
+                    dst: ValId(1),
+                    op: Op::ConstF(2.5),
+                }),
+            ]),
+            n_vals: 2,
+            vars: vec![],
+            shared: vec![],
+            locals: vec![],
+            n_bufs_f: 0,
+            n_bufs_i: 0,
+            n_params_f: 0,
+            n_params_i: 0,
+        };
+        let wp = lower(&p).unwrap();
+        // Both constants vanish from the stream; one Account op remains
+        // carrying their issue/fuel charge.
+        assert_eq!(wp.len(), 1);
+        assert_eq!(wp.const_init.len(), 2);
+        assert!(matches!(wp.ops[0], LOp::Account { n: 2, .. }));
+    }
+
+    #[test]
+    fn lowered_cache_is_shared() {
+        let p = daxpy_like();
+        let spec = DeviceSpec::k20();
+        let a = lowered_for(&p, &spec).unwrap();
+        let b = lowered_for(&p, &spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Simulator-throughput benchmarks: serial-vs-parallel block interpretation
+# (sim_throughput) and the lowering on/off engine comparison (sim_lowering).
+#
+# sim_lowering writes BENCH_sim.json at the repo root — blocks/s and
+# instrs/s from the simulator's own HostPerf counters for the reference and
+# lowered engines, plus the speedup — so the perf trajectory is tracked
+# across PRs. Numbers are host-dependent; compare within one machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== sim_throughput (serial vs parallel workers) =="
+cargo bench -p alpaka-bench --bench sim_throughput
+
+echo "== sim_lowering (reference vs lowered engine) =="
+cargo bench -p alpaka-bench --bench sim_lowering
+
+echo "== BENCH_sim.json =="
+cat BENCH_sim.json

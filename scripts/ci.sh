@@ -20,4 +20,8 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== bench smoke (guards only, no timing) =="
+cargo bench -p alpaka-bench --bench sim_throughput -- --test
+cargo bench -p alpaka-bench --bench sim_lowering -- --test
+
 echo "CI OK"
