@@ -15,8 +15,9 @@ use alpaka_core::kernel::{Kernel, ScalarArgs};
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_kir::{optimize, trace_kernel_spec, PassStats, Program, SpecConsts};
 use alpaka_sim::{
-    resolve_sim_threads, run_kernel_launch_threads, transfer_time, DeviceMem, DeviceSpec, ExecMode,
-    SimArgs, SimBufF, SimBufI, SimReport,
+    resolve_sim_threads, run_kernel_launch_faulty, transfer_time, DeviceMem, DeviceSpec, Engine,
+    ExecMode, FaultPlan, LaunchFaults, SimArgs, SimBufF, SimBufI, SimError, SimErrorKind,
+    SimReport,
 };
 use parking_lot::Mutex;
 
@@ -24,6 +25,33 @@ struct State {
     mem: DeviceMem,
     /// Accumulated simulated time in seconds (kernels + transfers).
     clock_s: f64,
+    /// Active fault-injection plan, if any.
+    faults: Option<FaultPlan>,
+    /// Monotonic kernel-launch ordinal; keys injected launch-scoped faults
+    /// so campaigns replay identically regardless of interpreter threads.
+    launches: u64,
+    /// Monotonic fault-aware allocation ordinal (`try_alloc_*` only).
+    allocs: u64,
+    /// Set once an injected device loss fires: the device is poisoned and
+    /// every subsequent operation fails with `Error::DeviceLost`.
+    lost: bool,
+}
+
+/// Map an interpreter-level [`SimError`] to the structured facade error,
+/// preserving the fault kind and block/thread coordinates.
+fn to_core_error(kernel: &str, e: SimError) -> Error {
+    let info = alpaka_core::error::FaultInfo {
+        msg: format!("{kernel}: {}", e.msg),
+        block: e.block,
+        thread: e.thread,
+        transient: matches!(e.kind, SimErrorKind::Fault { transient: true }),
+    };
+    match e.kind {
+        SimErrorKind::Timeout => Error::Timeout(info),
+        SimErrorKind::DeviceLost => Error::DeviceLost(info.msg),
+        SimErrorKind::BadBuffer => Error::BadBuffer(info.msg),
+        SimErrorKind::Fault { .. } => Error::KernelFault(info),
+    }
 }
 
 /// A simulated device (one entry of Table 3, or a custom spec).
@@ -51,9 +79,42 @@ impl SimDevice {
             state: Arc::new(Mutex::new(State {
                 mem: DeviceMem::new(),
                 clock_s: 0.0,
+                faults: FaultPlan::from_env(),
+                launches: 0,
+                allocs: 0,
+                lost: false,
             })),
             threads: threads.max(1),
         }
+    }
+
+    /// Attach a fault-injection plan (builder form). Replaces any plan
+    /// picked up from `ALPAKA_SIM_FAULTS`.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.set_faults(Some(plan));
+        self
+    }
+
+    /// Install or clear the fault-injection plan on the shared device state
+    /// (affects every clone of this device handle).
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        self.state.lock().faults = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.state.lock().faults.clone()
+    }
+
+    /// True once an injected device loss has poisoned this device.
+    pub fn is_lost(&self) -> bool {
+        self.state.lock().lost
+    }
+
+    /// Charge `s` simulated seconds to the device clock (used by the retry
+    /// layer to account backoff delays in simulated time).
+    pub fn advance_clock(&self, s: f64) {
+        self.state.lock().clock_s += s.max(0.0);
     }
 
     pub fn spec(&self) -> &DeviceSpec {
@@ -90,7 +151,8 @@ impl SimDevice {
         self.state.lock().clock_s = 0.0;
     }
 
-    /// Allocate a zeroed f64 device buffer.
+    /// Allocate a zeroed f64 device buffer (infallible fast path; not
+    /// subject to fault injection — see [`SimDevice::try_alloc_f64`]).
     pub fn alloc_f64(&self, layout: BufLayout) -> SimBufferF {
         let id = self.state.lock().mem.alloc_f(layout.alloc_len());
         SimBufferF {
@@ -100,7 +162,8 @@ impl SimDevice {
         }
     }
 
-    /// Allocate a zeroed i64 device buffer.
+    /// Allocate a zeroed i64 device buffer (infallible fast path; not
+    /// subject to fault injection — see [`SimDevice::try_alloc_i64`]).
     pub fn alloc_i64(&self, layout: BufLayout) -> SimBufferI {
         let id = self.state.lock().mem.alloc_i(layout.alloc_len());
         SimBufferI {
@@ -108,6 +171,52 @@ impl SimDevice {
             id,
             layout,
         }
+    }
+
+    /// Consume one allocation ordinal against the fault plan. Fails when
+    /// the device is lost or the plan injects an OOM at this ordinal.
+    fn check_alloc(st: &mut State) -> Result<()> {
+        if st.lost {
+            return Err(Error::DeviceLost(
+                "allocation on a lost device (injected)".into(),
+            ));
+        }
+        let ordinal = st.allocs;
+        st.allocs += 1;
+        if st.faults.as_ref().is_some_and(|p| p.oom_hits(ordinal)) {
+            return Err(Error::Device(format!(
+                "simulated device out of memory (injected OOM at allocation ordinal {ordinal})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fault-aware f64 allocation: consumes one allocation ordinal against
+    /// the active [`FaultPlan`] and fails with `Error::Device` on an
+    /// injected OOM, or `Error::DeviceLost` on a poisoned device.
+    pub fn try_alloc_f64(&self, layout: BufLayout) -> Result<SimBufferF> {
+        let mut st = self.state.lock();
+        Self::check_alloc(&mut st)?;
+        let id = st.mem.alloc_f(layout.alloc_len());
+        drop(st);
+        Ok(SimBufferF {
+            dev: self.clone(),
+            id,
+            layout,
+        })
+    }
+
+    /// Fault-aware i64 allocation; see [`SimDevice::try_alloc_f64`].
+    pub fn try_alloc_i64(&self, layout: BufLayout) -> Result<SimBufferI> {
+        let mut st = self.state.lock();
+        Self::check_alloc(&mut st)?;
+        let id = st.mem.alloc_i(layout.alloc_len());
+        drop(st);
+        Ok(SimBufferI {
+            dev: self.clone(),
+            id,
+            layout,
+        })
     }
 
     pub(crate) fn same_device(&self, other: &SimDevice) -> bool {
@@ -184,7 +293,31 @@ impl SimDevice {
             params_i: args.scalars.i.clone(),
         };
         let mut st = self.state.lock();
-        let report = run_kernel_launch_threads(
+        if st.lost {
+            return Err(Error::DeviceLost(format!(
+                "{}: launch on a lost device (injected)",
+                compiled.program.name
+            )));
+        }
+        let ordinal = st.launches;
+        st.launches += 1;
+        let faults = match &st.faults {
+            Some(plan) => {
+                if plan.lost_hits(ordinal) {
+                    st.lost = true;
+                    return Err(Error::DeviceLost(format!(
+                        "{}: device lost (injected at launch ordinal {ordinal})",
+                        compiled.program.name
+                    )));
+                }
+                Some(LaunchFaults {
+                    ecc: plan.ecc_ctx(ordinal),
+                    watchdog_fuel: plan.watchdog_fuel,
+                })
+            }
+            None => None,
+        };
+        let report = run_kernel_launch_faulty(
             &self.spec,
             &mut st.mem,
             &compiled.program,
@@ -192,8 +325,10 @@ impl SimDevice {
             &sim_args,
             mode,
             resolve_sim_threads(self.threads),
+            Engine::Lowered,
+            faults,
         )
-        .map_err(|e| Error::KernelFault(format!("{}: {e}", compiled.program.name)))?;
+        .map_err(|e| to_core_error(&compiled.program.name, e))?;
         st.clock_s += report.time.total_s;
         Ok(report)
     }

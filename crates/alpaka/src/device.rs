@@ -14,6 +14,7 @@ use alpaka_core::vec::div_ceil;
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_cpu::{CpuAccKind, CpuDevice};
 use alpaka_sim::DeviceSpec;
+use alpaka_sim::FaultPlan;
 
 use crate::buffer::{BufferF, BufferI};
 
@@ -158,6 +159,41 @@ impl Device {
         matches!(self.inner, DeviceImpl::Sim(_))
     }
 
+    /// Attach a fault-injection plan (simulated devices only; a no-op on
+    /// native CPU devices, which have no injection hooks). Replaces any
+    /// plan picked up from `ALPAKA_SIM_FAULTS`.
+    pub fn with_faults(self, plan: FaultPlan) -> Device {
+        if let DeviceImpl::Sim(d) = &self.inner {
+            d.set_faults(Some(plan));
+        }
+        self
+    }
+
+    /// The active fault plan, if any (always `None` for native devices).
+    pub fn faults(&self) -> Option<FaultPlan> {
+        match &self.inner {
+            DeviceImpl::Cpu(_) => None,
+            DeviceImpl::Sim(d) => d.faults(),
+        }
+    }
+
+    /// True once the device is lost (an injected sticky fault): every
+    /// operation fails until a fresh device is constructed.
+    pub fn is_lost(&self) -> bool {
+        match &self.inner {
+            DeviceImpl::Cpu(_) => false,
+            DeviceImpl::Sim(d) => d.is_lost(),
+        }
+    }
+
+    /// Charge `s` simulated seconds to the device clock (used by the retry
+    /// layer to account backoff in simulated time; no-op on native devices).
+    pub fn advance_sim_clock(&self, s: f64) {
+        if let DeviceImpl::Sim(d) = &self.inner {
+            d.advance_clock(s);
+        }
+    }
+
     /// Allocate a zeroed f64 buffer resident on this device.
     pub fn alloc_f64(&self, layout: BufLayout) -> BufferF {
         match &self.inner {
@@ -171,6 +207,25 @@ impl Device {
         match &self.inner {
             DeviceImpl::Cpu(d) => BufferI::Host(d.alloc_i64(layout)),
             DeviceImpl::Sim(d) => BufferI::Sim(d.alloc_i64(layout)),
+        }
+    }
+
+    /// Fault-aware f64 allocation: on simulated devices this consumes one
+    /// allocation ordinal against the fault plan and can fail with an
+    /// injected OOM (`Error::Device`) or `Error::DeviceLost`; on native
+    /// devices it always succeeds.
+    pub fn try_alloc_f64(&self, layout: BufLayout) -> Result<BufferF> {
+        match &self.inner {
+            DeviceImpl::Cpu(d) => Ok(BufferF::Host(d.alloc_f64(layout))),
+            DeviceImpl::Sim(d) => Ok(BufferF::Sim(d.try_alloc_f64(layout)?)),
+        }
+    }
+
+    /// Fault-aware i64 allocation; see [`Device::try_alloc_f64`].
+    pub fn try_alloc_i64(&self, layout: BufLayout) -> Result<BufferI> {
+        match &self.inner {
+            DeviceImpl::Cpu(d) => Ok(BufferI::Host(d.alloc_i64(layout))),
+            DeviceImpl::Sim(d) => Ok(BufferI::Sim(d.try_alloc_i64(layout)?)),
         }
     }
 

@@ -39,16 +39,21 @@ pub mod buffer;
 pub mod device;
 pub mod queue;
 pub mod registry;
+pub mod resilient;
 
 pub use alpaka_core::buffer::BufLayout;
-pub use alpaka_core::error::{Error, Result};
+pub use alpaka_core::error::{Error, FaultInfo, Result};
 pub use alpaka_core::kernel::Kernel;
 pub use alpaka_core::ops::{KernelOps, KernelOpsExt};
 pub use alpaka_core::queue::{HostEvent, QueueBehavior};
 pub use alpaka_core::workdiv::WorkDiv;
+pub use alpaka_sim::FaultPlan;
 pub use buffer::{copy_f64, copy_i64, BufferF, BufferI};
 pub use device::{AccKind, Device};
 pub use queue::{assert_portable, time_launch, Args, LaunchMode, Queue, TimedRun};
+pub use resilient::{
+    launch_resilient, FallbackChain, LaunchOutcome, LaunchSpec, RetryPolicy, WorkDivSpec,
+};
 
 #[cfg(test)]
 mod tests {

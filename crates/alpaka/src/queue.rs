@@ -1,5 +1,6 @@
 //! Uniform queues, executors and timing over every back-end.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use alpaka_core::error::{Error, Result};
@@ -92,9 +93,20 @@ enum QImpl {
 }
 
 /// An in-order work queue on any device.
+///
+/// Queue errors follow the CUDA stream model: an operation that fails on a
+/// `NonBlocking` queue records its error, which then re-surfaces at every
+/// subsequent enqueue, [`Queue::wait`] and [`Queue::wait_event`] until
+/// [`Queue::reset`] clears it. The device itself stays usable (unless the
+/// error was a device loss, which poisons the [`Device`] independently).
 pub struct Queue {
     device: Device,
+    behavior: QueueBehavior,
     inner: QImpl,
+    /// First error produced by an enqueued operation; sticky until `reset`.
+    sticky: Mutex<Option<Error>>,
+    /// Monotonic per-queue operation ordinal, keying injected worker death.
+    ops: AtomicU64,
 }
 
 impl Queue {
@@ -106,11 +118,69 @@ impl Queue {
                 behavior,
             )))),
         };
-        Queue { device, inner }
+        Queue {
+            device,
+            behavior,
+            inner,
+            sticky: Mutex::new(None),
+            ops: AtomicU64::new(0),
+        }
     }
 
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    pub fn behavior(&self) -> QueueBehavior {
+        self.behavior
+    }
+
+    /// Fail if a sticky error is recorded (clones it; the slot is kept).
+    fn check_sticky(&self) -> Result<()> {
+        match self.sticky.lock().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Record the first error; later ones are dropped (CUDA keeps the
+    /// first sticky error per stream).
+    fn record(&self, e: Error) {
+        let mut slot = self.sticky.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Route an operation result by queue behavior: blocking queues return
+    /// errors directly, non-blocking queues record them (surfacing at the
+    /// next enqueue/wait) and report success for the enqueue itself.
+    fn absorb(&self, r: Result<()>) -> Result<()> {
+        match (r, self.behavior) {
+            (Ok(()), _) => Ok(()),
+            (Err(e), QueueBehavior::Blocking) => Err(e),
+            (Err(e), QueueBehavior::NonBlocking) => {
+                self.record(e);
+                Ok(())
+            }
+        }
+    }
+
+    /// Consume one op ordinal against the device's fault plan; an injected
+    /// worker death kills the queue at this operation.
+    fn consume_op(&self) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        if let Some(plan) = self.device.faults() {
+            if plan.worker_death_hits(op) {
+                if let QImpl::Cpu(q) = &self.inner {
+                    q.kill_worker();
+                }
+                return self.absorb(Err(Error::Device(format!(
+                    "queue worker died (injected at queue op {op})"
+                ))));
+            }
+        }
+        Ok(())
     }
 
     /// Enqueue a kernel execution.
@@ -120,12 +190,20 @@ impl Queue {
         wd: &WorkDiv,
         args: &Args,
     ) -> Result<()> {
+        self.check_sticky()?;
+        self.consume_op()?;
+        if self.sticky.lock().is_some() {
+            // consume_op absorbed an injected death; this op never runs.
+            return Ok(());
+        }
         match &self.inner {
             QImpl::Cpu(q) => q.enqueue_kernel(kernel.clone(), *wd, args.to_cpu()?),
             QImpl::Sim(q) => {
-                q.lock()
-                    .enqueue_kernel(kernel, wd, &args.to_sim()?, ExecMode::Full)?;
-                Ok(())
+                let r = q
+                    .lock()
+                    .enqueue_kernel(kernel, wd, &args.to_sim()?, ExecMode::Full)
+                    .map(|_| ());
+                self.absorb(r)
             }
         }
     }
@@ -134,11 +212,17 @@ impl Queue {
     /// queue stay fully asynchronous; copies that cross a device boundary
     /// first drain the queue (preserving in-order semantics) and then run.
     pub fn enqueue_copy_f64(&self, dst: &BufferF, src: &BufferF) -> Result<()> {
+        self.check_sticky()?;
+        self.consume_op()?;
+        if self.sticky.lock().is_some() {
+            return Ok(());
+        }
         match (&self.inner, dst, src) {
             (QImpl::Cpu(q), BufferF::Host(d), BufferF::Host(s)) => q.enqueue_copy(d, s),
             _ => {
                 self.wait()?;
-                copy_f64(dst, src)
+                let r = copy_f64(dst, src);
+                self.absorb(r)
             }
         }
     }
@@ -146,28 +230,100 @@ impl Queue {
     /// Enqueue a deep i64 copy (same ordering rules as
     /// [`Queue::enqueue_copy_f64`]).
     pub fn enqueue_copy_i64(&self, dst: &BufferI, src: &BufferI) -> Result<()> {
+        self.check_sticky()?;
+        self.consume_op()?;
+        if self.sticky.lock().is_some() {
+            return Ok(());
+        }
         match (&self.inner, dst, src) {
             (QImpl::Cpu(q), BufferI::Host(d), BufferI::Host(s)) => q.enqueue_copy(d, s),
             _ => {
                 self.wait()?;
-                copy_i64(dst, src)
+                let r = copy_i64(dst, src);
+                self.absorb(r)
             }
         }
     }
 
     /// Enqueue an event signaled once all prior operations completed.
     pub fn enqueue_event(&self, ev: &HostEvent) -> Result<()> {
+        self.check_sticky()?;
         match &self.inner {
             QImpl::Cpu(q) => q.enqueue_event(ev),
             QImpl::Sim(q) => q.lock().enqueue_event(ev),
         }
     }
 
-    /// Drain the queue; surfaces the first error of any enqueued op.
+    /// Drain the queue; surfaces the first error of any enqueued op. The
+    /// error is sticky: it is reported again by every later operation until
+    /// [`Queue::reset`].
     pub fn wait(&self) -> Result<()> {
         match &self.inner {
-            QImpl::Cpu(q) => q.wait(),
-            QImpl::Sim(q) => q.lock().wait(),
+            QImpl::Cpu(q) => {
+                if let Err(e) = q.wait() {
+                    self.record(e);
+                }
+            }
+            QImpl::Sim(q) => {
+                if let Err(e) = q.lock().wait() {
+                    self.record(e);
+                }
+            }
+        }
+        self.check_sticky()
+    }
+
+    /// Block until `ev` is signaled, then surface any error recorded by
+    /// the operations that preceded it (sticky, like [`Queue::wait`]).
+    /// Returns early with the queue's error if the worker dies before the
+    /// event can ever be signaled.
+    pub fn wait_event(&self, ev: &HostEvent) -> Result<()> {
+        loop {
+            if ev.is_done() {
+                break;
+            }
+            if let QImpl::Cpu(q) = &self.inner {
+                if q.worker_dead() {
+                    if let Some(e) = q.peek_error() {
+                        self.record(e);
+                    }
+                    return self.check_sticky();
+                }
+            }
+            if self.sticky.lock().is_some() {
+                return self.check_sticky();
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        if let QImpl::Cpu(q) = &self.inner {
+            if let Some(e) = q.peek_error() {
+                self.record(e);
+            }
+        }
+        self.check_sticky()
+    }
+
+    /// The sticky error currently recorded, if any (non-destructive).
+    pub fn sticky_error(&self) -> Option<Error> {
+        self.sticky.lock().clone()
+    }
+
+    /// Clear the sticky error and revive the queue: recorded errors are
+    /// discarded and a dead CPU queue worker is respawned. The device is
+    /// NOT revived — a lost device stays lost.
+    pub fn reset(&self) {
+        if let QImpl::Cpu(q) = &self.inner {
+            q.reset();
+        }
+        *self.sticky.lock() = None;
+    }
+
+    /// Inject queue-worker death directly (test hook; the `worker_death_at`
+    /// knob of a [`alpaka_sim::FaultPlan`] does this at a chosen ordinal).
+    pub fn inject_worker_death(&self) {
+        match &self.inner {
+            QImpl::Cpu(q) => q.kill_worker(),
+            QImpl::Sim(_) => self.record(Error::Device("queue worker died (injected)".into())),
         }
     }
 

@@ -133,7 +133,7 @@ impl CpuDevice {
         wd.validate(&self.caps())?;
         let geo = LaunchGeometry::from_workdiv(wd);
         let resolved = args.resolve();
-        let fault = |msg: String| Error::KernelFault(format!("{}: {msg}", kernel.name()));
+        let fault = |msg: String| Error::KernelFault(format!("{}: {msg}", kernel.name()).into());
         match self.kind {
             CpuAccKind::Serial => {
                 run_serial(kernel, &geo, &resolved).map_err(fault)?;

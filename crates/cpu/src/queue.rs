@@ -6,6 +6,7 @@
 //!   that drains them strictly in order (`StreamCpuAsync` analogue); the
 //!   host resumes immediately and synchronizes with `wait()` or an event.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -22,19 +23,33 @@ use crate::exec::CpuArgs;
 
 type Task = Box<dyn FnOnce() -> Result<()> + Send + 'static>;
 
+enum Msg {
+    Task(Task),
+    /// Injected worker death: the worker records the error, stops executing
+    /// and drains every later task unrun (so `wait` never hangs).
+    Die,
+}
+
 struct AsyncState {
     pending: Mutex<usize>,
     idle: Condvar,
     error: Mutex<Option<Error>>,
+    /// Set once the worker has died (injected): tasks are no longer
+    /// executed, and `submit` refuses new work until the queue is reset.
+    dead: AtomicBool,
+}
+
+/// The live half of a non-blocking queue; replaced wholesale when a dead
+/// worker is respawned by [`CpuQueue::reset`].
+struct AsyncInner {
+    tx: Sender<Msg>,
+    state: Arc<AsyncState>,
+    _worker: WorkerHandle,
 }
 
 enum Inner {
     Blocking,
-    Async {
-        tx: Sender<Task>,
-        state: Arc<AsyncState>,
-        _worker: Arc<WorkerHandle>,
-    },
+    Async(Mutex<AsyncInner>),
 }
 
 struct WorkerHandle(Option<thread::JoinHandle<()>>);
@@ -44,6 +59,66 @@ impl Drop for WorkerHandle {
         if let Some(h) = self.0.take() {
             let _ = h.join();
         }
+    }
+}
+
+fn spawn_async() -> AsyncInner {
+    let (tx, rx) = unbounded::<Msg>();
+    let state = Arc::new(AsyncState {
+        pending: Mutex::new(0),
+        idle: Condvar::new(),
+        error: Mutex::new(None),
+        dead: AtomicBool::new(false),
+    });
+    let wstate = Arc::clone(&state);
+    let handle = thread::Builder::new()
+        .name("alpaka-queue".into())
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Die => {
+                        // Record the error before raising the dead flag:
+                        // observers treat `dead` as "the error is there".
+                        let mut slot = wstate.error.lock();
+                        if slot.is_none() {
+                            *slot = Some(Error::Device("queue worker died (injected)".into()));
+                        }
+                        drop(slot);
+                        wstate.dead.store(true, Ordering::SeqCst);
+                        // Later tasks may already be queued or still
+                        // arriving; keep draining so their pending counts
+                        // are released, but never execute them. The death
+                        // itself holds a pending slot so `wait` cannot
+                        // return before it is recorded.
+                        let mut p = wstate.pending.lock();
+                        *p -= 1;
+                        if *p == 0 {
+                            wstate.idle.notify_all();
+                        }
+                    }
+                    Msg::Task(task) => {
+                        if !wstate.dead.load(Ordering::SeqCst) {
+                            if let Err(e) = task() {
+                                let mut slot = wstate.error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
+                        let mut p = wstate.pending.lock();
+                        *p -= 1;
+                        if *p == 0 {
+                            wstate.idle.notify_all();
+                        }
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn queue worker");
+    AsyncInner {
+        tx,
+        state,
+        _worker: WorkerHandle(Some(handle)),
     }
 }
 
@@ -58,39 +133,7 @@ impl CpuQueue {
     pub fn new(device: CpuDevice, behavior: QueueBehavior) -> Self {
         let inner = match behavior {
             QueueBehavior::Blocking => Inner::Blocking,
-            QueueBehavior::NonBlocking => {
-                let (tx, rx) = unbounded::<Task>();
-                let state = Arc::new(AsyncState {
-                    pending: Mutex::new(0),
-                    idle: Condvar::new(),
-                    error: Mutex::new(None),
-                });
-                let wstate = Arc::clone(&state);
-                let handle = thread::Builder::new()
-                    .name("alpaka-queue".into())
-                    .spawn(move || {
-                        while let Ok(task) = rx.recv() {
-                            let r = task();
-                            if let Err(e) = r {
-                                let mut slot = wstate.error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(e);
-                                }
-                            }
-                            let mut p = wstate.pending.lock();
-                            *p -= 1;
-                            if *p == 0 {
-                                wstate.idle.notify_all();
-                            }
-                        }
-                    })
-                    .expect("failed to spawn queue worker");
-                Inner::Async {
-                    tx,
-                    state,
-                    _worker: Arc::new(WorkerHandle(Some(handle))),
-                }
-            }
+            QueueBehavior::NonBlocking => Inner::Async(Mutex::new(spawn_async())),
         };
         CpuQueue {
             device,
@@ -110,14 +153,86 @@ impl CpuQueue {
     fn submit(&self, task: Task) -> Result<()> {
         match &self.inner {
             Inner::Blocking => task(),
-            Inner::Async { tx, state, .. } => {
+            Inner::Async(inner) => {
+                let inner = inner.lock();
+                if inner.state.dead.load(Ordering::SeqCst) {
+                    return Err(Error::Device(
+                        "queue worker died (injected); reset the queue to respawn it".into(),
+                    ));
+                }
                 {
-                    let mut p = state.pending.lock();
+                    let mut p = inner.state.pending.lock();
                     *p += 1;
                 }
-                tx.send(task)
-                    .map_err(|_| Error::Device("queue worker terminated".into()))?;
+                if inner.tx.send(Msg::Task(task)).is_err() {
+                    // Undo the reservation: the task will never be drained,
+                    // and a leaked count would hang every later `wait`.
+                    let mut p = inner.state.pending.lock();
+                    *p -= 1;
+                    if *p == 0 {
+                        inner.state.idle.notify_all();
+                    }
+                    return Err(Error::Device("queue worker terminated".into()));
+                }
                 Ok(())
+            }
+        }
+    }
+
+    /// Inject worker death, in order with already-enqueued work: operations
+    /// enqueued before this call still run; everything after it fails and
+    /// `wait` reports `Error::Device`. [`CpuQueue::reset`] respawns the
+    /// worker.
+    pub fn kill_worker(&self) {
+        if let Inner::Async(inner) = &self.inner {
+            let inner = inner.lock();
+            {
+                let mut p = inner.state.pending.lock();
+                *p += 1;
+            }
+            if inner.tx.send(Msg::Die).is_err() {
+                let mut p = inner.state.pending.lock();
+                *p -= 1;
+                if *p == 0 {
+                    inner.state.idle.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Clone the first recorded error, if any, without taking it (the
+    /// facade's event-wait path surfaces errors non-destructively).
+    pub fn peek_error(&self) -> Option<Error> {
+        match &self.inner {
+            Inner::Blocking => None,
+            Inner::Async(inner) => inner.lock().state.error.lock().clone(),
+        }
+    }
+
+    /// True once the worker died and the queue awaits a reset.
+    pub fn worker_dead(&self) -> bool {
+        match &self.inner {
+            Inner::Blocking => false,
+            Inner::Async(inner) => inner.lock().state.dead.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Drain the queue, discard any recorded error and — if the worker died
+    /// — spawn a fresh one. The queue is usable again afterwards.
+    pub fn reset(&self) {
+        if let Inner::Async(inner) = &self.inner {
+            let mut inner = inner.lock();
+            {
+                let mut p = inner.state.pending.lock();
+                while *p != 0 {
+                    inner.state.idle.wait(&mut p);
+                }
+            }
+            *inner.state.error.lock() = None;
+            if inner.state.dead.load(Ordering::SeqCst) {
+                // Dropping the old half closes its channel and joins the
+                // dead worker thread.
+                *inner = spawn_async();
             }
         }
     }
@@ -165,13 +280,15 @@ impl CpuQueue {
     pub fn wait(&self) -> Result<()> {
         match &self.inner {
             Inner::Blocking => Ok(()),
-            Inner::Async { state, .. } => {
+            Inner::Async(inner) => {
+                let state = Arc::clone(&inner.lock().state);
                 let mut p = state.pending.lock();
                 while *p != 0 {
                     state.idle.wait(&mut p);
                 }
                 drop(p);
-                match state.error.lock().take() {
+                let taken = state.error.lock().take();
+                match taken {
                     Some(e) => Err(e),
                     None => Ok(()),
                 }
@@ -279,6 +396,34 @@ mod tests {
         assert!(matches!(err, Error::KernelFault(_)));
         // Error is cleared after being taken.
         q.wait().unwrap();
+    }
+
+    #[test]
+    fn worker_death_is_ordered_and_reset_respawns() {
+        let dev = CpuDevice::with_workers(CpuAccKind::Serial, 1);
+        let q = CpuQueue::new(dev, QueueBehavior::NonBlocking);
+        let buf = HostBuf::from_vec(vec![0.0; 8]);
+        let args = CpuArgs::new().buf_f(&buf).scalar_i(8);
+        // Enqueued before the death: still runs.
+        q.enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args.clone())
+            .unwrap();
+        q.kill_worker();
+        let err = q.wait().unwrap_err();
+        assert!(matches!(err, Error::Device(_)), "{err}");
+        assert!(q.worker_dead());
+        assert_eq!(buf.as_slice(), &[1.0; 8]);
+        // Dead worker refuses new work instead of hanging.
+        let err = q
+            .enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args.clone())
+            .unwrap_err();
+        assert!(matches!(err, Error::Device(_)), "{err}");
+        // Reset respawns the worker; the queue works again.
+        q.reset();
+        assert!(!q.worker_dead());
+        q.enqueue_kernel(AddOne, WorkDiv::d1(8, 1, 1), args)
+            .unwrap();
+        q.wait().unwrap();
+        assert_eq!(buf.as_slice(), &[2.0; 8]);
     }
 
     #[test]

@@ -36,7 +36,9 @@ use alpaka_kir::ir::*;
 use alpaka_kir::semantics as sem;
 
 use crate::cache::CacheSim;
+use crate::fault::{EccCtx, SimError};
 use crate::memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
+use crate::serr;
 use crate::spec::{CacheScope, DeviceSpec};
 use crate::stats::{estimate_time, LaunchStats, TimeBreakdown};
 
@@ -143,30 +145,54 @@ impl MemAccess<'_> {
         }
     }
     #[inline]
-    pub(crate) fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
+    pub(crate) fn read_f(&self, b: SimBufF, idx: usize) -> Result<f64, SimError> {
         match self {
-            MemAccess::Excl(m) => m.f(b)[idx],
+            MemAccess::Excl(m) => m
+                .f(b)
+                .get(idx)
+                .copied()
+                .ok_or_else(|| SimError::bad_buffer(format!("f64 index {idx} out of bounds"))),
             MemAccess::Shared(v) => v.read_f(b, idx),
         }
     }
     #[inline]
-    pub(crate) fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
+    pub(crate) fn read_i(&self, b: SimBufI, idx: usize) -> Result<i64, SimError> {
         match self {
-            MemAccess::Excl(m) => m.i(b)[idx],
+            MemAccess::Excl(m) => m
+                .i(b)
+                .get(idx)
+                .copied()
+                .ok_or_else(|| SimError::bad_buffer(format!("i64 index {idx} out of bounds"))),
             MemAccess::Shared(v) => v.read_i(b, idx),
         }
     }
     #[inline]
-    pub(crate) fn write_f(&mut self, b: SimBufF, idx: usize, val: f64) {
+    pub(crate) fn write_f(&mut self, b: SimBufF, idx: usize, val: f64) -> Result<(), SimError> {
         match self {
-            MemAccess::Excl(m) => m.f_mut(b)[idx] = val,
+            MemAccess::Excl(m) => match m.f_mut(b).get_mut(idx) {
+                Some(slot) => {
+                    *slot = val;
+                    Ok(())
+                }
+                None => Err(SimError::bad_buffer(format!(
+                    "f64 index {idx} out of bounds"
+                ))),
+            },
             MemAccess::Shared(v) => v.write_f(b, idx, val),
         }
     }
     #[inline]
-    pub(crate) fn write_i(&mut self, b: SimBufI, idx: usize, val: i64) {
+    pub(crate) fn write_i(&mut self, b: SimBufI, idx: usize, val: i64) -> Result<(), SimError> {
         match self {
-            MemAccess::Excl(m) => m.i_mut(b)[idx] = val,
+            MemAccess::Excl(m) => match m.i_mut(b).get_mut(idx) {
+                Some(slot) => {
+                    *slot = val;
+                    Ok(())
+                }
+                None => Err(SimError::bad_buffer(format!(
+                    "i64 index {idx} out of bounds"
+                ))),
+            },
             MemAccess::Shared(v) => v.write_i(b, idx, val),
         }
     }
@@ -306,18 +332,34 @@ pub(crate) struct Machine<'a> {
     caches: Caches,
     pub(crate) cur_sm: usize,
     pub(crate) fuel: u64,
+    /// True when `fuel` came from a fault plan's watchdog budget: running
+    /// out is then a `Timeout`, not a runaway-loop diagnostic.
+    watchdog: bool,
+    /// Per-launch ECC injection context (None: injection disabled).
+    ecc: Option<EccCtx>,
+    /// Linear index of the block currently interpreted (ECC decisions are
+    /// keyed on it, so they are invariant across worker counts).
+    pub(crate) cur_block_lin: usize,
     /// Reusable line buffer for `mem_access` coalescing.
     scratch_lines: Vec<u64>,
     /// Reusable per-bank index lists for `shared_access`.
     scratch_banks: Vec<Vec<i64>>,
 }
 
-pub(crate) type R<T> = Result<T, String>;
+pub(crate) type R<T> = Result<T, SimError>;
 
 impl<'a> Machine<'a> {
+    fn fuel_exhausted(&self) -> SimError {
+        if self.watchdog {
+            SimError::timeout("kernel exceeded the device watchdog cycle budget (injected)")
+        } else {
+            SimError::new("simulation instruction budget exhausted (runaway loop?)")
+        }
+    }
+
     pub(crate) fn burn(&mut self) -> R<()> {
         if self.fuel == 0 {
-            return Err("simulation instruction budget exhausted (runaway loop?)".into());
+            return Err(self.fuel_exhausted());
         }
         self.fuel -= 1;
         Ok(())
@@ -327,9 +369,27 @@ impl<'a> Machine<'a> {
     /// charge a straight-line run in one step).
     pub(crate) fn burn_n(&mut self, n: u64) -> R<()> {
         if self.fuel < n {
-            return Err("simulation instruction budget exhausted (runaway loop?)".into());
+            return Err(self.fuel_exhausted());
         }
         self.fuel -= n;
+        Ok(())
+    }
+
+    /// Deterministic ECC injection on a global load: decided purely from
+    /// `(plan seed, launch ordinal, linear block index, byte address)`, so
+    /// the verdict is identical under any worker count and both engines.
+    /// Modeled as a *detected uncorrectable* event — the load errors, data
+    /// is never silently corrupted.
+    #[inline]
+    pub(crate) fn ecc_check(&self, addr: u64, what: &str, tid: [i64; 3]) -> R<()> {
+        if let Some(ecc) = self.ecc {
+            if ecc.hits(self.cur_block_lin, addr) {
+                return Err(SimError::transient(format!(
+                    "{what}: uncorrectable ECC error at device address {addr:#x} (injected)"
+                ))
+                .at_thread(tid));
+            }
+        }
         Ok(())
     }
 
@@ -544,7 +604,7 @@ impl<'a> Machine<'a> {
             .bufs_f
             .get(slot as usize)
             .copied()
-            .ok_or_else(|| format!("f64 buffer slot {slot} not bound"))
+            .ok_or_else(|| serr!("f64 buffer slot {slot} not bound"))
     }
 
     pub(crate) fn buf_i(&self, slot: u32) -> R<SimBufI> {
@@ -552,7 +612,7 @@ impl<'a> Machine<'a> {
             .bufs_i
             .get(slot as usize)
             .copied()
-            .ok_or_else(|| format!("i64 buffer slot {slot} not bound"))
+            .ok_or_else(|| serr!("i64 buffer slot {slot} not bound"))
     }
 
     fn special_value(&self, bs: &BlockState, r: SpecialReg, lane: usize) -> i64 {
@@ -608,7 +668,7 @@ impl<'a> Machine<'a> {
                     .args
                     .params_f
                     .get(*s as usize)
-                    .ok_or_else(|| format!("f64 param slot {s} not bound"))?;
+                    .ok_or_else(|| serr!("f64 param slot {s} not bound"))?;
                 for l in 0..bs.lanes {
                     if mask[l] {
                         bs.sf(d, l, v);
@@ -620,7 +680,7 @@ impl<'a> Machine<'a> {
                     .args
                     .params_i
                     .get(*s as usize)
-                    .ok_or_else(|| format!("i64 param slot {s} not bound"))?;
+                    .ok_or_else(|| serr!("i64 param slot {s} not bound"))?;
                 for l in 0..bs.lanes {
                     if mask[l] {
                         bs.si(d, l, v);
@@ -770,13 +830,16 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let len = self.mem.len_f(b);
                         if i < 0 || i as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.global.f64: index {i} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
-                        let v = self.mem.read_f(b, i as usize);
+                        let a = self.mem.addr_f(b, i as u64);
+                        self.ecc_check(a, "ld.global.f64", bs.tid[l])?;
+                        let v = self.mem.read_f(b, i as usize)?;
                         bs.sf(d, l, v);
-                        bs.scratch_addrs.push((l, self.mem.addr_f(b, i as u64)));
+                        bs.scratch_addrs.push((l, a));
                     }
                 }
                 self.stats.global_loads += active;
@@ -790,13 +853,16 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let len = self.mem.len_i(b);
                         if i < 0 || i as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.global.s64: index {i} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
-                        let v = self.mem.read_i(b, i as usize);
+                        let a = self.mem.addr_i(b, i as u64);
+                        self.ecc_check(a, "ld.global.s64", bs.tid[l])?;
+                        let v = self.mem.read_i(b, i as usize)?;
                         bs.si(d, l, v);
-                        bs.scratch_addrs.push((l, self.mem.addr_i(b, i as u64)));
+                        bs.scratch_addrs.push((l, a));
                     }
                 }
                 self.stats.global_loads += active;
@@ -809,10 +875,11 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let arr = &bs.sh_f[*sh as usize];
                         if i < 0 || i as usize >= arr.len() {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.shared.f64: index {i} out of bounds (len {})",
                                 arr.len()
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
                         let v = arr[i as usize];
                         bs.sf(d, l, v);
@@ -828,10 +895,11 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let arr = &bs.sh_i[*sh as usize];
                         if i < 0 || i as usize >= arr.len() {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.shared.s64: index {i} out of bounds (len {})",
                                 arr.len()
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
                         let v = arr[i as usize];
                         bs.si(d, l, v);
@@ -846,9 +914,8 @@ impl<'a> Machine<'a> {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
                         if i < 0 || i as usize >= len {
-                            return Err(format!(
-                                "ld.local.f64: index {i} out of bounds (len {len})"
-                            ));
+                            return Err(serr!("ld.local.f64: index {i} out of bounds (len {len})")
+                                .at_thread(bs.tid[l]));
                         }
                         let v = bs.loc_f[*loc as usize][l * len + i as usize];
                         bs.sf(d, l, v);
@@ -883,13 +950,15 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let len = self.mem.len_f(b);
                         if i < 0 || i as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "atom.global.f64: index {i} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
                         let v = bs.rf(*val, l);
-                        let old = self.mem.read_f(b, i as usize);
-                        self.mem.write_f(b, i as usize, sem::atomic_f(*op, old, v));
+                        let old = self.mem.read_f(b, i as usize)?;
+                        self.mem
+                            .write_f(b, i as usize, sem::atomic_f(*op, old, v))?;
                         bs.sf(d, l, old);
                     }
                 }
@@ -902,13 +971,15 @@ impl<'a> Machine<'a> {
                         let i = bs.ri(*idx, l);
                         let len = self.mem.len_i(b);
                         if i < 0 || i as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "atom.global.s64: index {i} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(bs.tid[l]));
                         }
                         let v = bs.ri(*val, l);
-                        let old = self.mem.read_i(b, i as usize);
-                        self.mem.write_i(b, i as usize, sem::atomic_i(*op, old, v));
+                        let old = self.mem.read_i(b, i as usize)?;
+                        self.mem
+                            .write_i(b, i as usize, sem::atomic_i(*op, old, v))?;
                         bs.si(d, l, old);
                     }
                 }
@@ -917,7 +988,22 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    /// Execute one IR block, attributing any fault that carries no lane
+    /// coordinates yet (unbound params/buffers, other launch-uniform
+    /// failures) to the first active lane of the innermost mask — the same
+    /// lane a serial per-thread evaluation would fault on first.
     fn exec_block(&mut self, bs: &mut BlockState, block: &Block, mask: &[bool]) -> R<()> {
+        self.exec_block_inner(bs, block, mask).map_err(|e| {
+            if e.thread.is_none() && matches!(e.kind, crate::fault::SimErrorKind::Fault { .. }) {
+                let l = mask.iter().position(|&m| m).unwrap_or(0);
+                e.at_thread(bs.tid[l])
+            } else {
+                e
+            }
+        })
+    }
+
+    fn exec_block_inner(&mut self, bs: &mut BlockState, block: &Block, mask: &[bool]) -> R<()> {
         for stmt in &block.0 {
             match stmt {
                 Stmt::I(instr) => self.exec_instr(bs, instr, mask)?,
@@ -934,12 +1020,13 @@ impl<'a> Machine<'a> {
                             let i = bs.ri(*idx, l);
                             let len = self.mem.len_f(b);
                             if i < 0 || i as usize >= len {
-                                return Err(format!(
+                                return Err(serr!(
                                     "st.global.f64: index {i} out of bounds (len {len})"
-                                ));
+                                )
+                                .at_thread(bs.tid[l]));
                             }
                             let v = bs.rf(*val, l);
-                            self.mem.write_f(b, i as usize, v);
+                            self.mem.write_f(b, i as usize, v)?;
                             bs.scratch_addrs.push((l, self.mem.addr_f(b, i as u64)));
                         }
                     }
@@ -959,12 +1046,13 @@ impl<'a> Machine<'a> {
                             let i = bs.ri(*idx, l);
                             let len = self.mem.len_i(b);
                             if i < 0 || i as usize >= len {
-                                return Err(format!(
+                                return Err(serr!(
                                     "st.global.s64: index {i} out of bounds (len {len})"
-                                ));
+                                )
+                                .at_thread(bs.tid[l]));
                             }
                             let v = bs.ri(*val, l);
-                            self.mem.write_i(b, i as usize, v);
+                            self.mem.write_i(b, i as usize, v)?;
                             bs.scratch_addrs.push((l, self.mem.addr_i(b, i as u64)));
                         }
                     }
@@ -982,9 +1070,10 @@ impl<'a> Machine<'a> {
                         if mask[l] {
                             let i = bs.ri(*idx, l);
                             if i < 0 || i as usize >= len {
-                                return Err(format!(
+                                return Err(serr!(
                                     "st.local.f64: index {i} out of bounds (len {len})"
-                                ));
+                                )
+                                .at_thread(bs.tid[l]));
                             }
                             let v = bs.rf(*val, l);
                             bs.loc_f[*loc as usize][l * len + i as usize] = v;
@@ -1004,10 +1093,11 @@ impl<'a> Machine<'a> {
                             let v = bs.rf(*val, l);
                             let arr = &mut bs.sh_f[*sh as usize];
                             if i < 0 || i as usize >= arr.len() {
-                                return Err(format!(
-                                    "st.shared.f64: index {i} out of bounds (len {})",
-                                    arr.len()
-                                ));
+                                let len = arr.len();
+                                return Err(serr!(
+                                    "st.shared.f64: index {i} out of bounds (len {len})"
+                                )
+                                .at_thread(bs.tid[l]));
                             }
                             arr[i as usize] = v;
                             bs.scratch_elems.push((l, i));
@@ -1028,10 +1118,11 @@ impl<'a> Machine<'a> {
                             let v = bs.ri(*val, l);
                             let arr = &mut bs.sh_i[*sh as usize];
                             if i < 0 || i as usize >= arr.len() {
-                                return Err(format!(
-                                    "st.shared.s64: index {i} out of bounds (len {})",
-                                    arr.len()
-                                ));
+                                let len = arr.len();
+                                return Err(serr!(
+                                    "st.shared.s64: index {i} out of bounds (len {len})"
+                                )
+                                .at_thread(bs.tid[l]));
                             }
                             arr[i as usize] = v;
                             bs.scratch_elems.push((l, i));
@@ -1339,6 +1430,12 @@ pub(crate) struct LaunchCtx<'a> {
     pub(crate) thread_ext: Vecn<3>,
     /// Pre-lowered form of `prog`, when the launch runs the lowered engine.
     pub(crate) lowered: Option<std::sync::Arc<crate::lower::WarpProgram>>,
+    /// Per-worker instruction budget and whether it is a fault-plan
+    /// watchdog budget (exhaustion then reports `Timeout`).
+    pub(crate) fuel: u64,
+    pub(crate) watchdog: bool,
+    /// Launch-scoped ECC injection context, when a fault plan enables it.
+    pub(crate) ecc: Option<EccCtx>,
 }
 
 /// Build one worker's [`Machine`]: stats accumulator, cache models for the
@@ -1386,7 +1483,10 @@ pub(crate) fn make_machine<'a>(
         region: None,
         caches,
         cur_sm: 0,
-        fuel: DEFAULT_FUEL,
+        fuel: ctx.fuel,
+        watchdog: ctx.watchdog,
+        ecc: ctx.ecc,
+        cur_block_lin: 0,
         scratch_lines: Vec::new(),
         scratch_banks: Vec::new(),
     }
@@ -1407,7 +1507,7 @@ fn interpret_blocks(
     team: usize,
     worker: usize,
     indices: &[usize],
-) -> Result<LaunchStats, (usize, String)> {
+) -> Result<LaunchStats, (usize, SimError)> {
     if let Some(wp) = &ctx.lowered {
         return crate::lower::interpret_blocks_lowered(ctx, mem, team, worker, indices, wp);
     }
@@ -1483,9 +1583,15 @@ fn interpret_blocks(
         }
         ran_a_block = true;
         m.cur_sm = sm / team;
+        m.cur_block_lin = lin;
         bs.bidx = ctx.grid_ext.delinearize(lin).map_i64();
-        m.exec_block(&mut bs, &prog.body, &full_mask)
-            .map_err(|e| (lin, format!("block {:?}: {e}", bs.bidx)))?;
+        m.exec_block(&mut bs, &prog.body, &full_mask).map_err(|e| {
+            (
+                lin,
+                e.with_block(bs.bidx)
+                    .context(&format!("block {:?}: ", bs.bidx)),
+            )
+        })?;
         m.stats.blocks += 1;
         m.stats.warps += m.n_warps as u64;
         m.stats.threads += lanes as u64;
@@ -1506,7 +1612,7 @@ pub fn run_kernel_launch(
     wd: &WorkDiv,
     args: &SimArgs,
     mode: ExecMode,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     run_kernel_launch_threads(
         spec,
         mem,
@@ -1519,9 +1625,9 @@ pub fn run_kernel_launch(
 }
 
 /// One worker's outcome: merged stats, or the failing block's linear index
-/// plus its error message (so the lowest-index error can be selected, as
-/// serial execution would report it).
-type WorkerSlot = Mutex<Option<Result<LaunchStats, (usize, String)>>>;
+/// plus its error (so the lowest-index error can be selected, as serial
+/// execution would report it).
+type WorkerSlot = Mutex<Option<Result<LaunchStats, (usize, SimError)>>>;
 
 /// [`run_kernel_launch`] with an explicit interpreter thread count.
 ///
@@ -1551,8 +1657,19 @@ pub fn run_kernel_launch_threads(
     args: &SimArgs,
     mode: ExecMode,
     threads: usize,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     run_kernel_launch_engine(spec, mem, prog, wd, args, mode, threads, Engine::Lowered)
+}
+
+/// Fault-injection knobs scoped to a single launch, derived from a
+/// `FaultPlan` by the device layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchFaults {
+    /// Injected-ECC decision context for this launch's ordinal.
+    pub ecc: Option<EccCtx>,
+    /// Watchdog cycle budget per interpreter worker; exceeding it fails the
+    /// launch with a `Timeout` error.
+    pub watchdog_fuel: Option<u64>,
 }
 
 /// [`run_kernel_launch_threads`] with an explicit [`Engine`] choice.
@@ -1571,26 +1688,46 @@ pub fn run_kernel_launch_engine(
     mode: ExecMode,
     threads: usize,
     engine: Engine,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
+    run_kernel_launch_faulty(spec, mem, prog, wd, args, mode, threads, engine, None)
+}
+
+/// [`run_kernel_launch_engine`] with per-launch fault injection. This is
+/// the full entry point the simulated device calls; every other launch
+/// function delegates here with `faults: None`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_launch_faulty(
+    spec: &DeviceSpec,
+    mem: &mut DeviceMem,
+    prog: &Program,
+    wd: &WorkDiv,
+    args: &SimArgs,
+    mode: ExecMode,
+    threads: usize,
+    engine: Engine,
+    faults: Option<LaunchFaults>,
+) -> Result<SimReport, SimError> {
     let host_t0 = Instant::now();
     let threads_per_block = wd.threads_per_block();
     if threads_per_block > spec.max_threads_per_block {
-        return Err(format!(
+        return Err(serr!(
             "{} supports at most {} threads per block, got {threads_per_block}",
-            spec.name, spec.max_threads_per_block
+            spec.name,
+            spec.max_threads_per_block
         ));
     }
     if prog.shared_bytes() > spec.shared_mem_per_block {
-        return Err(format!(
+        return Err(serr!(
             "kernel needs {} B shared memory, device has {} B per block",
             prog.shared_bytes(),
             spec.shared_mem_per_block
         ));
     }
     if prog.dims != wd.dim {
-        return Err(format!(
+        return Err(serr!(
             "program traced for {}-D launches, work division is {}-D",
-            prog.dims, wd.dim
+            prog.dims,
+            wd.dim
         ));
     }
 
@@ -1621,6 +1758,9 @@ pub fn run_kernel_launch_engine(
             Engine::Lowered => crate::lower::lowered_for(prog, spec),
             Engine::Reference => None,
         },
+        fuel: faults.and_then(|f| f.watchdog_fuel).unwrap_or(DEFAULT_FUEL),
+        watchdog: faults.is_some_and(|f| f.watchdog_fuel.is_some()),
+        ecc: faults.and_then(|f| f.ecc),
     };
 
     // A worker without SMs would idle, so the team never exceeds the SM
@@ -1643,12 +1783,12 @@ pub fn run_kernel_launch_engine(
             let result = interpret_blocks(&ctx, MemAccess::Shared(&view), team, w, &indices);
             *slots[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
         })
-        .map_err(|p| format!("simulator worker panicked: {p}"))?;
+        .map_err(|p| serr!("simulator worker panicked: {p}"))?;
 
         // Merge in fixed worker-index order; error on the lowest failing
         // block so the message matches what the serial run would report.
         let mut merged = LaunchStats::default();
-        let mut first_err: Option<(usize, String)> = None;
+        let mut first_err: Option<(usize, SimError)> = None;
         for slot in &slots {
             match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
                 Some(Ok(stats)) => merged.add(&stats),

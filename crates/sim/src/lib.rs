@@ -18,6 +18,7 @@
 //! paper's evaluation measures.
 
 pub mod cache;
+pub mod fault;
 pub mod interp;
 pub mod lower;
 pub mod memory;
@@ -25,9 +26,11 @@ pub mod spec;
 pub mod stats;
 
 pub use cache::CacheSim;
+pub use fault::{EccCtx, FaultPlan, SimError, SimErrorKind};
 pub use interp::{
     program_uses_global_atomics, resolve_sim_threads, run_kernel_launch, run_kernel_launch_engine,
-    run_kernel_launch_threads, Engine, ExecMode, HostPerf, SimArgs, SimReport,
+    run_kernel_launch_faulty, run_kernel_launch_threads, Engine, ExecMode, HostPerf, LaunchFaults,
+    SimArgs, SimReport,
 };
 pub use lower::{lower, WarpProgram};
 pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
@@ -280,7 +283,7 @@ mod tests {
         let args = SimArgs::default();
         let err =
             run_kernel_launch(&spec, &mut mem, &prog, &wd, &args, ExecMode::Full).unwrap_err();
-        assert!(err.contains("divergent"), "{err}");
+        assert!(err.to_string().contains("divergent"), "{err}");
     }
 
     #[test]
@@ -441,7 +444,9 @@ mod tests {
             ExecMode::Full,
         )
         .unwrap_err();
-        assert!(err.contains("out of bounds"));
+        assert!(err.to_string().contains("out of bounds"));
+        assert_eq!(err.block, Some([0, 0, 0]));
+        assert_eq!(err.thread, Some([0, 0, 0]));
     }
 
     #[test]

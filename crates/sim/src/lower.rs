@@ -37,8 +37,10 @@ use alpaka_kir::ir::*;
 use alpaka_kir::semantics as sem;
 use alpaka_kir::{uniformity, validate, Uniformity};
 
+use crate::fault::SimError;
 use crate::interp::RegionAcc;
 use crate::interp::{make_machine, LaunchCtx, Machine, MapI64, MemAccess, R};
+use crate::serr;
 use crate::spec::DeviceSpec;
 use crate::stats::LaunchStats;
 
@@ -1040,6 +1042,18 @@ fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
     }
 }
 
+/// First active lane of a mask — the lane the reference engine's in-order
+/// per-lane loop would fault at for a uniform (all-lanes-identical) access,
+/// used so uniform fast paths attribute faults to the same thread.
+#[inline]
+fn first_active(mask: &MaskBuf) -> usize {
+    if mask.full {
+        0
+    } else {
+        mask.bits.iter().position(|&b| b).unwrap_or(0)
+    }
+}
+
 fn copy_mask(dst: &mut MaskBuf, src: &MaskBuf) {
     dst.bits.clear();
     dst.bits.extend_from_slice(&src.bits);
@@ -1059,7 +1073,17 @@ fn exec_range(
     depth: usize,
 ) -> R<()> {
     let mask = std::mem::take(&mut st.masks[depth]);
-    let r = exec_ops(m, st, wp, lo, hi, depth, &mask);
+    // Faults that carry no lane coordinates yet (unbound params/buffers,
+    // other launch-uniform failures) are attributed to the first active
+    // lane of the innermost mask, matching the reference engine and the
+    // serial per-thread evaluator.
+    let r = exec_ops(m, st, wp, lo, hi, depth, &mask).map_err(|e| {
+        if e.thread.is_none() && matches!(e.kind, crate::fault::SimErrorKind::Fault { .. }) {
+            e.at_thread(st.tid[first_active(&mask)])
+        } else {
+            e
+        }
+    });
     st.masks[depth] = mask;
     r
 }
@@ -1263,7 +1287,7 @@ fn exec_ops(
                     .args
                     .params_f
                     .get(s as usize)
-                    .ok_or_else(|| format!("f64 param slot {s} not bound"))?;
+                    .ok_or_else(|| serr!("f64 param slot {s} not bound"))?;
                 st.wu(d, v.to_bits());
             }
             LOp::ParamI { d, s } => {
@@ -1271,7 +1295,7 @@ fn exec_ops(
                     .args
                     .params_i
                     .get(s as usize)
-                    .ok_or_else(|| format!("i64 param slot {s} not bound"))?;
+                    .ok_or_else(|| serr!("i64 param slot {s} not bound"))?;
                 st.wu(d, v as u64);
             }
             LOp::LdGF { d, buf, i } => {
@@ -1280,27 +1304,31 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let len = m.mem.len_f(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "ld.global.f64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("ld.global.f64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[first_active(mask)]));
                     }
-                    let v = m.mem.read_f(b, ix as usize);
+                    let a = m.mem.addr_f(b, ix as u64);
+                    m.ecc_check(a, "ld.global.f64", st.tid[first_active(mask)])?;
+                    let v = m.mem.read_f(b, ix as usize)?;
                     st.wu(d, v.to_bits());
                     m.stats.global_loads += mask.active;
-                    m.access_uniform(m.mem.addr_f(b, ix as u64), mask.active, mask.warp_issues);
+                    m.access_uniform(a, mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
                     for_active!(mask, l, {
                         let ix = st.rdi(i, l);
                         let len = m.mem.len_f(b);
                         if ix < 0 || ix as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.global.f64: index {ix} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
-                        let v = m.mem.read_f(b, ix as usize);
+                        let a = m.mem.addr_f(b, ix as u64);
+                        m.ecc_check(a, "ld.global.f64", st.tid[l])?;
+                        let v = m.mem.read_f(b, ix as usize)?;
                         st.wv(d, l, v.to_bits());
-                        st.addrs.push((l, m.mem.addr_f(b, ix as u64)));
+                        st.addrs.push((l, a));
                     });
                     m.stats.global_loads += mask.active;
                     flush_addrs(m, &st.addrs);
@@ -1312,27 +1340,31 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let len = m.mem.len_i(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "ld.global.s64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("ld.global.s64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[first_active(mask)]));
                     }
-                    let v = m.mem.read_i(b, ix as usize);
+                    let a = m.mem.addr_i(b, ix as u64);
+                    m.ecc_check(a, "ld.global.s64", st.tid[first_active(mask)])?;
+                    let v = m.mem.read_i(b, ix as usize)?;
                     st.wu(d, v as u64);
                     m.stats.global_loads += mask.active;
-                    m.access_uniform(m.mem.addr_i(b, ix as u64), mask.active, mask.warp_issues);
+                    m.access_uniform(a, mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
                     for_active!(mask, l, {
                         let ix = st.rdi(i, l);
                         let len = m.mem.len_i(b);
                         if ix < 0 || ix as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.global.s64: index {ix} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
-                        let v = m.mem.read_i(b, ix as usize);
+                        let a = m.mem.addr_i(b, ix as u64);
+                        m.ecc_check(a, "ld.global.s64", st.tid[l])?;
+                        let v = m.mem.read_i(b, ix as usize)?;
                         st.wv(d, l, v as u64);
-                        st.addrs.push((l, m.mem.addr_i(b, ix as u64)));
+                        st.addrs.push((l, a));
                     });
                     m.stats.global_loads += mask.active;
                     flush_addrs(m, &st.addrs);
@@ -1343,10 +1375,11 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let arr = &st.sh_f[sh as usize];
                     if ix < 0 || ix as usize >= arr.len() {
-                        return Err(format!(
+                        return Err(serr!(
                             "ld.shared.f64: index {ix} out of bounds (len {})",
                             arr.len()
-                        ));
+                        )
+                        .at_thread(st.tid[first_active(mask)]));
                     }
                     let v = arr[ix as usize];
                     st.wu(d, v.to_bits());
@@ -1358,10 +1391,11 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let arr = &st.sh_f[sh as usize];
                         if ix < 0 || ix as usize >= arr.len() {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.shared.f64: index {ix} out of bounds (len {})",
                                 arr.len()
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
                         let v = arr[ix as usize];
                         st.wv(d, l, v.to_bits());
@@ -1375,10 +1409,11 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let arr = &st.sh_i[sh as usize];
                     if ix < 0 || ix as usize >= arr.len() {
-                        return Err(format!(
+                        return Err(serr!(
                             "ld.shared.s64: index {ix} out of bounds (len {})",
                             arr.len()
-                        ));
+                        )
+                        .at_thread(st.tid[first_active(mask)]));
                     }
                     let v = arr[ix as usize];
                     st.wu(d, v as u64);
@@ -1389,10 +1424,11 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let arr = &st.sh_i[sh as usize];
                         if ix < 0 || ix as usize >= arr.len() {
-                            return Err(format!(
+                            return Err(serr!(
                                 "ld.shared.s64: index {ix} out of bounds (len {})",
                                 arr.len()
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
                         let v = arr[ix as usize];
                         st.wv(d, l, v as u64);
@@ -1406,9 +1442,8 @@ fn exec_ops(
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "ld.local.f64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("ld.local.f64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[l]));
                     }
                     let v = st.loc_f[loc as usize][l * len + ix as usize];
                     st.wv(d, l, v.to_bits());
@@ -1431,16 +1466,15 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let len = m.mem.len_f(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "st.global.f64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("st.global.f64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[first_active(mask)]));
                     }
                     if is_u(val) {
-                        m.mem.write_f(b, ix as usize, st.udf(val));
+                        m.mem.write_f(b, ix as usize, st.udf(val))?;
                     } else {
                         // Same address, per-lane values: lane order decides.
                         for_active!(mask, l, {
-                            m.mem.write_f(b, ix as usize, st.rdf(val, l));
+                            m.mem.write_f(b, ix as usize, st.rdf(val, l))?;
                         });
                     }
                     m.stats.global_stores += mask.active;
@@ -1451,11 +1485,12 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let len = m.mem.len_f(b);
                         if ix < 0 || ix as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "st.global.f64: index {ix} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
-                        m.mem.write_f(b, ix as usize, st.rdf(val, l));
+                        m.mem.write_f(b, ix as usize, st.rdf(val, l))?;
                         st.addrs.push((l, m.mem.addr_f(b, ix as u64)));
                     });
                     m.stats.global_stores += mask.active;
@@ -1468,15 +1503,14 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let len = m.mem.len_i(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "st.global.s64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("st.global.s64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[first_active(mask)]));
                     }
                     if is_u(val) {
-                        m.mem.write_i(b, ix as usize, st.udi(val));
+                        m.mem.write_i(b, ix as usize, st.udi(val))?;
                     } else {
                         for_active!(mask, l, {
-                            m.mem.write_i(b, ix as usize, st.rdi(val, l));
+                            m.mem.write_i(b, ix as usize, st.rdi(val, l))?;
                         });
                     }
                     m.stats.global_stores += mask.active;
@@ -1487,11 +1521,12 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let len = m.mem.len_i(b);
                         if ix < 0 || ix as usize >= len {
-                            return Err(format!(
+                            return Err(serr!(
                                 "st.global.s64: index {ix} out of bounds (len {len})"
-                            ));
+                            )
+                            .at_thread(st.tid[l]));
                         }
-                        m.mem.write_i(b, ix as usize, st.rdi(val, l));
+                        m.mem.write_i(b, ix as usize, st.rdi(val, l))?;
                         st.addrs.push((l, m.mem.addr_i(b, ix as u64)));
                     });
                     m.stats.global_stores += mask.active;
@@ -1503,9 +1538,10 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let arr_len = st.sh_f[sh as usize].len();
                     if ix < 0 || ix as usize >= arr_len {
-                        return Err(format!(
+                        return Err(serr!(
                             "st.shared.f64: index {ix} out of bounds (len {arr_len})"
-                        ));
+                        )
+                        .at_thread(st.tid[first_active(mask)]));
                     }
                     if is_u(val) {
                         let v = st.udf(val);
@@ -1523,11 +1559,12 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let v = st.rdf(val, l);
                         let arr = &mut st.sh_f[sh as usize];
-                        if ix < 0 || ix as usize >= arr.len() {
-                            return Err(format!(
-                                "st.shared.f64: index {ix} out of bounds (len {})",
-                                arr.len()
-                            ));
+                        let len = arr.len();
+                        if ix < 0 || ix as usize >= len {
+                            return Err(serr!(
+                                "st.shared.f64: index {ix} out of bounds (len {len})"
+                            )
+                            .at_thread(st.tid[l]));
                         }
                         arr[ix as usize] = v;
                         st.elems.push((l, ix));
@@ -1540,9 +1577,10 @@ fn exec_ops(
                     let ix = st.udi(i);
                     let arr_len = st.sh_i[sh as usize].len();
                     if ix < 0 || ix as usize >= arr_len {
-                        return Err(format!(
+                        return Err(serr!(
                             "st.shared.s64: index {ix} out of bounds (len {arr_len})"
-                        ));
+                        )
+                        .at_thread(st.tid[first_active(mask)]));
                     }
                     if is_u(val) {
                         let v = st.udi(val);
@@ -1560,11 +1598,12 @@ fn exec_ops(
                         let ix = st.rdi(i, l);
                         let v = st.rdi(val, l);
                         let arr = &mut st.sh_i[sh as usize];
-                        if ix < 0 || ix as usize >= arr.len() {
-                            return Err(format!(
-                                "st.shared.s64: index {ix} out of bounds (len {})",
-                                arr.len()
-                            ));
+                        let len = arr.len();
+                        if ix < 0 || ix as usize >= len {
+                            return Err(serr!(
+                                "st.shared.s64: index {ix} out of bounds (len {len})"
+                            )
+                            .at_thread(st.tid[l]));
                         }
                         arr[ix as usize] = v;
                         st.elems.push((l, ix));
@@ -1577,9 +1616,8 @@ fn exec_ops(
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "st.local.f64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(serr!("st.local.f64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[l]));
                     }
                     let v = st.rdf(val, l);
                     st.loc_f[loc as usize][l * len + ix as usize] = v;
@@ -1611,13 +1649,14 @@ fn exec_ops(
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_f(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "atom.global.f64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(
+                            serr!("atom.global.f64: index {ix} out of bounds (len {len})")
+                                .at_thread(st.tid[l]),
+                        );
                     }
                     let v = st.rdf(val, l);
-                    let old = m.mem.read_f(b, ix as usize);
-                    m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v));
+                    let old = m.mem.read_f(b, ix as usize)?;
+                    m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v))?;
                     st.wv(d, l, old.to_bits());
                 });
             }
@@ -1628,13 +1667,14 @@ fn exec_ops(
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_i(b);
                     if ix < 0 || ix as usize >= len {
-                        return Err(format!(
-                            "atom.global.s64: index {ix} out of bounds (len {len})"
-                        ));
+                        return Err(
+                            serr!("atom.global.s64: index {ix} out of bounds (len {len})")
+                                .at_thread(st.tid[l]),
+                        );
                     }
                     let v = st.rdi(val, l);
-                    let old = m.mem.read_i(b, ix as usize);
-                    m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v));
+                    let old = m.mem.read_i(b, ix as usize)?;
+                    m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v))?;
                     st.wv(d, l, old as u64);
                 });
             }
@@ -1888,7 +1928,7 @@ pub(crate) fn interpret_blocks_lowered(
     worker: usize,
     indices: &[usize],
     wp: &WarpProgram,
-) -> Result<LaunchStats, (usize, String)> {
+) -> Result<LaunchStats, (usize, SimError)> {
     let prog = ctx.prog;
     let sms = ctx.spec.sms.max(1);
     let lanes = ctx.lanes;
@@ -1970,9 +2010,15 @@ pub(crate) fn interpret_blocks_lowered(
         }
         ran_a_block = true;
         m.cur_sm = sm / team;
+        m.cur_block_lin = lin;
         st.bidx = ctx.grid_ext.delinearize(lin).map_i64();
-        exec_range(&mut m, &mut st, wp, 0, wp.ops.len(), 0)
-            .map_err(|e| (lin, format!("block {:?}: {e}", st.bidx)))?;
+        exec_range(&mut m, &mut st, wp, 0, wp.ops.len(), 0).map_err(|e| {
+            (
+                lin,
+                e.with_block(st.bidx)
+                    .context(&format!("block {:?}: ", st.bidx)),
+            )
+        })?;
         m.stats.blocks += 1;
         m.stats.warps += m.n_warps as u64;
         m.stats.threads += lanes as u64;

@@ -3,6 +3,12 @@
 //! Buffers live in a per-device table; each allocation is assigned a
 //! disjoint *virtual byte address range* so the coalescing and cache models
 //! can reason about addresses exactly like real hardware would.
+//!
+//! Element accessors are *checked*: an out-of-range buffer handle or index
+//! surfaces as a structured [`SimError`] (`BadBuffer`) instead of a panic,
+//! so host-side misuse degrades into an error the caller can handle.
+
+use crate::fault::SimError;
 
 /// Global memory of one simulated device.
 #[derive(Debug, Default)]
@@ -62,6 +68,32 @@ impl DeviceMem {
     }
     pub fn i_mut(&mut self, b: SimBufI) -> &mut Vec<i64> {
         &mut self.bufs_i[b.0]
+    }
+
+    /// Checked variants of the slice accessors: an unknown buffer handle
+    /// (e.g. one minted by a different device) is a `BadBuffer` error
+    /// instead of a panic.
+    pub fn try_f(&self, b: SimBufF) -> Result<&[f64], SimError> {
+        self.bufs_f
+            .get(b.0)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown f64 buffer handle {}", b.0)))
+    }
+    pub fn try_f_mut(&mut self, b: SimBufF) -> Result<&mut Vec<f64>, SimError> {
+        self.bufs_f
+            .get_mut(b.0)
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown f64 buffer handle {}", b.0)))
+    }
+    pub fn try_i(&self, b: SimBufI) -> Result<&[i64], SimError> {
+        self.bufs_i
+            .get(b.0)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown i64 buffer handle {}", b.0)))
+    }
+    pub fn try_i_mut(&mut self, b: SimBufI) -> Result<&mut Vec<i64>, SimError> {
+        self.bufs_i
+            .get_mut(b.0)
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown i64 buffer handle {}", b.0)))
     }
 
     /// Virtual byte address of element `idx` of an f64 buffer.
@@ -127,19 +159,33 @@ unsafe impl Sync for SharedMem<'_> {}
 
 impl SharedMem<'_> {
     #[inline]
-    fn cell_f(&self, b: SimBufF, idx: usize) -> &std::sync::atomic::AtomicU64 {
-        let (ptr, len) = self.bufs_f[b.0];
-        assert!(idx < len, "f64 buffer index {idx} out of bounds ({len})");
+    fn cell_f(&self, b: SimBufF, idx: usize) -> Result<&std::sync::atomic::AtomicU64, SimError> {
+        let &(ptr, len) = self
+            .bufs_f
+            .get(b.0)
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown f64 buffer handle {}", b.0)))?;
+        if idx >= len {
+            return Err(SimError::bad_buffer(format!(
+                "f64 buffer index {idx} out of bounds ({len})"
+            )));
+        }
         // SAFETY: in-bounds element of a live, 8-aligned f64 allocation.
-        unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) }
+        Ok(unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) })
     }
 
     #[inline]
-    fn cell_i(&self, b: SimBufI, idx: usize) -> &std::sync::atomic::AtomicU64 {
-        let (ptr, len) = self.bufs_i[b.0];
-        assert!(idx < len, "i64 buffer index {idx} out of bounds ({len})");
+    fn cell_i(&self, b: SimBufI, idx: usize) -> Result<&std::sync::atomic::AtomicU64, SimError> {
+        let &(ptr, len) = self
+            .bufs_i
+            .get(b.0)
+            .ok_or_else(|| SimError::bad_buffer(format!("unknown i64 buffer handle {}", b.0)))?;
+        if idx >= len {
+            return Err(SimError::bad_buffer(format!(
+                "i64 buffer index {idx} out of bounds ({len})"
+            )));
+        }
         // SAFETY: in-bounds element of a live, 8-aligned i64 allocation.
-        unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) }
+        Ok(unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) })
     }
 
     #[inline]
@@ -152,26 +198,29 @@ impl SharedMem<'_> {
     }
 
     #[inline]
-    pub fn read_f(&self, b: SimBufF, idx: usize) -> f64 {
-        f64::from_bits(
-            self.cell_f(b, idx)
+    pub fn read_f(&self, b: SimBufF, idx: usize) -> Result<f64, SimError> {
+        Ok(f64::from_bits(
+            self.cell_f(b, idx)?
                 .load(std::sync::atomic::Ordering::Relaxed),
-        )
+        ))
     }
     #[inline]
-    pub fn write_f(&self, b: SimBufF, idx: usize, v: f64) {
-        self.cell_f(b, idx)
+    pub fn write_f(&self, b: SimBufF, idx: usize, v: f64) -> Result<(), SimError> {
+        self.cell_f(b, idx)?
             .store(v.to_bits(), std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
     #[inline]
-    pub fn read_i(&self, b: SimBufI, idx: usize) -> i64 {
-        self.cell_i(b, idx)
-            .load(std::sync::atomic::Ordering::Relaxed) as i64
+    pub fn read_i(&self, b: SimBufI, idx: usize) -> Result<i64, SimError> {
+        Ok(self
+            .cell_i(b, idx)?
+            .load(std::sync::atomic::Ordering::Relaxed) as i64)
     }
     #[inline]
-    pub fn write_i(&self, b: SimBufI, idx: usize, v: i64) {
-        self.cell_i(b, idx)
+    pub fn write_i(&self, b: SimBufI, idx: usize, v: i64) -> Result<(), SimError> {
+        self.cell_i(b, idx)?
             .store(v as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 
     #[inline]
@@ -221,21 +270,43 @@ mod tests {
         {
             let view = m.shared_view();
             assert_eq!(view.len_f(f), 64);
-            assert_eq!(view.read_f(f, 1), 2.5);
+            assert_eq!(view.read_f(f, 1).unwrap(), 2.5);
             assert_eq!(view.addr_f(f, 3) - view.addr_f(f, 0), 24);
             std::thread::scope(|s| {
                 for w in 0..4usize {
                     let view = &view;
                     s.spawn(move || {
                         for k in (w..64).step_by(4) {
-                            view.write_f(f, k, k as f64);
-                            view.write_i(i, k, -(k as i64));
+                            view.write_f(f, k, k as f64).unwrap();
+                            view.write_i(i, k, -(k as i64)).unwrap();
                         }
                     });
                 }
             });
         }
         assert!((0..64).all(|k| m.f(f)[k] == k as f64 && m.i(i)[k] == -(k as i64)));
+    }
+
+    #[test]
+    fn host_oob_is_an_error_not_a_panic() {
+        use crate::fault::SimErrorKind;
+        let mut m = DeviceMem::new();
+        let f = m.alloc_f(4);
+        let i = m.alloc_i(4);
+        let view = m.shared_view();
+        let e = view.read_f(f, 4).unwrap_err();
+        assert_eq!(e.kind, SimErrorKind::BadBuffer);
+        assert!(e.msg.contains("out of bounds"), "{e}");
+        assert!(view.write_f(f, 99, 0.0).is_err());
+        assert!(view.read_i(i, 4).is_err());
+        assert!(view.write_i(i, 4, 0).is_err());
+        // Unknown handles (e.g. from another device) also error.
+        assert!(view.read_f(SimBufF(7), 0).is_err());
+        drop(view);
+        assert!(m.try_f(SimBufF(7)).is_err());
+        assert!(m.try_i_mut(SimBufI(7)).is_err());
+        assert!(m.try_f(f).is_ok());
+        assert_eq!(m.try_i(i).unwrap().len(), 4);
     }
 
     #[test]

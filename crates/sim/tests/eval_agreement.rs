@@ -56,7 +56,8 @@ fn sim_grid(p: &Program, blocks: usize, spec: &DeviceSpec) -> Result<Vec<f64>, S
         &WorkDiv::d1(blocks, 1, 1),
         &args,
         ExecMode::Full,
-    )?;
+    )
+    .map_err(|e| e.to_string())?;
     Ok(mem.f(buf).to_vec())
 }
 

@@ -20,6 +20,22 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== fault suites under ALPAKA_SIM_THREADS=1 and =4 =="
+# The fault campaign's contract is seed-determinism under ANY interpreter
+# thread count; pin both extremes explicitly.
+for t in 1 4; do
+  echo "-- ALPAKA_SIM_THREADS=$t --"
+  ALPAKA_SIM_THREADS=$t cargo test -q --test faults
+  ALPAKA_SIM_THREADS=$t cargo test -q --test streams_events
+  ALPAKA_SIM_THREADS=$t cargo test -q --test fault_campaign
+done
+
+echo "== ALPAKA_SIM_FAULTS smoke seed =="
+# A fixed env-injected plan must not break suites that build their own
+# devices (explicit plans override the env; the rest must stay
+# fault-or-correct with this tiny ECC rate).
+ALPAKA_SIM_FAULTS="seed=42,ecc=1e-9" cargo test -q --test fault_campaign
+
 echo "== bench smoke (guards only, no timing) =="
 cargo bench -p alpaka-bench --bench sim_throughput -- --test
 cargo bench -p alpaka-bench --bench sim_lowering -- --test

@@ -1,7 +1,7 @@
 //! Streams (queues) and events across back-ends: in-order execution,
 //! host synchronization, error surfacing — the Section 3.4.5/3.4.6 API.
 
-use alpaka::{AccKind, Args, BufLayout, Device, HostEvent, Queue, QueueBehavior};
+use alpaka::{AccKind, Args, BufLayout, Device, Error, HostEvent, Queue, QueueBehavior};
 use alpaka_core::kernel::Kernel;
 use alpaka_core::ops::{KernelOps, KernelOpsExt};
 
@@ -132,29 +132,137 @@ fn copy_then_kernel_then_copy_back() {
     assert!(gpu.sim_clock_s() > 0.0);
 }
 
-#[test]
-fn queue_error_surfaces_at_wait_and_clears() {
-    #[derive(Clone)]
-    struct Oob;
-    impl Kernel for Oob {
-        fn run<O: KernelOps>(&self, o: &mut O) {
-            let b = o.buf_f(0);
-            let i = o.lit_i(1_000_000);
-            let v = o.lit_f(1.0);
-            o.st_gf(b, i, v);
-        }
+/// Stores way out of bounds — every back-end turns it into a kernel fault.
+#[derive(Clone)]
+struct Oob;
+impl Kernel for Oob {
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let b = o.buf_f(0);
+        let i = o.lit_i(1_000_000);
+        let v = o.lit_f(1.0);
+        o.st_gf(b, i, v);
     }
-    let dev = Device::with_workers(AccKind::CpuBlocks, 2);
+}
+
+#[test]
+fn queue_error_is_sticky_until_reset_on_every_backend() {
+    // The CUDA stream model: a failed async op marks the queue; the error
+    // re-surfaces at every wait AND every later enqueue until an explicit
+    // reset — and it never poisons the device itself.
+    for kind in kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let wd = alpaka::WorkDiv::d1(1, 1, 1);
+        q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf))
+            .unwrap();
+        let err = q.wait().unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+        // Sticky: waiting again reports it again...
+        assert!(q.wait().is_err(), "{kind:?}");
+        // ...and so does trying to enqueue more work.
+        let err = q
+            .enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+        assert!(q.sticky_error().is_some(), "{kind:?}");
+        // The device is NOT poisoned: direct launches still work.
+        dev.launch(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
+            .unwrap_or_else(|e| panic!("{kind:?} device poisoned: {e}"));
+        // Reset clears the mark and the queue is fully usable again.
+        q.reset();
+        assert!(q.sticky_error().is_none(), "{kind:?}");
+        q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
+            .unwrap();
+        q.wait().unwrap();
+        assert_eq!(buf.download()[0], 3.0, "{kind:?}"); // f^2(0) = 3
+    }
+}
+
+#[test]
+fn blocking_queue_reports_errors_directly() {
+    // A Blocking queue runs the op inline, so the error comes back from
+    // the enqueue itself and nothing sticks.
+    for kind in kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let q = Queue::new(dev.clone(), QueueBehavior::Blocking);
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let wd = alpaka::WorkDiv::d1(1, 1, 1);
+        let err = q
+            .enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf))
+            .unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+        assert!(q.sticky_error().is_none(), "{kind:?}");
+        q.wait().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+    }
+}
+
+#[test]
+fn queue_error_surfaces_at_event_wait() {
+    for kind in kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+        let buf = dev.alloc_f64(BufLayout::d1(4));
+        let wd = alpaka::WorkDiv::d1(1, 1, 1);
+        let ev = HostEvent::new();
+        q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf))
+            .unwrap();
+        // On a synchronous back-end the enqueue above already marked the
+        // queue, so enqueueing the event may itself report the error.
+        let _ = q.enqueue_event(&ev);
+        let err = q.wait_event(&ev).unwrap_err();
+        assert!(matches!(err, Error::KernelFault(_)), "{kind:?}: {err}");
+        q.reset();
+        q.wait().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+    }
+}
+
+#[test]
+fn worker_death_is_sticky_and_reset_revives_the_queue() {
+    for kind in kinds() {
+        let dev = Device::with_workers(kind.clone(), 2);
+        let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+        let buf = dev.alloc_f64(BufLayout::d1(8));
+        buf.upload(&[0.0; 8]).unwrap();
+        let wd = dev.suggest_workdiv_1d(8);
+        q.inject_worker_death();
+        let err = q.wait().unwrap_err();
+        assert!(matches!(err, Error::Device(_)), "{kind:?}: {err}");
+        // Work enqueued onto the dead queue is refused and never runs.
+        let _ = q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(8));
+        assert!(q.wait().is_err(), "{kind:?}");
+        assert_eq!(buf.download()[0], 0.0, "{kind:?}: dead queue ran work");
+        // Reset respawns the worker; the queue processes work again.
+        q.reset();
+        q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(8))
+            .unwrap();
+        q.wait().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(buf.download()[0], 1.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn fault_plan_kills_the_queue_at_the_chosen_op() {
+    use alpaka::FaultPlan;
+    let dev =
+        Device::new(AccKind::sim_k20()).with_faults(FaultPlan::quiet(9).with_worker_death_at(1));
     let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
-    let buf = dev.alloc_f64(BufLayout::d1(4));
-    let wd = alpaka::WorkDiv::d1(1, 1, 1);
-    q.enqueue_kernel(&Oob, &wd, &Args::new().buf_f(&buf))
-        .unwrap();
-    assert!(q.wait().is_err());
-    // Error taken: queue is usable again.
-    q.enqueue_kernel(&TwicePlusOne, &wd, &Args::new().buf_f(&buf).scalar_i(4))
-        .unwrap();
+    let buf = dev.alloc_f64(BufLayout::d1(8));
+    let wd = dev.suggest_workdiv_1d(8);
+    let args = Args::new().buf_f(&buf).scalar_i(8);
+    // Queue op 0 runs: 0 -> 1.
+    q.enqueue_kernel(&TwicePlusOne, &wd, &args).unwrap();
+    // Queue op 1 is where the injected death lands; the op is absorbed
+    // (non-blocking) and never executes.
+    q.enqueue_kernel(&TwicePlusOne, &wd, &args).unwrap();
+    let err = q.wait().unwrap_err();
+    assert!(matches!(err, Error::Device(_)), "{err}");
+    assert_eq!(buf.download()[0], 1.0, "the killed op must not have run");
+    // The device survives; after a reset the queue works again: 1 -> 3.
+    q.reset();
+    q.enqueue_kernel(&TwicePlusOne, &wd, &args).unwrap();
     q.wait().unwrap();
+    assert_eq!(buf.download()[0], 3.0);
 }
 
 #[test]
