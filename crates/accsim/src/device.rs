@@ -62,6 +62,8 @@ pub struct SimDevice {
     /// Configured interpreter threads; the `ALPAKA_SIM_THREADS` environment
     /// variable still overrides this at each launch.
     threads: usize,
+    /// Interpreter engine used for launches from this handle.
+    engine: Engine,
 }
 
 impl SimDevice {
@@ -85,7 +87,27 @@ impl SimDevice {
                 lost: false,
             })),
             threads: threads.max(1),
+            engine: Engine::Lowered,
         }
+    }
+
+    /// Select the interpreter engine for launches from this handle
+    /// (builder form). Both engines are bit-identical in results and
+    /// statistics; `Engine::Reference` is the tree-walking oracle.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The interpreter engine this handle launches with.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Number of kernel launches attempted on this device so far (shared
+    /// across clones; used as the launch ordinal in traces and fault plans).
+    pub fn launch_count(&self) -> u64 {
+        self.state.lock().launches
     }
 
     /// Attach a fault-injection plan (builder form). Replaces any plan
@@ -325,7 +347,7 @@ impl SimDevice {
             &sim_args,
             mode,
             resolve_sim_threads(self.threads),
-            Engine::Lowered,
+            self.engine,
             faults,
         )
         .map_err(|e| to_core_error(&compiled.program.name, e))?;

@@ -10,11 +10,12 @@ use alpaka_core::acc::AccCaps;
 use alpaka_core::buffer::BufLayout;
 use alpaka_core::error::Result;
 use alpaka_core::kernel::Kernel;
+use alpaka_core::trace;
 use alpaka_core::vec::div_ceil;
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_cpu::{CpuAccKind, CpuDevice};
 use alpaka_sim::DeviceSpec;
-use alpaka_sim::FaultPlan;
+use alpaka_sim::{Engine, FaultPlan};
 
 use crate::buffer::{BufferF, BufferI};
 
@@ -87,6 +88,8 @@ pub(crate) enum DeviceImpl {
 pub struct Device {
     kind: AccKind,
     pub(crate) inner: DeviceImpl,
+    /// Process-unique trace ordinal (shared by clones of this handle).
+    id: u64,
 }
 
 impl Device {
@@ -104,7 +107,11 @@ impl Device {
                 DeviceImpl::Sim(alpaka_accsim::SimDevice::new(spec.clone()))
             }
         };
-        Device { kind, inner }
+        Device {
+            kind,
+            inner,
+            id: trace::next_device_id(),
+        }
     }
 
     /// Like [`Device::new`] but with an explicit worker count for the
@@ -136,11 +143,41 @@ impl Device {
                 ))
             }
         };
-        Device { kind, inner }
+        Device {
+            kind,
+            inner,
+            id: trace::next_device_id(),
+        }
     }
 
     pub fn kind(&self) -> &AccKind {
         &self.kind
+    }
+
+    /// Process-unique trace ordinal of this device handle (the `pid` of its
+    /// lanes in a Chrome-trace export).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Select the simulator interpreter engine for launches on this device
+    /// (no-op on native CPU devices). Both engines are bit-identical in
+    /// results and statistics.
+    pub fn with_engine(mut self, engine: Engine) -> Device {
+        self.inner = match self.inner {
+            DeviceImpl::Sim(d) => DeviceImpl::Sim(d.with_engine(engine)),
+            other => other,
+        };
+        self
+    }
+
+    /// Kernel launches attempted on this device so far (simulated devices
+    /// only; 0 for native ones). Traces use this as the launch ordinal.
+    pub fn sim_launch_count(&self) -> u64 {
+        match &self.inner {
+            DeviceImpl::Cpu(_) => 0,
+            DeviceImpl::Sim(d) => d.launch_count(),
+        }
     }
 
     pub fn name(&self) -> String {

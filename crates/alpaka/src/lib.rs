@@ -46,8 +46,13 @@ pub use alpaka_core::error::{Error, FaultInfo, Result};
 pub use alpaka_core::kernel::Kernel;
 pub use alpaka_core::ops::{KernelOps, KernelOpsExt};
 pub use alpaka_core::queue::{HostEvent, QueueBehavior};
+pub use alpaka_core::trace;
+pub use alpaka_core::trace::{TraceEvent, TraceKind};
 pub use alpaka_core::workdiv::WorkDiv;
-pub use alpaka_sim::FaultPlan;
+pub use alpaka_sim::{Engine, FaultPlan, KernelProfile, SimReport};
+pub use alpaka_trace::{
+    chrome_trace, roofline_csv, text_report, validate_json, ChromeOpts, Tracer,
+};
 pub use buffer::{copy_f64, copy_i64, BufferF, BufferI};
 pub use device::{AccKind, Device};
 pub use queue::{assert_portable, time_launch, Args, LaunchMode, Queue, TimedRun};

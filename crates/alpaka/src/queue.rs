@@ -6,6 +6,7 @@ use std::time::Instant;
 use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::{Kernel, ScalarArgs};
 use alpaka_core::queue::{HostEvent, QueueBehavior};
+use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_cpu::{CpuArgs, CpuQueue};
 use alpaka_sim::{ExecMode, SimReport};
@@ -79,8 +80,54 @@ pub(crate) fn launch_sync<K: Kernel + ?Sized>(
     match &dev.inner {
         DeviceImpl::Cpu(d) => d.launch(kernel, wd, &args.to_cpu()?),
         DeviceImpl::Sim(d) => {
-            d.run(kernel, wd, &args.to_sim()?, ExecMode::Full)?;
+            run_sim_traced(d, dev.id(), kernel, wd, &args.to_sim()?, ExecMode::Full)?;
             Ok(())
+        }
+    }
+}
+
+/// Synchronous simulated run with launch tracing but no queue lane: the
+/// direct-launch path (`Device::launch`, [`time_launch`]) shares the trace
+/// emission of [`Queue::enqueue_kernel`], minus the queue-side span.
+pub(crate) fn run_sim_traced<K: Kernel + ?Sized>(
+    d: &alpaka_accsim::SimDevice,
+    dev_id: u64,
+    kernel: &K,
+    wd: &WorkDiv,
+    args: &alpaka_accsim::SimLaunchArgs,
+    mode: ExecMode,
+) -> Result<SimReport> {
+    let traced = trace::enabled();
+    let (t0, ordinal, model) = if traced {
+        let s = d.spec();
+        (
+            d.clock_s(),
+            d.launch_count(),
+            (s.clock_ghz, s.peak_gflops(), s.mem_bw_gbs),
+        )
+    } else {
+        (0.0, 0, (0.0, 0.0, 0.0))
+    };
+    match d.run(kernel, wd, args, mode) {
+        Ok(report) => {
+            if traced {
+                emit_launch_events(kernel.name(), dev_id, None, ordinal, model, t0, &report);
+            }
+            Ok(report)
+        }
+        Err(e) => {
+            if traced {
+                trace::emit(
+                    TraceEvent::new(
+                        TraceKind::Fault,
+                        format!("{}: {e}", kernel.name()),
+                        dev_id,
+                        t0,
+                    )
+                    .on_launch(ordinal),
+                );
+            }
+            Err(e)
         }
     }
 }
@@ -107,6 +154,8 @@ pub struct Queue {
     sticky: Mutex<Option<Error>>,
     /// Monotonic per-queue operation ordinal, keying injected worker death.
     ops: AtomicU64,
+    /// Process-unique trace ordinal (the queue's lane in exports).
+    id: u64,
 }
 
 impl Queue {
@@ -124,11 +173,18 @@ impl Queue {
             inner,
             sticky: Mutex::new(None),
             ops: AtomicU64::new(0),
+            id: trace::next_queue_id(),
         }
     }
 
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Process-unique trace ordinal of this queue (its lane id in a
+    /// Chrome-trace export, and the id named in wait-error context).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     pub fn behavior(&self) -> QueueBehavior {
@@ -140,6 +196,39 @@ impl Queue {
         match self.sticky.lock().clone() {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Like [`Queue::check_sticky`], but the surfaced error names *which*
+    /// queue fired: "(queue N on <device>)". Used by the wait paths, where
+    /// the caller often holds several queues and the raw sticky error gives
+    /// no clue whose it was. The stored sticky error stays unwrapped, so
+    /// repeated waits do not accumulate context.
+    fn check_sticky_ctx(&self) -> Result<()> {
+        self.check_sticky().map_err(|e| self.queue_ctx(e))
+    }
+
+    /// Append queue id + device name to an error's message, preserving its
+    /// variant (and fault coordinates).
+    fn queue_ctx(&self, e: Error) -> Error {
+        let ctx = format!(" (queue {} on {})", self.id, self.device.name());
+        let add = |m: String| format!("{m}{ctx}");
+        match e {
+            Error::InvalidWorkDiv(m) => Error::InvalidWorkDiv(add(m)),
+            Error::BadArg(m) => Error::BadArg(add(m)),
+            Error::BadBuffer(m) => Error::BadBuffer(add(m)),
+            Error::BadCopy(m) => Error::BadCopy(add(m)),
+            Error::KernelFault(mut f) => {
+                f.msg = add(f.msg);
+                Error::KernelFault(f)
+            }
+            Error::Timeout(mut f) => {
+                f.msg = add(f.msg);
+                Error::Timeout(f)
+            }
+            Error::DeviceLost(m) => Error::DeviceLost(add(m)),
+            Error::Device(m) => Error::Device(add(m)),
+            Error::Unsupported(m) => Error::Unsupported(add(m)),
         }
     }
 
@@ -199,11 +288,52 @@ impl Queue {
         match &self.inner {
             QImpl::Cpu(q) => q.enqueue_kernel(kernel.clone(), *wd, args.to_cpu()?),
             QImpl::Sim(q) => {
-                let r = q
-                    .lock()
-                    .enqueue_kernel(kernel, wd, &args.to_sim()?, ExecMode::Full)
-                    .map(|_| ());
-                self.absorb(r)
+                let mut ql = q.lock();
+                let traced = trace::enabled();
+                let (t0, ordinal, model) = if traced {
+                    let d = ql.device();
+                    let s = d.spec();
+                    (
+                        d.clock_s(),
+                        d.launch_count(),
+                        (s.clock_ghz, s.peak_gflops(), s.mem_bw_gbs),
+                    )
+                } else {
+                    (0.0, 0, (0.0, 0.0, 0.0))
+                };
+                let out = match ql.enqueue_kernel(kernel, wd, &args.to_sim()?, ExecMode::Full) {
+                    Ok(report) => {
+                        if traced {
+                            emit_launch_events(
+                                kernel.name(),
+                                self.device.id(),
+                                Some(self.id),
+                                ordinal,
+                                model,
+                                t0,
+                                report,
+                            );
+                        }
+                        Ok(())
+                    }
+                    Err(e) => {
+                        if traced {
+                            trace::emit(
+                                TraceEvent::new(
+                                    TraceKind::Fault,
+                                    format!("{}: {e}", kernel.name()),
+                                    self.device.id(),
+                                    t0,
+                                )
+                                .on_queue(self.id)
+                                .on_launch(ordinal),
+                            );
+                        }
+                        Err(e)
+                    }
+                };
+                drop(ql);
+                self.absorb(out)
             }
         }
     }
@@ -221,7 +351,9 @@ impl Queue {
             (QImpl::Cpu(q), BufferF::Host(d), BufferF::Host(s)) => q.enqueue_copy(d, s),
             _ => {
                 self.wait()?;
+                let t0 = self.device.sim_clock_s();
                 let r = copy_f64(dst, src);
+                self.trace_copy("copy_f64", t0, &r);
                 self.absorb(r)
             }
         }
@@ -239,15 +371,51 @@ impl Queue {
             (QImpl::Cpu(q), BufferI::Host(d), BufferI::Host(s)) => q.enqueue_copy(d, s),
             _ => {
                 self.wait()?;
+                let t0 = self.device.sim_clock_s();
                 let r = copy_i64(dst, src);
+                self.trace_copy("copy_i64", t0, &r);
                 self.absorb(r)
             }
+        }
+    }
+
+    /// Emit the span of a completed copy (or the fault of a failed one).
+    fn trace_copy(&self, label: &str, t0: f64, r: &Result<()>) {
+        if !trace::enabled() {
+            return;
+        }
+        match r {
+            Ok(()) => trace::emit(
+                TraceEvent::new(TraceKind::Copy, label, self.device.id(), t0)
+                    .span_until(self.device.sim_clock_s())
+                    .on_queue(self.id),
+            ),
+            Err(e) => trace::emit(
+                TraceEvent::new(
+                    TraceKind::Fault,
+                    format!("{label}: {e}"),
+                    self.device.id(),
+                    t0,
+                )
+                .on_queue(self.id),
+            ),
         }
     }
 
     /// Enqueue an event signaled once all prior operations completed.
     pub fn enqueue_event(&self, ev: &HostEvent) -> Result<()> {
         self.check_sticky()?;
+        if trace::enabled() {
+            trace::emit(
+                TraceEvent::new(
+                    TraceKind::EventRecord,
+                    "event",
+                    self.device.id(),
+                    self.device.sim_clock_s(),
+                )
+                .on_queue(self.id),
+            );
+        }
         match &self.inner {
             QImpl::Cpu(q) => q.enqueue_event(ev),
             QImpl::Sim(q) => q.lock().enqueue_event(ev),
@@ -258,6 +426,17 @@ impl Queue {
     /// error is sticky: it is reported again by every later operation until
     /// [`Queue::reset`].
     pub fn wait(&self) -> Result<()> {
+        if trace::enabled() {
+            trace::emit(
+                TraceEvent::new(
+                    TraceKind::Wait,
+                    "wait",
+                    self.device.id(),
+                    self.device.sim_clock_s(),
+                )
+                .on_queue(self.id),
+            );
+        }
         match &self.inner {
             QImpl::Cpu(q) => {
                 if let Err(e) = q.wait() {
@@ -270,7 +449,7 @@ impl Queue {
                 }
             }
         }
-        self.check_sticky()
+        self.check_sticky_ctx()
     }
 
     /// Block until `ev` is signaled, then surface any error recorded by
@@ -278,6 +457,17 @@ impl Queue {
     /// Returns early with the queue's error if the worker dies before the
     /// event can ever be signaled.
     pub fn wait_event(&self, ev: &HostEvent) -> Result<()> {
+        if trace::enabled() {
+            trace::emit(
+                TraceEvent::new(
+                    TraceKind::Wait,
+                    "wait_event",
+                    self.device.id(),
+                    self.device.sim_clock_s(),
+                )
+                .on_queue(self.id),
+            );
+        }
         loop {
             if ev.is_done() {
                 break;
@@ -287,11 +477,11 @@ impl Queue {
                     if let Some(e) = q.peek_error() {
                         self.record(e);
                     }
-                    return self.check_sticky();
+                    return self.check_sticky_ctx();
                 }
             }
             if self.sticky.lock().is_some() {
-                return self.check_sticky();
+                return self.check_sticky_ctx();
             }
             std::thread::sleep(std::time::Duration::from_micros(50));
         }
@@ -300,7 +490,7 @@ impl Queue {
                 self.record(e);
             }
         }
-        self.check_sticky()
+        self.check_sticky_ctx()
     }
 
     /// The sticky error currently recorded, if any (non-destructive).
@@ -332,6 +522,16 @@ impl Queue {
         match &self.inner {
             QImpl::Cpu(_) => 0.0,
             QImpl::Sim(q) => q.lock().elapsed_s(),
+        }
+    }
+
+    /// Full simulator report of the most recent kernel enqueued on this
+    /// queue (`None` for native devices or before the first launch). Carries
+    /// the [`alpaka_sim::KernelProfile`] when the launch ran traced.
+    pub fn last_sim_report(&self) -> Option<SimReport> {
+        match &self.inner {
+            QImpl::Cpu(_) => None,
+            QImpl::Sim(q) => q.lock().last_report().cloned(),
         }
     }
 }
@@ -386,7 +586,7 @@ pub fn time_launch<K: Kernel + ?Sized>(
                 LaunchMode::Exact => ExecMode::Full,
                 LaunchMode::TimingSampled(k) => ExecMode::SampleBlocks(k),
             };
-            let report = d.run(kernel, wd, &args.to_sim()?, exec_mode)?;
+            let report = run_sim_traced(d, dev.id(), kernel, wd, &args.to_sim()?, exec_mode)?;
             Ok(TimedRun {
                 wall_s: start.elapsed().as_secs_f64(),
                 time_s: report.time.total_s,
@@ -426,6 +626,171 @@ where
     }
 }
 
+/// Emit the trace events of one completed simulated launch: the queue-side
+/// span (only for queue launches), the launch span carrying the roofline
+/// datapoint meta, and one block-execution span per interpreted block laid
+/// out on per-SM lanes. Everything is derived from the simulated clock and
+/// the deterministic per-block spans, so the stream is identical across
+/// interpreter thread counts and engines.
+fn emit_launch_events(
+    kernel: &str,
+    device: u64,
+    queue: Option<u64>,
+    ordinal: u64,
+    (clock_ghz, peak_gflops, peak_bw_gbs): (f64, f64, f64),
+    t0: f64,
+    report: &SimReport,
+) {
+    let on_queue = |ev: TraceEvent| match queue {
+        Some(q) => ev.on_queue(q),
+        None => ev,
+    };
+    let t1 = t0 + report.time.total_s;
+    if let Some(q) = queue {
+        trace::emit(
+            TraceEvent::new(
+                TraceKind::QueueOp,
+                format!("enqueue_kernel:{kernel}"),
+                device,
+                t0,
+            )
+            .span_until(t1)
+            .on_queue(q)
+            .on_launch(ordinal),
+        );
+    }
+    let s = &report.stats;
+    trace::emit(
+        on_queue(TraceEvent::new(TraceKind::Launch, kernel, device, t0))
+            .span_until(t1)
+            .on_launch(ordinal)
+            .with("flops", s.total_flops() as f64)
+            .with("dram_bytes", s.dram_bytes as f64)
+            .with("total_s", report.time.total_s)
+            .with("blocks", s.blocks as f64)
+            .with("clock_ghz", clock_ghz)
+            .with("peak_gflops", peak_gflops)
+            .with("peak_bw_gbs", peak_bw_gbs),
+    );
+    // Each SM lane is a serial timeline starting at the launch: block
+    // durations come from the per-block issue-cycle counts, in block order
+    // (the order the SM would execute its resident queue).
+    let hz = clock_ghz * 1e9;
+    let mut cursors: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for b in &report.spans {
+        let cur = cursors.entry(b.sm).or_insert(t0);
+        let dur = if hz > 0.0 { b.cycles as f64 / hz } else { 0.0 };
+        trace::emit(
+            on_queue(TraceEvent::new(
+                TraceKind::BlockExec,
+                format!("block {}", b.block),
+                device,
+                *cur,
+            ))
+            .span_until(*cur + dur)
+            .on_launch(ordinal)
+            .on_block(b.block, b.sm),
+        );
+        *cur += dur;
+    }
+}
+
 // Re-exported at the crate root; keep the error type in scope for docs.
 #[allow(unused_imports)]
 use Error as _ErrorDoc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AccKind;
+    use alpaka_core::ops::{KernelOps, KernelOpsExt};
+
+    #[derive(Clone)]
+    struct Scale;
+    impl Kernel for Scale {
+        fn name(&self) -> &str {
+            "scale"
+        }
+        fn run<O: KernelOps>(&self, o: &mut O) {
+            let b = o.buf_f(0);
+            let n = o.param_i(0);
+            let i = o.global_thread_idx(0);
+            let c = o.lt_i(i, n);
+            o.if_(c, |o| {
+                let v = o.ld_gf(b, i);
+                let two = o.lit_f(2.0);
+                let r = o.mul_f(v, two);
+                o.st_gf(b, i, r);
+            });
+        }
+    }
+
+    #[test]
+    fn wait_error_display_names_queue_and_device() {
+        let dev = Device::new(AccKind::sim_k20());
+        let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+        q.inject_worker_death();
+        let err = q.wait().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("queue {}", q.id())), "{msg}");
+        assert!(msg.contains(&dev.name()), "{msg}");
+        // Same context from wait_event, and no accumulation on repeat waits.
+        let ev = HostEvent::new();
+        let msg2 = q.wait_event(&ev).unwrap_err().to_string();
+        assert_eq!(msg, msg2);
+        assert_eq!(msg.matches("(queue ").count(), 1, "{msg}");
+        // The sticky slot itself stays unwrapped.
+        let raw = q.sticky_error().unwrap().to_string();
+        assert!(!raw.contains("(queue"), "{raw}");
+    }
+
+    #[test]
+    fn traced_launch_emits_queue_launch_and_block_spans() {
+        let n = 256usize;
+        let ((), events) = trace::capture(|| {
+            let dev = Device::new(AccKind::sim_k20());
+            let q = Queue::new(dev.clone(), QueueBehavior::Blocking);
+            let b = dev.alloc_f64(crate::BufLayout::d1(n));
+            b.upload(&vec![1.0; n]).unwrap();
+            let wd = dev.suggest_workdiv_1d(n);
+            q.enqueue_kernel(&Scale, &wd, &Args::new().buf_f(&b).scalar_i(n as i64))
+                .unwrap();
+            q.wait().unwrap();
+        });
+        let launches: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Launch)
+            .collect();
+        assert_eq!(launches.len(), 1);
+        let l = launches[0];
+        assert_eq!(l.label, "scale");
+        assert_eq!(l.launch, Some(0));
+        assert!(l.meta_get("flops").is_some());
+        assert!(l.meta_get("peak_gflops").unwrap() > 0.0);
+        assert!(l.sim_dur_s() > 0.0);
+        let blocks = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::BlockExec)
+            .count();
+        assert_eq!(blocks as u64, l.meta_get("blocks").unwrap() as u64);
+        assert!(events.iter().any(|e| e.kind == TraceKind::QueueOp));
+        assert!(events.iter().any(|e| e.kind == TraceKind::Wait));
+    }
+
+    #[test]
+    fn untraced_launch_emits_nothing() {
+        if trace::enabled() {
+            return; // an outer ALPAKA_SIM_TRACE run; nothing to assert
+        }
+        let before = trace::pending();
+        let n = 64usize;
+        let dev = Device::new(AccKind::sim_k20());
+        let q = Queue::new(dev.clone(), QueueBehavior::Blocking);
+        let b = dev.alloc_f64(crate::BufLayout::d1(n));
+        let wd = dev.suggest_workdiv_1d(n);
+        q.enqueue_kernel(&Scale, &wd, &Args::new().buf_f(&b).scalar_i(n as i64))
+            .unwrap();
+        q.wait().unwrap();
+        assert_eq!(trace::pending(), before);
+    }
+}

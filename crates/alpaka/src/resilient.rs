@@ -23,6 +23,7 @@
 use alpaka_core::buffer::BufLayout;
 use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::{Kernel, ScalarArgs};
+use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
 
 use crate::device::Device;
@@ -245,11 +246,23 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
     policy: &RetryPolicy,
     spec: &LaunchSpec<K>,
 ) -> Result<LaunchOutcome> {
+    let traced = trace::enabled();
     let mut attempts = 0u32;
     let mut backoff_total = 0.0f64;
     let mut errors: Vec<Error> = Vec::new();
     for (di, dev) in chain.devices().iter().enumerate() {
         if dev.is_lost() {
+            if traced {
+                trace::emit(
+                    TraceEvent::new(
+                        TraceKind::FailOver,
+                        format!("skip {}: already lost", dev.name()),
+                        dev.id(),
+                        dev.sim_clock_s(),
+                    )
+                    .with("device_index", di as f64),
+                );
+            }
             errors.push(Error::DeviceLost(format!(
                 "{}: device already lost before first attempt",
                 dev.name()
@@ -259,7 +272,30 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
         let mut retries = 0u32;
         loop {
             attempts += 1;
-            match attempt(dev, spec) {
+            let t0 = dev.sim_clock_s();
+            let result = attempt(dev, spec);
+            if traced {
+                // One span per attempt: device, outcome (the fault kind that
+                // ended it, or "ok"), attempt ordinal.
+                let label = match &result {
+                    Ok(_) => format!("attempt {attempts} on {}: ok", dev.name()),
+                    Err(e) => format!("attempt {attempts} on {}: {e}", dev.name()),
+                };
+                trace::emit(
+                    TraceEvent::new(TraceKind::RetryAttempt, label, dev.id(), t0)
+                        .span_until(dev.sim_clock_s())
+                        .with("attempt", attempts as f64)
+                        .with("device_index", di as f64)
+                        .with(
+                            "transient",
+                            result
+                                .as_ref()
+                                .err()
+                                .map_or(0.0, |e| e.is_transient() as u64 as f64),
+                        ),
+                );
+            }
+            match result {
                 Ok((bufs_f, bufs_i)) => {
                     return Ok(LaunchOutcome {
                         device: dev.name(),
@@ -278,9 +314,41 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                         Disposition::Fatal => {
                             return Err(errors.pop().expect("just pushed"));
                         }
-                        Disposition::FailOver => break,
+                        Disposition::FailOver => {
+                            if traced {
+                                trace::emit(
+                                    TraceEvent::new(
+                                        TraceKind::FailOver,
+                                        format!(
+                                            "fail over from {}: {}",
+                                            dev.name(),
+                                            errors.last().expect("just pushed")
+                                        ),
+                                        dev.id(),
+                                        dev.sim_clock_s(),
+                                    )
+                                    .with("device_index", di as f64),
+                                );
+                            }
+                            break;
+                        }
                         Disposition::Retry => {
                             if retries >= policy.max_retries {
+                                if traced {
+                                    trace::emit(
+                                        TraceEvent::new(
+                                            TraceKind::FailOver,
+                                            format!(
+                                                "retries exhausted on {} after {} attempt(s)",
+                                                dev.name(),
+                                                retries + 1
+                                            ),
+                                            dev.id(),
+                                            dev.sim_clock_s(),
+                                        )
+                                        .with("device_index", di as f64),
+                                    );
+                                }
                                 break;
                             }
                             retries += 1;
@@ -454,6 +522,29 @@ mod tests {
         let err = launch_resilient(&chain, &RetryPolicy::none(), &daxpy_spec(64)).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn attempts_and_failover_are_traced() {
+        let n = 128;
+        let (out, events) = trace::capture(|| {
+            let lost = Device::new(AccKind::sim_k20())
+                .with_faults(FaultPlan::quiet(7).with_lost_at_launch(0));
+            let chain = FallbackChain::new(lost).then(Device::new(AccKind::CpuSerial));
+            launch_resilient(&chain, &RetryPolicy::default(), &daxpy_spec(n)).unwrap()
+        });
+        assert!(out.device_index > 0);
+        let retry_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::RetryAttempt)
+            .collect();
+        assert_eq!(retry_events.len() as u32, out.attempts);
+        assert!(events.iter().any(|e| e.kind == TraceKind::FailOver));
+        // The fault kind that triggered the fail-over is in the span label.
+        assert!(
+            retry_events.iter().any(|e| e.label.contains("device lost")),
+            "{retry_events:?}"
+        );
     }
 
     #[test]

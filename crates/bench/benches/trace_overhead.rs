@@ -1,0 +1,215 @@
+//! Cost of the tracing layer, both switched off and switched on.
+//!
+//! The zero-cost contract of `alpaka_core::trace` is that a launch through
+//! the traced facade with tracing *disabled* is indistinguishable from the
+//! raw simulator call: the only additions on that path are a handful of
+//! relaxed atomic loads and never-taken branches, amortised over a
+//! multi-millisecond simulated launch. The smoke mode (`-- --test`, run by
+//! `scripts/ci.sh`) asserts exactly that:
+//!
+//! * an untraced facade launch records zero events and no profile, and its
+//!   simulated stats are bit-identical to a traced run's,
+//! * a traced run emits a non-empty stream whose profile ties out, and
+//! * the untraced facade launch is within 2% of the direct
+//!   `run_kernel_launch_threads` call (min-of-K wall time, interleaved so
+//!   host noise hits both sides equally).
+//!
+//! Full criterion mode additionally times the traced path to report what
+//! switching the profiler ON costs — that one is allowed to be slower.
+
+use std::time::Instant;
+
+use alpaka::{trace, AccKind, Args, BufLayout, Device, Queue, QueueBehavior};
+use alpaka_kernels::DgemmNaive;
+use alpaka_kir::{optimize, trace_kernel};
+use alpaka_sim::{
+    run_kernel_launch_threads, DeviceMem, DeviceSpec, ExecMode, LaunchStats, SimArgs,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BLOCKS: usize = 256;
+const N: usize = 64; // C is BLOCKS x N, A is BLOCKS x N, B is N x N
+
+/// One naive-DGEMM launch through the raw simulator (no facade, no queue).
+fn run_direct() -> LaunchStats {
+    let mut prog = trace_kernel(&DgemmNaive, 1);
+    optimize(&mut prog);
+    let wd = DgemmNaive::workdiv(BLOCKS, 1);
+    let mut mem = DeviceMem::new();
+    let a = mem.alloc_f(BLOCKS * N);
+    let b = mem.alloc_f(N * N);
+    let c = mem.alloc_f(BLOCKS * N);
+    for i in 0..BLOCKS * N {
+        mem.f_mut(a)[i] = ((i * 7 + 3) % 17) as f64 * 0.25;
+    }
+    for i in 0..N * N {
+        mem.f_mut(b)[i] = ((i * 5 + 1) % 13) as f64 - 6.0;
+    }
+    let args = SimArgs {
+        bufs_f: vec![a, b, c],
+        bufs_i: vec![],
+        params_f: vec![1.0, 0.0],
+        params_i: vec![
+            BLOCKS as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+            N as i64,
+        ],
+    };
+    run_kernel_launch_threads(
+        &DeviceSpec::e5_2630v3(),
+        &mut mem,
+        &prog,
+        &wd,
+        &args,
+        ExecMode::Full,
+        1,
+    )
+    .unwrap()
+    .stats
+}
+
+/// The same launch through the facade queue (tracing branches compiled in).
+fn run_facade() -> LaunchStats {
+    let dev = Device::with_workers(AccKind::sim_e5_2630v3(), 1);
+    let q = Queue::new(dev.clone(), QueueBehavior::Blocking);
+    let ab = dev.alloc_f64(BufLayout::d2(BLOCKS, N, 8));
+    let bb = dev.alloc_f64(BufLayout::d2(N, N, 8));
+    let cb = dev.alloc_f64(BufLayout::d2(BLOCKS, N, 8));
+    let mut a = vec![0.0; BLOCKS * N];
+    let mut b = vec![0.0; N * N];
+    for (i, v) in a.iter_mut().enumerate() {
+        *v = ((i * 7 + 3) % 17) as f64 * 0.25;
+    }
+    for (i, v) in b.iter_mut().enumerate() {
+        *v = ((i * 5 + 1) % 13) as f64 - 6.0;
+    }
+    ab.upload(&a).unwrap();
+    bb.upload(&b).unwrap();
+    let args = Args::new()
+        .buf_f(&ab)
+        .buf_f(&bb)
+        .buf_f(&cb)
+        .scalar_f(1.0)
+        .scalar_f(0.0)
+        .scalar_i(BLOCKS as i64)
+        .scalar_i(N as i64)
+        .scalar_i(N as i64)
+        .scalar_i(ab.layout().pitch as i64)
+        .scalar_i(bb.layout().pitch as i64)
+        .scalar_i(cb.layout().pitch as i64);
+    q.enqueue_kernel(&DgemmNaive, &DgemmNaive::workdiv(BLOCKS, 1), &args)
+        .unwrap();
+    q.wait().unwrap();
+    q.last_sim_report().unwrap().stats
+}
+
+fn min_wall(k: usize, f: impl Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..k {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Guard 1: the untraced path is allocation-free and profile-free.
+    assert!(!trace::enabled(), "tracing must be off for this bench");
+    let untraced_stats = run_facade();
+    assert_eq!(trace::pending(), 0, "untraced launch recorded events");
+
+    // Guard 2: the traced path emits a stream that ties out, and tracing
+    // does not perturb the simulation itself.
+    let ((traced_stats, profile), events) = trace::capture(|| {
+        let dev = Device::with_workers(AccKind::sim_e5_2630v3(), 1);
+        let q = Queue::new(dev.clone(), QueueBehavior::Blocking);
+        let ab = dev.alloc_f64(BufLayout::d2(BLOCKS, N, 8));
+        let bb = dev.alloc_f64(BufLayout::d2(N, N, 8));
+        let cb = dev.alloc_f64(BufLayout::d2(BLOCKS, N, 8));
+        ab.upload(&vec![1.0; BLOCKS * N]).unwrap();
+        bb.upload(&vec![1.0; N * N]).unwrap();
+        let args = Args::new()
+            .buf_f(&ab)
+            .buf_f(&bb)
+            .buf_f(&cb)
+            .scalar_f(1.0)
+            .scalar_f(0.0)
+            .scalar_i(BLOCKS as i64)
+            .scalar_i(N as i64)
+            .scalar_i(N as i64)
+            .scalar_i(ab.layout().pitch as i64)
+            .scalar_i(bb.layout().pitch as i64)
+            .scalar_i(cb.layout().pitch as i64);
+        q.enqueue_kernel(&DgemmNaive, &DgemmNaive::workdiv(BLOCKS, 1), &args)
+            .unwrap();
+        q.wait().unwrap();
+        let r = q.last_sim_report().unwrap();
+        (r.stats.clone(), r.profile.clone())
+    });
+    assert!(!events.is_empty(), "traced launch recorded nothing");
+    assert_eq!(
+        untraced_stats, traced_stats,
+        "tracing perturbed the simulated stats"
+    );
+    let profile = profile.expect("traced launch carries a profile");
+    profile.check_against(&traced_stats).unwrap();
+
+    // Guard 3 (the <2% overhead smoke): with tracing disabled, the facade
+    // launch path — queue, sticky checks, trace branches — must cost within
+    // 2% of the raw simulator call. Interleaved min-of-K so a noisy host
+    // hurts both sides alike; one warm-up pair first.
+    run_direct();
+    run_facade();
+    const K: usize = 5;
+    let mut direct = f64::INFINITY;
+    let mut facade = f64::INFINITY;
+    for _ in 0..K {
+        let t0 = Instant::now();
+        run_direct();
+        direct = direct.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        run_facade();
+        facade = facade.min(t1.elapsed().as_secs_f64());
+    }
+    let overhead = facade / direct - 1.0;
+    eprintln!(
+        "trace_overhead: direct={direct:.4}s facade(untraced)={facade:.4}s overhead={:+.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "untraced facade launch is {:.2}% slower than the raw simulator call (budget 2%)",
+        overhead * 100.0
+    );
+
+    if std::env::args().any(|a| a == "--test") {
+        eprintln!("trace_overhead: --test smoke mode, zero-cost guards passed");
+        return;
+    }
+
+    // Full mode: what turning the profiler ON costs (informational).
+    let traced = min_wall(K, || {
+        let (_, evs) = trace::capture(run_facade);
+        drop(evs);
+    });
+    eprintln!(
+        "trace_overhead: facade(traced)={traced:.4}s vs untraced={facade:.4}s ({:+.2}%)",
+        (traced / facade - 1.0) * 100.0
+    );
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.bench_function("facade_untraced", |b| b.iter(run_facade));
+    group.bench_function("direct_sim", |b| b.iter(run_direct));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_overhead
+}
+criterion_main!(benches);

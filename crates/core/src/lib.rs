@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod ops;
 pub mod pool;
 pub mod queue;
+pub mod trace;
 pub mod vec;
 pub mod workdiv;
 
@@ -38,6 +39,7 @@ pub use error::{Error, Result};
 pub use kernel::{Kernel, ScalarArgs};
 pub use ops::{KernelOps, KernelOpsExt};
 pub use queue::{HostEvent, QueueBehavior};
+pub use trace::{BlockSpan, TraceEvent, TraceKind};
 pub use vec::{div_ceil, map_idx, Vec1, Vec2, Vec3, Vecn};
 pub use workdiv::{predefined, PredefAcc, WorkDiv};
 

@@ -1,0 +1,303 @@
+//! Structured tracing: typed events emitted by queues, launches, copies,
+//! faults and the resilience layer, recorded into a process-global sink.
+//!
+//! The sink is **off by default** and the fast path is allocation-free: every
+//! emission site checks [`enabled`] (one relaxed atomic load) before building
+//! an event. Tracing turns on either explicitly ([`set_enabled`] /
+//! `alpaka_trace::Tracer`) or via the `ALPAKA_SIM_TRACE=<path>` environment
+//! variable, which is read once on first use.
+//!
+//! Determinism: everything except the `wall_ns` field is derived from the
+//! simulated clock and deterministic counters, so two runs of the same
+//! program produce identical event streams (modulo wall time) regardless of
+//! `ALPAKA_SIM_THREADS` or the interpreter engine. Exporters can mask
+//! `wall_ns` to get byte-identical output.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A queue operation (enqueue_kernel bookkeeping, event record, wait).
+    QueueOp,
+    /// One kernel launch (span over the simulated execution).
+    Launch,
+    /// One block's execution on one SM inside a launch.
+    BlockExec,
+    /// A host<->device or device<->device copy.
+    Copy,
+    /// A host event recorded on a queue.
+    EventRecord,
+    /// A blocking wait on a queue or event.
+    Wait,
+    /// An injected or surfaced fault.
+    Fault,
+    /// One attempt inside `launch_resilient` (includes retries).
+    RetryAttempt,
+    /// A fallback hop to the next device in a `FallbackChain`.
+    FailOver,
+}
+
+impl TraceKind {
+    /// Stable lowercase name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::QueueOp => "queue_op",
+            TraceKind::Launch => "launch",
+            TraceKind::BlockExec => "block",
+            TraceKind::Copy => "copy",
+            TraceKind::EventRecord => "event",
+            TraceKind::Wait => "wait",
+            TraceKind::Fault => "fault",
+            TraceKind::RetryAttempt => "retry_attempt",
+            TraceKind::FailOver => "fail_over",
+        }
+    }
+}
+
+/// One structured trace record. Spans carry `sim_t0_s < sim_t1_s`; instant
+/// events have `sim_t0_s == sim_t1_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub kind: TraceKind,
+    /// Human label (kernel name, copy direction, fault kind, ...).
+    pub label: String,
+    /// Process-unique device ordinal (see [`next_device_id`]).
+    pub device: u64,
+    /// Process-unique queue ordinal, when the event belongs to a queue.
+    pub queue: Option<u64>,
+    /// Launch ordinal on the owning device.
+    pub launch: Option<u64>,
+    /// Linear block index, for [`TraceKind::BlockExec`].
+    pub block: Option<u64>,
+    /// SM the block ran on, for [`TraceKind::BlockExec`].
+    pub sm: Option<u64>,
+    /// Span start on the simulated clock (seconds).
+    pub sim_t0_s: f64,
+    /// Span end on the simulated clock (seconds).
+    pub sim_t1_s: f64,
+    /// Wall-clock nanoseconds since the process trace epoch. The only
+    /// nondeterministic field; exporters mask it for reproducible output.
+    pub wall_ns: u64,
+    /// Numeric attachments (flops, bytes, attempt number, ...).
+    pub meta: Vec<(&'static str, f64)>,
+}
+
+impl TraceEvent {
+    /// New instant event at `sim_t_s` on `device`.
+    pub fn new(kind: TraceKind, label: impl Into<String>, device: u64, sim_t_s: f64) -> Self {
+        TraceEvent {
+            kind,
+            label: label.into(),
+            device,
+            queue: None,
+            launch: None,
+            block: None,
+            sm: None,
+            sim_t0_s: sim_t_s,
+            sim_t1_s: sim_t_s,
+            wall_ns: wall_ns(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Turn the event into a span ending at `sim_t1_s`.
+    pub fn span_until(mut self, sim_t1_s: f64) -> Self {
+        self.sim_t1_s = sim_t1_s;
+        self
+    }
+
+    pub fn on_queue(mut self, queue: u64) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+
+    pub fn on_launch(mut self, launch: u64) -> Self {
+        self.launch = Some(launch);
+        self
+    }
+
+    pub fn on_block(mut self, block: u64, sm: u64) -> Self {
+        self.block = Some(block);
+        self.sm = Some(sm);
+        self
+    }
+
+    pub fn with(mut self, key: &'static str, value: f64) -> Self {
+        self.meta.push((key, value));
+        self
+    }
+
+    /// Span duration on the simulated clock.
+    pub fn sim_dur_s(&self) -> f64 {
+        self.sim_t1_s - self.sim_t0_s
+    }
+
+    /// Look up a meta value by key.
+    pub fn meta_get(&self, key: &str) -> Option<f64> {
+        self.meta.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// One block's execution record produced inside the simulator workers and
+/// merged deterministically (sorted by linear block index) into `SimReport`.
+/// `cycles` is the block's contribution to issue cycles, which the facade
+/// turns into per-SM timeline spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// Linear block index within the grid.
+    pub block: u64,
+    /// SM the block was scheduled on.
+    pub sm: u64,
+    /// Issue cycles charged to this block (scalar + vectorized).
+    pub cycles: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static DEVICE_IDS: AtomicU64 = AtomicU64::new(0);
+static QUEUE_IDS: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if env_trace_path().is_some() {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The `ALPAKA_SIM_TRACE` output path, if set (empty value counts as unset).
+pub fn env_trace_path() -> Option<String> {
+    std::env::var("ALPAKA_SIM_TRACE")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// Is tracing on? One relaxed load after a one-time env check; emission
+/// sites call this before building any event so the disabled path stays
+/// allocation-free.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the sink on or off explicitly (overrides the env default).
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the process trace epoch (first trace-time query).
+pub fn wall_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Record one event (no-op when tracing is disabled).
+pub fn emit(ev: TraceEvent) {
+    if enabled() {
+        SINK.lock().unwrap().push(ev);
+    }
+}
+
+/// Record a batch of events in order (no-op when tracing is disabled).
+pub fn emit_all(evs: impl IntoIterator<Item = TraceEvent>) {
+    if enabled() {
+        SINK.lock().unwrap().extend(evs);
+    }
+}
+
+/// Take every recorded event out of the sink.
+pub fn drain() -> Vec<TraceEvent> {
+    std::mem::take(&mut *SINK.lock().unwrap())
+}
+
+/// Number of events currently buffered.
+pub fn pending() -> usize {
+    SINK.lock().unwrap().len()
+}
+
+/// Allocate a process-unique device id (the facade calls this per `Device`).
+pub fn next_device_id() -> u64 {
+    DEVICE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a process-unique queue id (the facade calls this per `Queue`).
+pub fn next_queue_id() -> u64 {
+    QUEUE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Run `f` with tracing enabled and return its result plus every event it
+/// emitted. Serializes concurrent captures (the sink is process-global) and
+/// restores the previous enabled state, so tests can run in parallel. The
+/// device/queue id counters are reset to zero for the duration (and restored
+/// to at least their prior value after), so devices and queues created
+/// *inside* the closure get the same ids on every capture — this is what
+/// makes captured streams byte-comparable across runs.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<TraceEvent>) {
+    let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was = enabled();
+    let stale = drain();
+    let saved_dev = DEVICE_IDS.swap(0, Ordering::Relaxed);
+    let saved_q = QUEUE_IDS.swap(0, Ordering::Relaxed);
+    set_enabled(true);
+    let out = f();
+    let events = drain();
+    set_enabled(was);
+    DEVICE_IDS.fetch_max(saved_dev, Ordering::Relaxed);
+    QUEUE_IDS.fetch_max(saved_q, Ordering::Relaxed);
+    if was {
+        emit_all(stale);
+    }
+    (out, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let (_, events) = capture(|| ());
+        assert!(events.is_empty());
+        // Outside capture with tracing off, emit is a no-op.
+        let before = pending();
+        if !enabled() {
+            emit(TraceEvent::new(TraceKind::Wait, "w", 0, 0.0));
+            assert_eq!(pending(), before);
+        }
+    }
+
+    #[test]
+    fn capture_collects_events_in_order() {
+        let ((), events) = capture(|| {
+            emit(TraceEvent::new(TraceKind::Launch, "k1", 0, 0.0).span_until(1.0));
+            emit(
+                TraceEvent::new(TraceKind::Copy, "h2d", 0, 1.0)
+                    .on_queue(3)
+                    .with("bytes", 64.0),
+            );
+        });
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::Launch);
+        assert_eq!(events[0].sim_dur_s(), 1.0);
+        assert_eq!(events[1].queue, Some(3));
+        assert_eq!(events[1].meta_get("bytes"), Some(64.0));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = next_device_id();
+        let b = next_device_id();
+        assert_ne!(a, b);
+        let q1 = next_queue_id();
+        let q2 = next_queue_id();
+        assert_ne!(q1, q2);
+    }
+}

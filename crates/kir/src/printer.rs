@@ -138,6 +138,35 @@ fn print_block(b: &Block, depth: usize, out: &mut String, comments: bool) {
     }
 }
 
+/// One-line rendering of a single statement; control-flow statements render
+/// only their header. Used for source-annotated profile tables.
+pub fn stmt_label(s: &Stmt) -> String {
+    match s {
+        Stmt::Comment(c) => format!("// {c}"),
+        Stmt::I(i) => fmt_instr(i),
+        Stmt::StGF { buf, idx, val } => format!("st.global.f64 [bf{buf} + {idx:?}], {val:?}"),
+        Stmt::StGI { buf, idx, val } => format!("st.global.s64 [bi{buf} + {idx:?}], {val:?}"),
+        Stmt::StLF { loc, idx, val } => format!("st.local.f64 [@loc{loc} + {idx:?}], {val:?}"),
+        Stmt::StSF { sh, idx, val } => format!("st.shared.f64 [@sh{sh} + {idx:?}], {val:?}"),
+        Stmt::StSI { sh, idx, val } => format!("st.shared.s64 [@sh{sh} + {idx:?}], {val:?}"),
+        Stmt::StVarF { var, val } => format!("mov.f64 {var:?}, {val:?}"),
+        Stmt::StVarI { var, val } => format!("mov.s64 {var:?}, {val:?}"),
+        Stmt::Sync => "bar.sync 0".to_string(),
+        Stmt::If { cond, .. } => format!("@{cond:?} {{ ... }}"),
+        Stmt::ForRange {
+            counter,
+            start,
+            end,
+            vectorize,
+            ..
+        } => {
+            let v = if *vectorize { ".vec" } else { "" };
+            format!("for{v} {counter:?} in {start:?}..{end:?} {{ ... }}")
+        }
+        Stmt::While { cond, .. } => format!("while {{ ... }} @{cond:?} do {{ ... }}"),
+    }
+}
+
 fn cmp_name(c: Cmp) -> &'static str {
     match c {
         Cmp::Lt => "lt",

@@ -25,11 +25,12 @@
 // is the clearest way to write lockstep execution.
 #![allow(clippy::needless_range_loop)]
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use alpaka_core::acc::DeviceKind;
 use alpaka_core::pool::run_team;
+use alpaka_core::trace::BlockSpan;
 use alpaka_core::vec::Vecn;
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_kir::ir::*;
@@ -38,6 +39,7 @@ use alpaka_kir::semantics as sem;
 use crate::cache::CacheSim;
 use crate::fault::{EccCtx, SimError};
 use crate::memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
+use crate::profile::{merge_counters, InstrCounters, KernelProfile, Numbering};
 use crate::serr;
 use crate::spec::{CacheScope, DeviceSpec};
 use crate::stats::{estimate_time, LaunchStats, TimeBreakdown};
@@ -70,6 +72,12 @@ pub struct SimReport {
     pub sampled: bool,
     /// Host-side interpreter throughput (wall clock, not simulated time).
     pub host: HostPerf,
+    /// Per-instruction hot-spot profile; present only when tracing is
+    /// enabled (`alpaka_core::trace`). Never scaled by block sampling.
+    pub profile: Option<KernelProfile>,
+    /// Per-block issue-cycle spans (block-linear order); present only when
+    /// tracing is enabled. Never scaled by block sampling.
+    pub spans: Vec<BlockSpan>,
 }
 
 /// How fast the *host* interpreted the launch — wall-clock measurements of
@@ -344,6 +352,13 @@ pub(crate) struct Machine<'a> {
     scratch_lines: Vec<u64>,
     /// Reusable per-bank index lists for `shared_access`.
     scratch_banks: Vec<Vec<i64>>,
+    /// Per-instruction counters when profiling (tracing enabled), indexed by
+    /// canonical statement id; `None` on the default allocation-free path.
+    pub(crate) profile: Option<Box<[InstrCounters]>>,
+    /// Canonical id of the statement currently executing (profiling only).
+    pub(crate) cur_instr: u32,
+    /// Statement numbering of `prog` (profiling only).
+    numbering: Option<&'a Numbering>,
 }
 
 pub(crate) type R<T> = Result<T, SimError>;
@@ -393,8 +408,22 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    /// Apply `f` to the current statement's profile slot, if profiling.
+    #[inline]
+    pub(crate) fn prof_add(&mut self, f: impl FnOnce(&mut InstrCounters)) {
+        if let Some(p) = &mut self.profile {
+            f(&mut p[self.cur_instr as usize]);
+        }
+    }
+
     #[inline]
     pub(crate) fn add_issue(&mut self, n: u64) {
+        if n > 0 {
+            self.prof_add(|c| {
+                c.issue += n;
+                c.execs += 1;
+            });
+        }
         match &mut self.region {
             Some(r) => r.issue += n,
             None => self.stats.scalar_issue += n,
@@ -403,6 +432,7 @@ impl<'a> Machine<'a> {
 
     #[inline]
     pub(crate) fn add_flops(&mut self, n: u64) {
+        self.prof_add(|c| c.flops += n);
         match &mut self.region {
             Some(r) => r.flops += n,
             None => self.stats.scalar_flops += n,
@@ -411,6 +441,7 @@ impl<'a> Machine<'a> {
 
     #[inline]
     pub(crate) fn add_special(&mut self, n: u64) {
+        self.prof_add(|c| c.special += n);
         match &mut self.region {
             Some(r) => r.special += n,
             None => self.stats.special_ops += n,
@@ -452,6 +483,7 @@ impl<'a> Machine<'a> {
             }
             if any_t && any_f {
                 self.stats.divergent_branches += 1;
+                self.prof_add(|c| c.divergent_branches += 1);
             }
         }
     }
@@ -462,26 +494,31 @@ impl<'a> Machine<'a> {
         let line = self.spec.line_bytes as u64;
         self.stats.mem_transactions += 1;
         // The caches share the spec's line size, so the line index needs no
-        // byte-address round trip.
-        match &mut self.caches {
-            Caches::None => self.stats.dram_bytes += line,
-            Caches::PerSm(cs) => {
-                if cs[self.cur_sm].access_line(line_idx) {
-                    self.stats.cache_hits += 1;
-                } else {
-                    self.stats.cache_misses += 1;
-                    self.stats.dram_bytes += line;
-                }
-            }
-            Caches::Shared(c) => {
-                if c.access_line(line_idx) {
-                    self.stats.cache_hits += 1;
-                } else {
-                    self.stats.cache_misses += 1;
-                    self.stats.dram_bytes += line;
-                }
+        // byte-address round trip. `hit` is None when no cache is modeled.
+        let hit = match &mut self.caches {
+            Caches::None => None,
+            Caches::PerSm(cs) => Some(cs[self.cur_sm].access_line(line_idx)),
+            Caches::Shared(c) => Some(c.access_line(line_idx)),
+        };
+        match hit {
+            None => self.stats.dram_bytes += line,
+            Some(true) => self.stats.cache_hits += 1,
+            Some(false) => {
+                self.stats.cache_misses += 1;
+                self.stats.dram_bytes += line;
             }
         }
+        self.prof_add(|c| {
+            c.mem_transactions += 1;
+            match hit {
+                None => c.dram_bytes += line,
+                Some(true) => c.cache_hits += 1,
+                Some(false) => {
+                    c.cache_misses += 1;
+                    c.dram_bytes += line;
+                }
+            }
+        });
     }
 
     /// Account a warp-coalesced global access; `addrs` holds (lane, byte
@@ -577,6 +614,7 @@ impl<'a> Machine<'a> {
     pub(crate) fn shared_access(&mut self, elem_idx: &[(usize, i64)]) {
         const BANKS: usize = 32;
         self.stats.shared_accesses += elem_idx.len() as u64;
+        self.prof_add(|c| c.shared_accesses += elem_idx.len() as u64);
         let mut banks = std::mem::take(&mut self.scratch_banks);
         banks.resize_with(BANKS, Vec::new);
         let mut i = 0;
@@ -594,6 +632,7 @@ impl<'a> Machine<'a> {
             let degree = banks.iter().map(|v| v.len()).max().unwrap_or(0);
             if degree > 1 {
                 self.stats.bank_conflict_cycles += (degree - 1) as u64;
+                self.prof_add(|c| c.bank_conflict_cycles += (degree - 1) as u64);
             }
         }
         self.scratch_banks = banks;
@@ -843,6 +882,7 @@ impl<'a> Machine<'a> {
                     }
                 }
                 self.stats.global_loads += active;
+                self.prof_add(|c| c.global_loads += active);
                 self.mem_access(&bs.scratch_addrs);
             }
             Op::LdGI { buf, idx } => {
@@ -866,6 +906,7 @@ impl<'a> Machine<'a> {
                     }
                 }
                 self.stats.global_loads += active;
+                self.prof_add(|c| c.global_loads += active);
                 self.mem_access(&bs.scratch_addrs);
             }
             Op::LdSF { sh, idx } => {
@@ -945,6 +986,7 @@ impl<'a> Machine<'a> {
             Op::AtomicGF { op, buf, idx, val } => {
                 let b = self.buf_f(*buf)?;
                 self.stats.atomics += active;
+                self.prof_add(|c| c.atomics += active);
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -966,6 +1008,7 @@ impl<'a> Machine<'a> {
             Op::AtomicGI { op, buf, idx, val } => {
                 let b = self.buf_i(*buf)?;
                 self.stats.atomics += active;
+                self.prof_add(|c| c.atomics += active);
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -1005,6 +1048,11 @@ impl<'a> Machine<'a> {
 
     fn exec_block_inner(&mut self, bs: &mut BlockState, block: &Block, mask: &[bool]) -> R<()> {
         for stmt in &block.0 {
+            if let Some(n) = self.numbering {
+                if !matches!(stmt, Stmt::Comment(_)) {
+                    self.cur_instr = n.id_of(stmt);
+                }
+            }
             match stmt {
                 Stmt::I(instr) => self.exec_instr(bs, instr, mask)?,
                 Stmt::StGF { buf, idx, val } => {
@@ -1031,6 +1079,7 @@ impl<'a> Machine<'a> {
                         }
                     }
                     self.stats.global_stores += active;
+                    self.prof_add(|c| c.global_stores += active);
                     self.mem_access(&bs.scratch_addrs);
                 }
                 Stmt::StGI { buf, idx, val } => {
@@ -1057,6 +1106,7 @@ impl<'a> Machine<'a> {
                         }
                     }
                     self.stats.global_stores += active;
+                    self.prof_add(|c| c.global_stores += active);
                     self.mem_access(&bs.scratch_addrs);
                 }
                 Stmt::StLF { loc, idx, val } => {
@@ -1155,6 +1205,8 @@ impl<'a> Machine<'a> {
                             .into());
                     }
                     self.stats.syncs += self.n_warps as u64;
+                    let nw = self.n_warps as u64;
+                    self.prof_add(|c| c.syncs += nw);
                 }
                 Stmt::Comment(_) => {}
                 Stmt::If {
@@ -1193,6 +1245,10 @@ impl<'a> Machine<'a> {
                     cond,
                     body,
                 } => {
+                    // Divergence at the loop exit test is attributed to the
+                    // while header, not the last statement of the condition
+                    // block the nested exec just ran.
+                    let my_id = self.cur_instr;
                     let mut active = bs.take_mask();
                     active.extend_from_slice(mask);
                     let mut taken = bs.take_mask();
@@ -1204,6 +1260,7 @@ impl<'a> Machine<'a> {
                         self.exec_block(bs, cond_block, &active)?;
                         taken.clear();
                         taken.extend((0..bs.lanes).map(|l| bs.rb(*cond, l)));
+                        self.cur_instr = my_id;
                         self.note_divergence(&active, &taken);
                         for l in 0..bs.lanes {
                             active[l] = active[l] && taken[l];
@@ -1325,6 +1382,9 @@ impl<'a> Machine<'a> {
                     r.probe_failed = true;
                 }
             }
+            // Divergence at the trip test belongs to the for header, not to
+            // whatever statement the body exec left in `cur_instr`.
+            let my_id = self.cur_instr;
             let mut active = bs.take_mask();
             let mut iter: i64 = 0;
             loop {
@@ -1343,6 +1403,7 @@ impl<'a> Machine<'a> {
                 if !any {
                     break;
                 }
+                self.cur_instr = my_id;
                 self.note_divergence(mask, &active);
                 for l in 0..bs.lanes {
                     if active[l] {
@@ -1436,6 +1497,23 @@ pub(crate) struct LaunchCtx<'a> {
     pub(crate) watchdog: bool,
     /// Launch-scoped ECC injection context, when a fault plan enables it.
     pub(crate) ecc: Option<EccCtx>,
+    /// Canonical statement numbering, present only when tracing/profiling is
+    /// enabled for this launch.
+    pub(crate) numbering: Option<Arc<Numbering>>,
+}
+
+/// What one interpreter worker produced: its stats, plus the per-statement
+/// profile and per-block spans when the launch is being traced.
+pub(crate) struct WorkerOut {
+    pub(crate) stats: LaunchStats,
+    pub(crate) profile: Option<Box<[InstrCounters]>>,
+    pub(crate) spans: Vec<BlockSpan>,
+}
+
+/// The issue-roofline cycle count of `s` (same weights as `estimate_time`);
+/// per-block span durations are deltas of this.
+pub(crate) fn stats_issue_cycles(s: &LaunchStats) -> u64 {
+    s.scalar_issue + s.vec_issue + s.bank_conflict_cycles + s.syncs * 8 + s.atomics * 16
 }
 
 /// Build one worker's [`Machine`]: stats accumulator, cache models for the
@@ -1489,6 +1567,9 @@ pub(crate) fn make_machine<'a>(
         cur_block_lin: 0,
         scratch_lines: Vec::new(),
         scratch_banks: Vec::new(),
+        profile: ctx.numbering.as_ref().map(|n| n.counters()),
+        cur_instr: 0,
+        numbering: ctx.numbering.as_deref(),
     }
 }
 
@@ -1507,7 +1588,7 @@ fn interpret_blocks(
     team: usize,
     worker: usize,
     indices: &[usize],
-) -> Result<LaunchStats, (usize, SimError)> {
+) -> Result<WorkerOut, (usize, SimError)> {
     if let Some(wp) = &ctx.lowered {
         return crate::lower::interpret_blocks_lowered(ctx, mem, team, worker, indices, wp);
     }
@@ -1565,6 +1646,8 @@ fn interpret_blocks(
     let mut ran_a_block = false;
 
     let full_mask = vec![true; lanes];
+    let tracing = ctx.numbering.is_some();
+    let mut spans: Vec<BlockSpan> = Vec::new();
     for &lin in indices {
         let sm = lin % sms;
         if sm % team != worker {
@@ -1585,6 +1668,7 @@ fn interpret_blocks(
         m.cur_sm = sm / team;
         m.cur_block_lin = lin;
         bs.bidx = ctx.grid_ext.delinearize(lin).map_i64();
+        let cycles_before = stats_issue_cycles(&m.stats);
         m.exec_block(&mut bs, &prog.body, &full_mask).map_err(|e| {
             (
                 lin,
@@ -1592,11 +1676,22 @@ fn interpret_blocks(
                     .context(&format!("block {:?}: ", bs.bidx)),
             )
         })?;
+        if tracing {
+            spans.push(BlockSpan {
+                block: lin as u64,
+                sm: sm as u64,
+                cycles: stats_issue_cycles(&m.stats) - cycles_before,
+            });
+        }
         m.stats.blocks += 1;
         m.stats.warps += m.n_warps as u64;
         m.stats.threads += lanes as u64;
     }
-    Ok(m.stats)
+    Ok(WorkerOut {
+        stats: m.stats,
+        profile: m.profile,
+        spans,
+    })
 }
 
 /// Interpret a launch of `prog` with work division `wd` on a device
@@ -1627,7 +1722,7 @@ pub fn run_kernel_launch(
 /// One worker's outcome: merged stats, or the failing block's linear index
 /// plus its error (so the lowest-index error can be selected, as serial
 /// execution would report it).
-type WorkerSlot = Mutex<Option<Result<LaunchStats, (usize, SimError)>>>;
+type WorkerSlot = Mutex<Option<Result<WorkerOut, (usize, SimError)>>>;
 
 /// [`run_kernel_launch`] with an explicit interpreter thread count.
 ///
@@ -1761,6 +1856,13 @@ pub fn run_kernel_launch_faulty(
         fuel: faults.and_then(|f| f.watchdog_fuel).unwrap_or(DEFAULT_FUEL),
         watchdog: faults.is_some_and(|f| f.watchdog_fuel.is_some()),
         ecc: faults.and_then(|f| f.ecc),
+        // Profiling piggybacks on the tracing switch so the default launch
+        // path stays allocation-free.
+        numbering: if alpaka_core::trace::enabled() {
+            Some(Arc::new(Numbering::new(prog)))
+        } else {
+            None
+        },
     };
 
     // A worker without SMs would idle, so the team never exceeds the SM
@@ -1772,10 +1874,10 @@ pub fn run_kernel_launch_faulty(
     let parallel =
         team > 1 && spec.cache_scope != CacheScope::Shared && !program_uses_global_atomics(prog);
 
-    let (raw_stats, workers) = if !parallel {
-        let stats =
+    let (raw_stats, raw_profile, mut spans, workers) = if !parallel {
+        let out =
             interpret_blocks(&ctx, MemAccess::Excl(mem), 1, 0, &indices).map_err(|(_, msg)| msg)?;
-        (stats, 1)
+        (out.stats, out.profile, out.spans, 1)
     } else {
         let view = mem.shared_view();
         let slots: Vec<WorkerSlot> = (0..team).map(|_| Mutex::new(None)).collect();
@@ -1788,10 +1890,21 @@ pub fn run_kernel_launch_faulty(
         // Merge in fixed worker-index order; error on the lowest failing
         // block so the message matches what the serial run would report.
         let mut merged = LaunchStats::default();
+        let mut merged_prof: Option<Box<[InstrCounters]>> = None;
+        let mut merged_spans: Vec<BlockSpan> = Vec::new();
         let mut first_err: Option<(usize, SimError)> = None;
         for slot in &slots {
             match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
-                Some(Ok(stats)) => merged.add(&stats),
+                Some(Ok(out)) => {
+                    merged.add(&out.stats);
+                    if let Some(p) = out.profile {
+                        match &mut merged_prof {
+                            Some(m) => merge_counters(m, &p),
+                            None => merged_prof = Some(p),
+                        }
+                    }
+                    merged_spans.extend(out.spans);
+                }
                 Some(Err((lin, msg))) => {
                     if first_err.as_ref().is_none_or(|(l, _)| lin < *l) {
                         first_err = Some((lin, msg));
@@ -1803,8 +1916,10 @@ pub fn run_kernel_launch_faulty(
         if let Some((_, msg)) = first_err {
             return Err(msg);
         }
-        (merged, team)
+        (merged, merged_prof, merged_spans, team)
     };
+    // Workers interleave over SMs; restore the serial block order.
+    spans.sort_by_key(|s| s.block);
 
     let interpreted_blocks = raw_stats.blocks;
     let interpreted_instrs = raw_stats.scalar_issue + raw_stats.vec_issue;
@@ -1821,11 +1936,17 @@ pub fn run_kernel_launch_faulty(
         instrs_per_sec: interpreted_instrs as f64 / wall_s.max(1e-12),
         workers,
     };
+    let profile = match (raw_profile, &ctx.numbering) {
+        (Some(p), Some(n)) => Some(KernelProfile::new(prog.name.clone(), n, p.into_vec())),
+        _ => None,
+    };
     Ok(SimReport {
         stats,
         time,
         sampled,
         host,
+        profile,
+        spans,
     })
 }
 

@@ -22,6 +22,7 @@ pub mod fault;
 pub mod interp;
 pub mod lower;
 pub mod memory;
+pub mod profile;
 pub mod spec;
 pub mod stats;
 
@@ -34,6 +35,7 @@ pub use interp::{
 };
 pub use lower::{lower, WarpProgram};
 pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
+pub use profile::{InstrCounters, KernelProfile, Numbering};
 pub use spec::{CacheScope, DeviceSpec};
 pub use stats::{estimate_time, transfer_time, LaunchStats, TimeBreakdown};
 

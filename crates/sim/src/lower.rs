@@ -37,12 +37,15 @@ use alpaka_kir::ir::*;
 use alpaka_kir::semantics as sem;
 use alpaka_kir::{uniformity, validate, Uniformity};
 
+use alpaka_core::trace::BlockSpan;
+
 use crate::fault::SimError;
 use crate::interp::RegionAcc;
-use crate::interp::{make_machine, LaunchCtx, Machine, MapI64, MemAccess, R};
+use crate::interp::{
+    make_machine, stats_issue_cycles, LaunchCtx, Machine, MapI64, MemAccess, WorkerOut, R,
+};
 use crate::serr;
 use crate::spec::DeviceSpec;
-use crate::stats::LaunchStats;
 
 /// Register-slot encoding: the top bit selects the scalar (uniform) file,
 /// the low bits are the `ValId`/`VarId` index.
@@ -63,11 +66,14 @@ fn idx(slot: u32) -> usize {
 #[derive(Debug, Clone, Copy)]
 enum LOp {
     /// Charge a straight-line run: `n` instructions of fuel and issue,
-    /// plus `flops`/`special` per active lane.
+    /// plus `flops`/`special` per active lane. `detail` indexes the first
+    /// of the run's `n` per-instruction entries in `WarpProgram::acct`
+    /// (used only when profiling).
     Account {
         n: u64,
         flops: u64,
         special: u64,
+        detail: u32,
     },
     BinF {
         op: FBin,
@@ -259,6 +265,21 @@ pub struct WarpProgram {
     const_init: Vec<(u32, u64)>,
     n_vals: usize,
     n_vars: usize,
+    /// Canonical source-statement id per op (parallel to `ops`), matching
+    /// `crate::profile::Numbering`'s pre-order walk. Read only when
+    /// profiling.
+    op_instr: Vec<u32>,
+    /// Per-instruction `(id, flops, special)` shares of the `Account` runs;
+    /// see `LOp::Account::detail`.
+    acct: Vec<AcctEntry>,
+}
+
+/// One source instruction's share of a straight-line `Account` run.
+#[derive(Debug, Clone, Copy)]
+struct AcctEntry {
+    id: u32,
+    flops: u32,
+    special: u32,
 }
 
 impl WarpProgram {
@@ -281,9 +302,16 @@ struct Lowerer<'a> {
     u: &'a Uniformity,
     prog: &'a Program,
     ops: Vec<LOp>,
+    op_instr: Vec<u32>,
     const_init: Vec<(u32, u64)>,
     /// Index of the currently open `Account` op, if any.
     acct: Option<usize>,
+    acct_detail: Vec<AcctEntry>,
+    /// Canonical id of the statement being lowered; assigned in the same
+    /// pre-order walk `crate::profile::Numbering` uses, so both engines
+    /// agree on attribution.
+    cur_id: u32,
+    next_id: u32,
 }
 
 impl<'a> Lowerer<'a> {
@@ -303,15 +331,27 @@ impl<'a> Lowerer<'a> {
         }
     }
 
+    /// Append `op` to the stream, tagged with the current statement id.
+    fn push(&mut self, op: LOp) {
+        self.ops.push(op);
+        self.op_instr.push(self.cur_id);
+    }
+
     /// Charge one issuing instruction (with optional flop/special weight)
     /// to the open straight-line run, opening one if needed.
     fn charge(&mut self, flops: u64, special: u64) {
+        self.acct_detail.push(AcctEntry {
+            id: self.cur_id,
+            flops: flops as u32,
+            special: special as u32,
+        });
         match self.acct {
             Some(i) => {
                 if let LOp::Account {
                     n,
                     flops: f,
                     special: s,
+                    ..
                 } = &mut self.ops[i]
                 {
                     *n += 1;
@@ -320,10 +360,12 @@ impl<'a> Lowerer<'a> {
                 }
             }
             None => {
-                self.ops.push(LOp::Account {
+                let detail = (self.acct_detail.len() - 1) as u32;
+                self.push(LOp::Account {
                     n: 1,
                     flops,
                     special,
+                    detail,
                 });
                 self.acct = Some(self.ops.len() - 1);
             }
@@ -346,11 +388,15 @@ impl<'a> Lowerer<'a> {
 
     #[allow(clippy::too_many_lines)]
     fn lower_stmt(&mut self, stmt: &Stmt) {
+        if !matches!(stmt, Stmt::Comment(_)) {
+            self.cur_id = self.next_id;
+            self.next_id += 1;
+        }
         match stmt {
             Stmt::I(instr) => self.lower_instr(instr),
             Stmt::StGF { buf, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StGF {
+                self.push(LOp::StGF {
                     buf: *buf,
                     i: self.slot(*idx),
                     val: self.slot(*val),
@@ -358,7 +404,7 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::StGI { buf, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StGI {
+                self.push(LOp::StGI {
                     buf: *buf,
                     i: self.slot(*idx),
                     val: self.slot(*val),
@@ -366,7 +412,7 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::StLF { loc, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StLF {
+                self.push(LOp::StLF {
                     loc: *loc,
                     i: self.slot(*idx),
                     val: self.slot(*val),
@@ -375,7 +421,7 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::StSF { sh, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StSF {
+                self.push(LOp::StSF {
                     sh: *sh,
                     i: self.slot(*idx),
                     val: self.slot(*val),
@@ -383,7 +429,7 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::StSI { sh, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StSI {
+                self.push(LOp::StSI {
                     sh: *sh,
                     i: self.slot(*idx),
                     val: self.slot(*val),
@@ -391,13 +437,13 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::StVarF { var, val } | Stmt::StVarI { var, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::StVar {
+                self.push(LOp::StVar {
                     v: self.var_slot(*var),
                     val: self.slot(*val),
                 });
             }
             // Barriers neither burn fuel nor issue; they stay inside runs.
-            Stmt::Sync => self.ops.push(LOp::Sync),
+            Stmt::Sync => self.push(LOp::Sync),
             Stmt::Comment(_) => {}
             Stmt::If {
                 cond,
@@ -406,7 +452,7 @@ impl<'a> Lowerer<'a> {
             } => {
                 self.seal();
                 let at = self.ops.len();
-                self.ops.push(LOp::If {
+                self.push(LOp::If {
                     cond: self.slot(*cond),
                     then_len: 0,
                     else_len: 0,
@@ -434,7 +480,7 @@ impl<'a> Lowerer<'a> {
             } => {
                 self.seal();
                 let at = self.ops.len();
-                self.ops.push(LOp::For {
+                self.push(LOp::For {
                     counter: self.slot(*counter),
                     start: self.slot(*start),
                     end: self.slot(*end),
@@ -455,7 +501,7 @@ impl<'a> Lowerer<'a> {
             } => {
                 self.seal();
                 let at = self.ops.len();
-                self.ops.push(LOp::While {
+                self.push(LOp::While {
                     cond: self.slot(*cond),
                     cond_len: 0,
                     body_len: 0,
@@ -496,19 +542,19 @@ impl<'a> Lowerer<'a> {
             }
             Op::Special(r) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::Special { d, r: *r });
+                self.push(LOp::Special { d, r: *r });
             }
             Op::ParamF(s) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::ParamF { d, s: *s });
+                self.push(LOp::ParamF { d, s: *s });
             }
             Op::ParamI(s) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::ParamI { d, s: *s });
+                self.push(LOp::ParamI { d, s: *s });
             }
             Op::BinF(op, a, b) => {
                 self.charge(if *op == FBin::Div { 4 } else { 1 }, 0);
-                self.ops.push(LOp::BinF {
+                self.push(LOp::BinF {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -520,7 +566,7 @@ impl<'a> Lowerer<'a> {
                     FUn::Sqrt | FUn::Exp | FUn::Ln | FUn::Sin | FUn::Cos => self.charge(0, 1),
                     _ => self.charge(1, 0),
                 }
-                self.ops.push(LOp::UnF {
+                self.push(LOp::UnF {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -528,7 +574,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::Fma(a, b, c) => {
                 self.charge(2, 0);
-                self.ops.push(LOp::Fma {
+                self.push(LOp::Fma {
                     d,
                     a: self.slot(*a),
                     b: self.slot(*b),
@@ -537,7 +583,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::BinI(op, a, b) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::BinI {
+                self.push(LOp::BinI {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -546,14 +592,14 @@ impl<'a> Lowerer<'a> {
             }
             Op::NegI(a) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::NegI {
+                self.push(LOp::NegI {
                     d,
                     a: self.slot(*a),
                 });
             }
             Op::CmpF(op, a, b) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::CmpF {
+                self.push(LOp::CmpF {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -562,7 +608,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::CmpI(op, a, b) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::CmpI {
+                self.push(LOp::CmpI {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -571,7 +617,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::BinB(op, a, b) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::BinB {
+                self.push(LOp::BinB {
                     op: *op,
                     d,
                     a: self.slot(*a),
@@ -580,14 +626,14 @@ impl<'a> Lowerer<'a> {
             }
             Op::NotB(a) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::NotB {
+                self.push(LOp::NotB {
                     d,
                     a: self.slot(*a),
                 });
             }
             Op::SelF(c, t, e) | Op::SelI(c, t, e) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::Sel {
+                self.push(LOp::Sel {
                     d,
                     c: self.slot(*c),
                     t: self.slot(*t),
@@ -596,28 +642,28 @@ impl<'a> Lowerer<'a> {
             }
             Op::I2F(a) => {
                 self.charge(1, 0);
-                self.ops.push(LOp::I2F {
+                self.push(LOp::I2F {
                     d,
                     a: self.slot(*a),
                 });
             }
             Op::F2I(a) => {
                 self.charge(1, 0);
-                self.ops.push(LOp::F2I {
+                self.push(LOp::F2I {
                     d,
                     a: self.slot(*a),
                 });
             }
             Op::U2UnitF(a) => {
                 self.charge(2, 0);
-                self.ops.push(LOp::U2UnitF {
+                self.push(LOp::U2UnitF {
                     d,
                     a: self.slot(*a),
                 });
             }
             Op::LdGF { buf, idx } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdGF {
+                self.push(LOp::LdGF {
                     d,
                     buf: *buf,
                     i: self.slot(*idx),
@@ -625,7 +671,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::LdGI { buf, idx } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdGI {
+                self.push(LOp::LdGI {
                     d,
                     buf: *buf,
                     i: self.slot(*idx),
@@ -633,7 +679,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::LdSF { sh, idx } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdSF {
+                self.push(LOp::LdSF {
                     d,
                     sh: *sh,
                     i: self.slot(*idx),
@@ -641,7 +687,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::LdSI { sh, idx } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdSI {
+                self.push(LOp::LdSI {
                     d,
                     sh: *sh,
                     i: self.slot(*idx),
@@ -649,7 +695,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::LdLF { loc, idx } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdLF {
+                self.push(LOp::LdLF {
                     d,
                     loc: *loc,
                     i: self.slot(*idx),
@@ -658,14 +704,14 @@ impl<'a> Lowerer<'a> {
             }
             Op::LdVarF(v) | Op::LdVarI(v) => {
                 self.charge(0, 0);
-                self.ops.push(LOp::LdVar {
+                self.push(LOp::LdVar {
                     d,
                     v: self.var_slot(*v),
                 });
             }
             Op::AtomicGF { op, buf, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::AtomicF {
+                self.push(LOp::AtomicF {
                     op: *op,
                     d,
                     buf: *buf,
@@ -675,7 +721,7 @@ impl<'a> Lowerer<'a> {
             }
             Op::AtomicGI { op, buf, idx, val } => {
                 self.charge(0, 0);
-                self.ops.push(LOp::AtomicI {
+                self.push(LOp::AtomicI {
                     op: *op,
                     d,
                     buf: *buf,
@@ -698,8 +744,12 @@ pub fn lower(prog: &Program) -> Option<WarpProgram> {
         u: &u,
         prog,
         ops: Vec::new(),
+        op_instr: Vec::new(),
         const_init: Vec::new(),
         acct: None,
+        acct_detail: Vec::new(),
+        cur_id: 0,
+        next_id: 0,
     };
     lw.lower_block(&prog.body);
     Some(WarpProgram {
@@ -707,6 +757,8 @@ pub fn lower(prog: &Program) -> Option<WarpProgram> {
         const_init: lw.const_init,
         n_vals: prog.n_vals as usize,
         n_vars: prog.vars.len(),
+        op_instr: lw.op_instr,
+        acct: lw.acct_detail,
     })
 }
 
@@ -908,6 +960,7 @@ fn fill_branch_mask(
         }
         if count_div && any_t && any_f {
             m.stats.divergent_branches += 1;
+            m.prof_add(|c| c.divergent_branches += 1);
         }
         any_t_g |= any_t;
         any_f_g |= any_f;
@@ -964,6 +1017,7 @@ fn fill_for_mask(
         }
         if any_t && any_f {
             m.stats.divergent_branches += 1;
+            m.prof_add(|c| c.divergent_branches += 1);
         }
         if warp_act > 0 {
             wi += 1;
@@ -1006,6 +1060,7 @@ fn shrink_while_mask(m: &mut Machine<'_>, st: &LowState, cond: u32, mask: &mut M
         }
         if any_t && any_f {
             m.stats.divergent_branches += 1;
+            m.prof_add(|c| c.divergent_branches += 1);
         }
         if warp_act > 0 {
             wi += 1;
@@ -1037,6 +1092,7 @@ fn flush_addrs(m: &mut Machine<'_>, addrs: &[(usize, u64)]) {
 fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
     if elems.len() == 1 {
         m.stats.shared_accesses += 1;
+        m.prof_add(|c| c.shared_accesses += 1);
     } else {
         m.shared_access(elems);
     }
@@ -1099,16 +1155,41 @@ fn exec_ops(
     mask: &MaskBuf,
 ) -> R<()> {
     let mut pc = lo;
+    let profiling = m.profile.is_some();
     while pc < hi {
+        if profiling {
+            m.cur_instr = wp.op_instr[pc];
+        }
         match wp.ops[pc] {
-            LOp::Account { n, flops, special } => {
+            LOp::Account {
+                n,
+                flops,
+                special,
+                detail,
+            } => {
                 m.burn_n(n)?;
-                m.add_issue(n * mask.warp_issues);
-                if flops > 0 {
-                    m.add_flops(flops * mask.active);
-                }
-                if special > 0 {
-                    m.add_special(special * mask.active);
+                if profiling {
+                    // Replay the run per source instruction so attribution
+                    // is exact; the charged totals are identical to the
+                    // aggregate fast path below.
+                    for e in &wp.acct[detail as usize..(detail as u64 + n) as usize] {
+                        m.cur_instr = e.id;
+                        m.add_issue(mask.warp_issues);
+                        if e.flops > 0 {
+                            m.add_flops(e.flops as u64 * mask.active);
+                        }
+                        if e.special > 0 {
+                            m.add_special(e.special as u64 * mask.active);
+                        }
+                    }
+                } else {
+                    m.add_issue(n * mask.warp_issues);
+                    if flops > 0 {
+                        m.add_flops(flops * mask.active);
+                    }
+                    if special > 0 {
+                        m.add_special(special * mask.active);
+                    }
                 }
             }
             LOp::BinF { op, d, a, b } => {
@@ -1312,6 +1393,7 @@ fn exec_ops(
                     let v = m.mem.read_f(b, ix as usize)?;
                     st.wu(d, v.to_bits());
                     m.stats.global_loads += mask.active;
+                    m.prof_add(|c| c.global_loads += mask.active);
                     m.access_uniform(a, mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
@@ -1331,6 +1413,7 @@ fn exec_ops(
                         st.addrs.push((l, a));
                     });
                     m.stats.global_loads += mask.active;
+                    m.prof_add(|c| c.global_loads += mask.active);
                     flush_addrs(m, &st.addrs);
                 }
             }
@@ -1348,6 +1431,7 @@ fn exec_ops(
                     let v = m.mem.read_i(b, ix as usize)?;
                     st.wu(d, v as u64);
                     m.stats.global_loads += mask.active;
+                    m.prof_add(|c| c.global_loads += mask.active);
                     m.access_uniform(a, mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
@@ -1367,6 +1451,7 @@ fn exec_ops(
                         st.addrs.push((l, a));
                     });
                     m.stats.global_loads += mask.active;
+                    m.prof_add(|c| c.global_loads += mask.active);
                     flush_addrs(m, &st.addrs);
                 }
             }
@@ -1385,6 +1470,7 @@ fn exec_ops(
                     st.wu(d, v.to_bits());
                     // One bank, degree 1: accesses counted, no conflicts.
                     m.stats.shared_accesses += mask.active;
+                    m.prof_add(|c| c.shared_accesses += mask.active);
                 } else {
                     st.elems.clear();
                     for_active!(mask, l, {
@@ -1418,6 +1504,7 @@ fn exec_ops(
                     let v = arr[ix as usize];
                     st.wu(d, v as u64);
                     m.stats.shared_accesses += mask.active;
+                    m.prof_add(|c| c.shared_accesses += mask.active);
                 } else {
                     st.elems.clear();
                     for_active!(mask, l, {
@@ -1478,6 +1565,7 @@ fn exec_ops(
                         });
                     }
                     m.stats.global_stores += mask.active;
+                    m.prof_add(|c| c.global_stores += mask.active);
                     m.access_uniform(m.mem.addr_f(b, ix as u64), mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
@@ -1494,6 +1582,7 @@ fn exec_ops(
                         st.addrs.push((l, m.mem.addr_f(b, ix as u64)));
                     });
                     m.stats.global_stores += mask.active;
+                    m.prof_add(|c| c.global_stores += mask.active);
                     flush_addrs(m, &st.addrs);
                 }
             }
@@ -1514,6 +1603,7 @@ fn exec_ops(
                         });
                     }
                     m.stats.global_stores += mask.active;
+                    m.prof_add(|c| c.global_stores += mask.active);
                     m.access_uniform(m.mem.addr_i(b, ix as u64), mask.active, mask.warp_issues);
                 } else {
                     st.addrs.clear();
@@ -1530,6 +1620,7 @@ fn exec_ops(
                         st.addrs.push((l, m.mem.addr_i(b, ix as u64)));
                     });
                     m.stats.global_stores += mask.active;
+                    m.prof_add(|c| c.global_stores += mask.active);
                     flush_addrs(m, &st.addrs);
                 }
             }
@@ -1553,6 +1644,7 @@ fn exec_ops(
                         });
                     }
                     m.stats.shared_accesses += mask.active;
+                    m.prof_add(|c| c.shared_accesses += mask.active);
                 } else {
                     st.elems.clear();
                     for_active!(mask, l, {
@@ -1592,6 +1684,7 @@ fn exec_ops(
                         });
                     }
                     m.stats.shared_accesses += mask.active;
+                    m.prof_add(|c| c.shared_accesses += mask.active);
                 } else {
                     st.elems.clear();
                     for_active!(mask, l, {
@@ -1641,10 +1734,13 @@ fn exec_ops(
                         .into());
                 }
                 m.stats.syncs += m.n_warps as u64;
+                let nw = m.n_warps as u64;
+                m.prof_add(|c| c.syncs += nw);
             }
             LOp::AtomicF { op, d, buf, i, val } => {
                 let b = m.buf_f(buf)?;
                 m.stats.atomics += mask.active;
+                m.prof_add(|c| c.atomics += mask.active);
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_f(b);
@@ -1663,6 +1759,7 @@ fn exec_ops(
             LOp::AtomicI { op, d, buf, i, val } => {
                 let b = m.buf_i(buf)?;
                 m.stats.atomics += mask.active;
+                m.prof_add(|c| c.atomics += mask.active);
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_i(b);
@@ -1779,6 +1876,9 @@ fn exec_ops(
                         exec_ops(m, st, wp, b0, end, depth, mask)?;
                     }
                 } else {
+                    // Divergence at the exit test belongs to the while
+                    // header, not the condition range just executed.
+                    let my_id = m.cur_instr;
                     st.ensure_mask(depth + 1);
                     {
                         let mut child = std::mem::take(&mut st.masks[depth + 1]);
@@ -1791,6 +1891,7 @@ fn exec_ops(
                             break;
                         }
                         exec_range(m, st, wp, c0, b0, depth + 1)?;
+                        m.cur_instr = my_id;
                         let any = {
                             let mut child = std::mem::take(&mut st.masks[depth + 1]);
                             let any = shrink_while_mask(m, st, cond, &mut child);
@@ -1891,10 +1992,14 @@ fn exec_for_lowered(
                 r.probe_failed = true;
             }
         }
+        // Divergence at the trip test belongs to the for header, not to
+        // whatever the body range left in `cur_instr`.
+        let my_id = m.cur_instr;
         st.ensure_mask(depth + 1);
         let mut iter: i64 = 0;
         loop {
             m.burn()?;
+            m.cur_instr = my_id;
             let mut child = std::mem::take(&mut st.masks[depth + 1]);
             let any = fill_for_mask(m, st, start, endv, iter, mask, &mut child);
             if !any {
@@ -1928,7 +2033,7 @@ pub(crate) fn interpret_blocks_lowered(
     worker: usize,
     indices: &[usize],
     wp: &WarpProgram,
-) -> Result<LaunchStats, (usize, SimError)> {
+) -> Result<WorkerOut, (usize, SimError)> {
     let prog = ctx.prog;
     let sms = ctx.spec.sms.max(1);
     let lanes = ctx.lanes;
@@ -1992,6 +2097,8 @@ pub(crate) fn interpret_blocks_lowered(
         || st.loc_f.iter().any(|a| !a.is_empty());
     let mut ran_a_block = false;
 
+    let tracing = m.profile.is_some();
+    let mut spans: Vec<BlockSpan> = Vec::new();
     for &lin in indices {
         let sm = lin % sms;
         if sm % team != worker {
@@ -2012,6 +2119,7 @@ pub(crate) fn interpret_blocks_lowered(
         m.cur_sm = sm / team;
         m.cur_block_lin = lin;
         st.bidx = ctx.grid_ext.delinearize(lin).map_i64();
+        let cycles_before = stats_issue_cycles(&m.stats);
         exec_range(&mut m, &mut st, wp, 0, wp.ops.len(), 0).map_err(|e| {
             (
                 lin,
@@ -2019,11 +2127,22 @@ pub(crate) fn interpret_blocks_lowered(
                     .context(&format!("block {:?}: ", st.bidx)),
             )
         })?;
+        if tracing {
+            spans.push(BlockSpan {
+                block: lin as u64,
+                sm: sm as u64,
+                cycles: stats_issue_cycles(&m.stats) - cycles_before,
+            });
+        }
         m.stats.blocks += 1;
         m.stats.warps += m.n_warps as u64;
         m.stats.threads += lanes as u64;
     }
-    Ok(m.stats)
+    Ok(WorkerOut {
+        stats: m.stats,
+        profile: m.profile,
+        spans,
+    })
 }
 
 #[cfg(test)]

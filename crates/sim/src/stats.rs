@@ -114,6 +114,46 @@ pub struct TimeBreakdown {
     /// Occupancy-derived bandwidth efficiency in (0, 1].
     pub mem_efficiency: f64,
     pub total_s: f64,
+    /// Name of the binding component ("compute", "memory", "issue", or
+    /// "overhead") — the roofline the launch sits on. Filled by
+    /// [`estimate_time`]; empty on a default-constructed breakdown.
+    pub dominant: &'static str,
+}
+
+impl TimeBreakdown {
+    /// The named components in a stable order: the three rooflines plus
+    /// the fixed launch overhead.
+    pub fn components(&self) -> [(&'static str, f64); 4] {
+        [
+            ("compute", self.compute_s),
+            ("memory", self.memory_s),
+            ("issue", self.issue_s),
+            ("overhead", self.overhead_s),
+        ]
+    }
+
+    /// Fraction of `total` seconds that `component_s` accounts for, clamped
+    /// to `[0, 1]`; 0 when the total is not positive. Typical use:
+    /// `t.fraction_of(t.memory_s)` against `t.total_s`.
+    pub fn fraction_of(&self, component_s: f64) -> f64 {
+        if self.total_s > 0.0 {
+            (component_s / self.total_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Recompute the name of the largest component (ties go to the earlier
+    /// entry of [`TimeBreakdown::components`]).
+    pub fn dominant_component(&self) -> &'static str {
+        let mut best = ("compute", self.compute_s);
+        for (name, v) in self.components() {
+            if v > best.1 {
+                best = (name, v);
+            }
+        }
+        best.0
+    }
 }
 
 /// Estimate the launch time. `threads_per_block` and `shared_bytes` feed
@@ -163,7 +203,7 @@ pub fn estimate_time(
 
     let overhead_s = spec.launch_overhead_us * 1e-6;
     let body = compute_s.max(memory_s).max(issue_s);
-    TimeBreakdown {
+    let mut t = TimeBreakdown {
         compute_s,
         memory_s,
         issue_s,
@@ -171,7 +211,10 @@ pub fn estimate_time(
         imbalance,
         mem_efficiency,
         total_s: body * imbalance + overhead_s,
-    }
+        dominant: "",
+    };
+    t.dominant = t.dominant_component();
+    t
 }
 
 /// Host<->device transfer cost.
@@ -280,6 +323,32 @@ mod tests {
         assert!(t0 >= 9e-6);
         let t_big = transfer_time(&spec, 6_000_000_000);
         assert!(t_big > 0.9 && t_big < 1.2);
+    }
+
+    #[test]
+    fn fraction_of_and_dominant_component() {
+        let spec = DeviceSpec::k20();
+        // Pure compute kernel: the compute roofline binds.
+        let t = estimate_time(&spec, &flops_only(2_000_000_000), 256, 0);
+        assert_eq!(t.dominant, "compute");
+        assert_eq!(t.dominant, t.dominant_component());
+        assert!(t.fraction_of(t.compute_s) > 0.5, "{t:?}");
+        // Memory-bound kernel: the memory roofline binds.
+        let mem = LaunchStats {
+            blocks: 8192,
+            dram_bytes: 10_000_000_000,
+            ..Default::default()
+        };
+        let tm = estimate_time(&spec, &mem, 256, 0);
+        assert_eq!(tm.dominant, "memory");
+        assert!(tm.fraction_of(tm.memory_s) > 0.9, "{tm:?}");
+        // Fractions are clamped and total to at most ~1 per component.
+        assert!(tm.fraction_of(tm.total_s * 2.0) <= 1.0);
+        assert_eq!(TimeBreakdown::default().fraction_of(1.0), 0.0);
+        // An empty launch is all launch overhead.
+        let t0 = estimate_time(&spec, &LaunchStats::default(), 1, 0);
+        assert_eq!(t0.dominant, "overhead");
+        assert!((t0.fraction_of(t0.overhead_s) - 1.0).abs() < 1e-12);
     }
 
     #[test]

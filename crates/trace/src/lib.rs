@@ -1,0 +1,396 @@
+//! # alpaka-trace
+//!
+//! Exporters for the structured trace events emitted by the runtime
+//! (`alpaka_core::trace`) and the per-instruction profiles produced by the
+//! simulator (`alpaka_sim::profile`):
+//!
+//! * [`chrome_trace`] — Chrome-trace (`chrome://tracing` / Perfetto) JSON
+//!   with one lane per simulated SM plus one per queue,
+//! * [`text_report`] — a compact human-readable event log,
+//! * [`roofline_csv`] — one achieved-vs-peak datapoint per launch, plotted
+//!   against the device's roofline, and
+//! * [`Tracer`] — the `ALPAKA_SIM_TRACE=<path>` file writer tying them
+//!   together.
+//!
+//! Everything is hand-formatted: the workspace carries no JSON dependency.
+//! Determinism rule: with wall-clock masking on (the default for file
+//! export), the rendered bytes depend only on the event stream, which the
+//! simulator guarantees is identical across `ALPAKA_SIM_THREADS` settings
+//! and both engines.
+
+use std::fmt::Write as _;
+
+use alpaka_core::trace::{drain, TraceEvent, TraceKind};
+
+mod json;
+
+pub use json::validate_json;
+
+/// Rendering options for [`chrome_trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChromeOpts {
+    /// Replace wall-clock timestamps with 0 so the output is bit-identical
+    /// across runs (simulated time is deterministic, wall time is not).
+    pub mask_wall: bool,
+}
+
+impl Default for ChromeOpts {
+    fn default() -> Self {
+        ChromeOpts { mask_wall: true }
+    }
+}
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The Chrome-trace lane (thread id) an event renders into: SM lanes live
+/// at `1 + sm`, queue lanes at `1000 + queue id`, everything else (device
+/// ops, waits, faults) on lane 0 ("host").
+fn lane(e: &TraceEvent) -> u64 {
+    if let Some(sm) = e.sm {
+        return 1 + sm;
+    }
+    if matches!(
+        e.kind,
+        TraceKind::QueueOp | TraceKind::Copy | TraceKind::EventRecord
+    ) {
+        if let Some(q) = e.queue {
+            return 1000 + q;
+        }
+    }
+    0
+}
+
+fn lane_name(tid: u64) -> String {
+    match tid {
+        0 => "host".to_string(),
+        t if t >= 1000 => format!("queue {}", t - 1000),
+        t => format!("sm {}", t - 1),
+    }
+}
+
+/// Render `events` as Chrome-trace JSON (the `traceEvents` array format).
+///
+/// Every event becomes a `"ph":"X"` complete event whose `ts`/`dur` are the
+/// *simulated* clock in microseconds (3 decimal places); instant events get
+/// `dur` 0. Each `(pid, tid)` lane additionally gets a `"M"` thread-name
+/// metadata record — `sm N` for block execution, `queue N` for queue-side
+/// spans, `host` for the rest — and each device a process-name record.
+pub fn chrome_trace(events: &[TraceEvent], opts: &ChromeOpts) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    // Metadata lanes, in first-appearance order (deterministic).
+    let mut lanes: Vec<(u64, u64)> = Vec::new();
+    let mut devices: Vec<u64> = Vec::new();
+    for e in events {
+        let t = lane(e);
+        if !lanes.contains(&(e.device, t)) {
+            lanes.push((e.device, t));
+        }
+        if !devices.contains(&e.device) {
+            devices.push(e.device);
+        }
+    }
+    for d in &devices {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{d},\"name\":\"process_name\",\"args\":{{\"name\":\"device {d}\"}}}}"
+        );
+    }
+    for (d, t) in &lanes {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{d},\"tid\":{t},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            lane_name(*t)
+        );
+    }
+
+    for e in events {
+        sep(&mut out);
+        let ts_us = e.sim_t0_s * 1e6;
+        let dur_us = (e.sim_t1_s - e.sim_t0_s).max(0.0) * 1e6;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"cat\":\"{}\",\"name\":\"",
+            e.device,
+            lane(e),
+            ts_us,
+            dur_us,
+            e.kind.name()
+        );
+        esc(&e.label, &mut out);
+        out.push_str("\",\"args\":{");
+        let wall = if opts.mask_wall { 0 } else { e.wall_ns };
+        let _ = write!(out, "\"wall_ns\":{wall}");
+        if let Some(q) = e.queue {
+            let _ = write!(out, ",\"queue\":{q}");
+        }
+        if let Some(l) = e.launch {
+            let _ = write!(out, ",\"launch\":{l}");
+        }
+        if let Some(b) = e.block {
+            let _ = write!(out, ",\"block\":{b}");
+        }
+        for (k, v) in &e.meta {
+            let _ = write!(out, ",\"{k}\":{}", json_num(*v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}");
+    out
+}
+
+/// JSON-safe rendering of an f64 (JSON has no NaN/Inf literals).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Compact human-readable rendering of an event stream, one line per event,
+/// in emission order. Wall-clock times are intentionally omitted so the
+/// report is deterministic.
+pub fn text_report(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} trace events", events.len());
+    for e in events {
+        let _ = write!(
+            out,
+            "[{:>12.3}us] dev{} {:<13}",
+            e.sim_t0_s * 1e6,
+            e.device,
+            e.kind.name()
+        );
+        if let Some(q) = e.queue {
+            let _ = write!(out, " q{q}");
+        }
+        if let Some(l) = e.launch {
+            let _ = write!(out, " launch#{l}");
+        }
+        let _ = write!(out, " {}", e.label);
+        if e.sim_t1_s > e.sim_t0_s {
+            let _ = write!(out, " ({:.3}us)", (e.sim_t1_s - e.sim_t0_s) * 1e6);
+        }
+        for (k, v) in &e.meta {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One roofline datapoint per `launch` event carrying the needed meta
+/// (flops, dram_bytes, total_s, peak_gflops, peak_bw_gbs), as CSV:
+///
+/// `label,intensity_flop_per_byte,achieved_gflops,roofline_gflops,peak_gflops,peak_bw_gbs`
+///
+/// `roofline_gflops` is the device ceiling at that arithmetic intensity —
+/// `min(peak_gflops, intensity * peak_bw_gbs)` — so achieved/roofline is
+/// the fraction-of-attainable-peak the paper's Fig. 9 plots.
+pub fn roofline_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from(
+        "label,intensity_flop_per_byte,achieved_gflops,roofline_gflops,peak_gflops,peak_bw_gbs\n",
+    );
+    for e in events {
+        if !matches!(e.kind, TraceKind::Launch) {
+            continue;
+        }
+        let (Some(flops), Some(bytes), Some(total_s)) = (
+            e.meta_get("flops"),
+            e.meta_get("dram_bytes"),
+            e.meta_get("total_s"),
+        ) else {
+            continue;
+        };
+        let peak_gflops = e.meta_get("peak_gflops").unwrap_or(f64::NAN);
+        let peak_bw = e.meta_get("peak_bw_gbs").unwrap_or(f64::NAN);
+        let intensity = if bytes > 0.0 {
+            flops / bytes
+        } else {
+            f64::INFINITY
+        };
+        let achieved = if total_s > 0.0 {
+            flops / total_s / 1e9
+        } else {
+            0.0
+        };
+        let ceiling = if intensity.is_finite() {
+            (intensity * peak_bw).min(peak_gflops)
+        } else {
+            peak_gflops
+        };
+        let mut label = String::new();
+        // CSV field: quote-free label (commas replaced).
+        for c in e.label.chars() {
+            label.push(if c == ',' { ';' } else { c });
+        }
+        let _ = writeln!(
+            out,
+            "{label},{intensity:.6},{achieved:.6},{ceiling:.6},{peak_gflops:.6},{peak_bw:.6}"
+        );
+    }
+    out
+}
+
+/// File-writing front end for the exporters, driven by the
+/// `ALPAKA_SIM_TRACE=<path>` environment variable (see
+/// `alpaka_core::trace`): collects the globally recorded events and writes
+/// `<path>.chrome.json`, `<path>.txt` and `<path>.roofline.csv`.
+#[derive(Debug)]
+pub struct Tracer {
+    base: std::path::PathBuf,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A tracer for the `ALPAKA_SIM_TRACE` path; `None` when the variable
+    /// is unset or empty (recording is then disabled too).
+    pub fn from_env() -> Option<Tracer> {
+        alpaka_core::trace::env_trace_path().map(Tracer::new)
+    }
+
+    /// A tracer writing to `<base>.chrome.json` / `.txt` / `.roofline.csv`,
+    /// enabling global event recording as a side effect.
+    pub fn new(base: impl Into<std::path::PathBuf>) -> Tracer {
+        alpaka_core::trace::set_enabled(true);
+        Tracer {
+            base: base.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Pull everything recorded since the last collect into this tracer.
+    pub fn collect(&mut self) {
+        self.events.extend(drain());
+    }
+
+    /// The events collected so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Collect pending events and write all three export files. Returns the
+    /// paths written.
+    pub fn flush(&mut self) -> std::io::Result<Vec<std::path::PathBuf>> {
+        self.collect();
+        let ext = |e: &str| {
+            let mut p = self.base.clone().into_os_string();
+            p.push(e);
+            std::path::PathBuf::from(p)
+        };
+        let chrome = ext(".chrome.json");
+        let txt = ext(".txt");
+        let csv = ext(".roofline.csv");
+        std::fs::write(&chrome, chrome_trace(&self.events, &ChromeOpts::default()))?;
+        std::fs::write(&txt, text_report(&self.events))?;
+        std::fs::write(&csv, roofline_csv(&self.events))?;
+        Ok(vec![chrome, txt, csv])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpaka_core::trace::TraceEvent;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(TraceKind::QueueOp, "enqueue_kernel daxpy", 1, 0.0)
+                .on_queue(3)
+                .span_until(2e-6),
+            TraceEvent::new(TraceKind::Launch, "daxpy", 1, 0.0)
+                .on_queue(3)
+                .on_launch(0)
+                .with("flops", 2000.0)
+                .with("dram_bytes", 24000.0)
+                .with("total_s", 1e-6)
+                .with("peak_gflops", 100.0)
+                .with("peak_bw_gbs", 50.0),
+            TraceEvent::new(TraceKind::BlockExec, "block 0", 1, 0.0)
+                .on_block(0, 0)
+                .span_until(1e-6),
+            TraceEvent::new(TraceKind::BlockExec, "block 1", 1, 0.0)
+                .on_block(1, 1)
+                .span_until(1e-6),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_lanes() {
+        let s = chrome_trace(&sample_events(), &ChromeOpts::default());
+        validate_json(&s).unwrap();
+        assert!(s.contains("\"name\":\"sm 0\""), "{s}");
+        assert!(s.contains("\"name\":\"sm 1\""), "{s}");
+        assert!(s.contains("\"name\":\"queue 3\""), "{s}");
+        assert!(s.contains("\"cat\":\"launch\""), "{s}");
+    }
+
+    #[test]
+    fn chrome_trace_masks_wall_clock() {
+        let mut evs = sample_events();
+        evs[0].wall_ns = 12345;
+        let masked = chrome_trace(&evs, &ChromeOpts { mask_wall: true });
+        assert!(!masked.contains("12345"), "{masked}");
+        let unmasked = chrome_trace(&evs, &ChromeOpts { mask_wall: false });
+        assert!(unmasked.contains("12345"));
+    }
+
+    #[test]
+    fn text_report_lists_every_event() {
+        let evs = sample_events();
+        let r = text_report(&evs);
+        assert!(r.starts_with("4 trace events"), "{r}");
+        assert!(r.contains("enqueue_kernel daxpy"), "{r}");
+        assert!(r.contains("launch#0"), "{r}");
+    }
+
+    #[test]
+    fn roofline_csv_computes_ceiling() {
+        let evs = sample_events();
+        let csv = roofline_csv(&evs);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("label,"));
+        let row = lines.next().unwrap();
+        // intensity = 2000/24000 ≈ 0.0833; ceiling = min(100, 0.0833*50) ≈ 4.1667;
+        // achieved = 2000/1e-6/1e9 = 2 GFLOP/s.
+        assert!(
+            row.starts_with("daxpy,0.083333,2.000000,4.166667,"),
+            "{row}"
+        );
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn escapes_hostile_labels() {
+        let e = TraceEvent::new(TraceKind::Fault, "bad \"quote\" \\ and \n newline", 0, 0.0);
+        let s = chrome_trace(&[e], &ChromeOpts::default());
+        validate_json(&s).unwrap();
+    }
+}

@@ -127,4 +127,19 @@ fn main() {
          compare within a back-end. The point: one tiled single-source kernel\n\
          is competitive on both, with only the work division changing."
     );
+
+    // With ALPAKA_SIM_TRACE=<base> set, export everything the simulated
+    // launches recorded: Chrome-trace timeline (one lane per SM and per
+    // queue), text log and roofline CSV. See README "Profiling a kernel".
+    if let Some(mut tracer) = alpaka::Tracer::from_env() {
+        match tracer.flush() {
+            Ok(paths) => {
+                println!("\n{} trace events exported:", tracer.events().len());
+                for p in paths {
+                    println!("  {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("trace export failed: {e}"),
+        }
+    }
 }

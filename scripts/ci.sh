@@ -36,8 +36,25 @@ echo "== ALPAKA_SIM_FAULTS smoke seed =="
 # fault-or-correct with this tiny ECC rate).
 ALPAKA_SIM_FAULTS="seed=42,ecc=1e-9" cargo test -q --test fault_campaign
 
+echo "== traced smoke launch (ALPAKA_SIM_TRACE end to end) =="
+# The example validates the emitted Chrome JSON itself (parses, non-empty,
+# one span per block, profile ties out); the file checks below catch an
+# exporter that silently wrote nothing.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+ALPAKA_SIM_TRACE="$trace_dir/smoke" cargo run -q --release --example trace_smoke
+for f in smoke.chrome.json smoke.txt smoke.roofline.csv; do
+  test -s "$trace_dir/$f" || { echo "missing/empty trace export: $f"; exit 1; }
+done
+
+echo "== no-trace path emits zero events =="
+env -u ALPAKA_SIM_TRACE cargo run -q --release --example trace_smoke
+
 echo "== bench smoke (guards only, no timing) =="
 cargo bench -p alpaka-bench --bench sim_throughput -- --test
 cargo bench -p alpaka-bench --bench sim_lowering -- --test
+# Includes the zero-cost guard: facade launch with tracing disabled must be
+# within 2% of the raw simulator call.
+cargo bench -p alpaka-bench --bench trace_overhead -- --test
 
 echo "CI OK"
