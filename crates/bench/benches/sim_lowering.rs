@@ -1,22 +1,27 @@
-//! Lowering on/off comparison: interpreter throughput with the pre-decoded
-//! warp program (`Engine::Lowered`, the default) vs. the tree-walking
-//! reference engine (`Engine::Reference`) on the same 4096-block DGEMM
-//! workload as `sim_throughput`, at 1 interpreter thread.
+//! Engine-tier comparison: interpreter throughput with the tree-walking
+//! reference engine, the pre-decoded warp program (`Engine::Lowered`) and
+//! the direct-threaded compiled tier (`Engine::Compiled`) on three workload
+//! shapes — streaming DAXPY, the 4096-block DGEMM of `sim_throughput`, and
+//! the barrier-heavy block scan — at 1 interpreter thread.
 //!
-//! Both engines are asserted bit-identical (buffers, `LaunchStats`,
-//! `TimeBreakdown`) before anything is timed, so the bench cannot compare
-//! different computations. Besides the criterion timings, the bench writes
-//! `BENCH_sim.json` at the repo root — blocks/s and instrs/s from the
-//! simulator's own `HostPerf` counters for each engine plus the speedup —
-//! so the perf trajectory is tracked from this PR on.
+//! All three engines are asserted bit-identical (buffers, `LaunchStats`,
+//! `TimeBreakdown`) on every workload before anything is timed, so the
+//! bench cannot compare different computations. Besides the criterion
+//! timings, the bench writes `BENCH_sim.json` at the repo root — blocks/s
+//! and instrs/s from the simulator's own `HostPerf` counters for each
+//! engine and workload plus the speedups — so the perf trajectory is
+//! tracked across PRs. The pre-existing top-level keys (the DGEMM
+//! reference/lowered entries and `speedup_blocks_per_sec`) keep their
+//! meaning; the compiled tier and the per-workload table are additive.
 //!
-//! `cargo bench --bench sim_lowering -- --test` runs the parity guard only
+//! `cargo bench --bench sim_lowering -- --test` runs the parity guards only
 //! (the CI smoke mode).
 
-use alpaka_kernels::DgemmNaive;
+use alpaka_core::workdiv::WorkDiv;
+use alpaka_kernels::{DaxpyKernel, DgemmNaive, ScanBlocks};
 use alpaka_kir::{optimize, trace_kernel, Program};
 use alpaka_sim::{
-    run_kernel_launch_engine, DeviceMem, DeviceSpec, Engine, ExecMode, SimArgs, SimReport,
+    run_kernel_launch_engine, DeviceMem, DeviceSpec, Engine, ExecMode, HostPerf, SimArgs, SimReport,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::io::Write as _;
@@ -24,7 +29,21 @@ use std::io::Write as _;
 const BLOCKS: usize = 4096;
 const N: usize = 64; // C is BLOCKS x N, A is BLOCKS x N, B is N x N
 
-fn setup() -> (DeviceMem, SimArgs) {
+const DAXPY_N: usize = 1 << 20;
+const SCAN_BLOCKS: usize = 512;
+const SCAN_BLOCK_THREADS: usize = 64; // each block scans 2 * threads elements
+
+/// One benchmarked workload: a lowered-and-optimized program, its work
+/// division and device model, and a fresh-memory setup per launch.
+struct Workload {
+    name: &'static str,
+    prog: Program,
+    wd: WorkDiv,
+    spec: DeviceSpec,
+    setup: fn() -> (DeviceMem, SimArgs),
+}
+
+fn dgemm_setup() -> (DeviceMem, SimArgs) {
     let mut mem = DeviceMem::new();
     let a = mem.alloc_f(BLOCKS * N);
     let b = mem.alloc_f(N * N);
@@ -51,39 +70,131 @@ fn setup() -> (DeviceMem, SimArgs) {
     (mem, args)
 }
 
-fn program() -> Program {
-    let mut prog = trace_kernel(&DgemmNaive, 1);
+fn daxpy_setup() -> (DeviceMem, SimArgs) {
+    let n = DAXPY_N;
+    let mut mem = DeviceMem::new();
+    let x = mem.alloc_f(n);
+    let y = mem.alloc_f(n);
+    for i in 0..n {
+        mem.f_mut(x)[i] = ((i * 11 + 2) % 23) as f64 * 0.5 - 5.0;
+        mem.f_mut(y)[i] = 1.0 + i as f64 * 0.25;
+    }
+    let args = SimArgs {
+        bufs_f: vec![x, y],
+        bufs_i: vec![],
+        params_f: vec![2.5],
+        params_i: vec![n as i64],
+    };
+    (mem, args)
+}
+
+fn scan_setup() -> (DeviceMem, SimArgs) {
+    let n = SCAN_BLOCKS * 2 * SCAN_BLOCK_THREADS;
+    let mut mem = DeviceMem::new();
+    let x = mem.alloc_f(n);
+    let y = mem.alloc_f(n);
+    let sums = mem.alloc_f(SCAN_BLOCKS);
+    for i in 0..n {
+        mem.f_mut(x)[i] = ((i * 13 + 5) % 17) as f64 * 0.75 - 4.0;
+    }
+    let args = SimArgs {
+        bufs_f: vec![x, y, sums],
+        bufs_i: vec![],
+        params_f: vec![],
+        params_i: vec![n as i64],
+    };
+    (mem, args)
+}
+
+fn lowered<K: alpaka_core::kernel::Kernel>(k: &K, dim: usize) -> Program {
+    let mut prog = trace_kernel(k, dim);
     optimize(&mut prog);
     prog
 }
 
-fn run(prog: &Program, engine: Engine) -> (SimReport, Vec<u64>) {
-    let wd = DgemmNaive::workdiv(BLOCKS, 1);
-    let (mut mem, args) = setup();
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "daxpy",
+            prog: lowered(&DaxpyKernel, 1),
+            wd: WorkDiv::d1(DAXPY_N / 64, 1, 64),
+            spec: DeviceSpec::e5_2630v3(),
+            setup: daxpy_setup,
+        },
+        Workload {
+            name: "dgemm_naive",
+            prog: lowered(&DgemmNaive, 1),
+            wd: DgemmNaive::workdiv(BLOCKS, 1),
+            spec: DeviceSpec::e5_2630v3(),
+            setup: dgemm_setup,
+        },
+        Workload {
+            name: "scan_blocks",
+            prog: lowered(
+                &ScanBlocks {
+                    block: SCAN_BLOCK_THREADS,
+                },
+                1,
+            ),
+            wd: WorkDiv::d1(SCAN_BLOCKS, SCAN_BLOCK_THREADS, 1),
+            spec: DeviceSpec::k20(),
+            setup: scan_setup,
+        },
+    ]
+}
+
+fn run(w: &Workload, engine: Engine) -> (SimReport, Vec<Vec<u64>>) {
+    let (mut mem, args) = (w.setup)();
     let rep = run_kernel_launch_engine(
-        &DeviceSpec::e5_2630v3(),
+        &w.spec,
         &mut mem,
-        prog,
-        &wd,
+        &w.prog,
+        &w.wd,
         &args,
         ExecMode::Full,
         1,
         engine,
     )
     .unwrap();
-    let c = args.bufs_f[2];
-    let bits = mem.f(c).iter().map(|v| v.to_bits()).collect();
+    let bits = args
+        .bufs_f
+        .iter()
+        .map(|b| mem.f(*b).iter().map(|v| v.to_bits()).collect())
+        .collect();
     (rep, bits)
 }
 
+/// Parity guard: all three engines bit-identical on `w` before any timing.
+fn assert_engine_parity(w: &Workload) {
+    let (reference, ref_bits) = run(w, Engine::Reference);
+    for engine in [Engine::Lowered, Engine::Compiled] {
+        let (rep, bits) = run(w, engine);
+        assert_eq!(
+            reference.stats, rep.stats,
+            "{engine:?} diverged from reference on {} (stats)",
+            w.name
+        );
+        assert_eq!(
+            reference.time, rep.time,
+            "{engine:?} diverged from reference on {} (time model)",
+            w.name
+        );
+        assert_eq!(
+            ref_bits, bits,
+            "{engine:?} diverged from reference on {} (buffers)",
+            w.name
+        );
+    }
+}
+
 /// Median-by-throughput `HostPerf` over `k` fresh launches.
-fn host_perf(prog: &Program, engine: Engine, k: usize) -> alpaka_sim::HostPerf {
-    let mut perfs: Vec<alpaka_sim::HostPerf> = (0..k).map(|_| run(prog, engine).0.host).collect();
+fn host_perf(w: &Workload, engine: Engine, k: usize) -> HostPerf {
+    let mut perfs: Vec<HostPerf> = (0..k).map(|_| run(w, engine).0.host).collect();
     perfs.sort_by(|a, b| a.blocks_per_sec.partial_cmp(&b.blocks_per_sec).unwrap());
     perfs[perfs.len() / 2]
 }
 
-fn json_entry(p: &alpaka_sim::HostPerf) -> String {
+fn json_entry(p: &HostPerf) -> String {
     format!(
         "{{\"wall_s\": {:.6}, \"blocks_per_sec\": {:.1}, \"instrs_per_sec\": {:.1}, \"workers\": {}}}",
         p.wall_s, p.blocks_per_sec, p.instrs_per_sec, p.workers
@@ -91,61 +202,78 @@ fn json_entry(p: &alpaka_sim::HostPerf) -> String {
 }
 
 fn bench_sim_lowering(c: &mut Criterion) {
-    let prog = program();
-
-    // Guard: the lowered engine must be bit-identical to the reference.
-    let (reference, ref_bits) = run(&prog, Engine::Reference);
-    let (lowered, low_bits) = run(&prog, Engine::Lowered);
-    assert_eq!(
-        reference.stats, lowered.stats,
-        "lowered run diverged from reference (stats)"
-    );
-    assert_eq!(
-        reference.time, lowered.time,
-        "lowered run diverged from reference (time model)"
-    );
-    assert_eq!(
-        ref_bits, low_bits,
-        "lowered run diverged from reference (buffers)"
-    );
-    assert_eq!(lowered.stats.blocks as usize, BLOCKS);
+    let all = workloads();
+    for w in &all {
+        assert_engine_parity(w);
+    }
 
     if std::env::args().any(|a| a == "--test") {
-        eprintln!("sim_lowering: --test smoke mode, parity guard passed");
+        eprintln!("sim_lowering: --test smoke mode, engine parity guards passed");
         return;
     }
 
+    let dgemm = &all[1];
+    assert_eq!(dgemm.name, "dgemm_naive");
     let mut group = c.benchmark_group("sim_dgemm_lowering_4096_blocks");
     group.throughput(Throughput::Elements(BLOCKS as u64));
     group.sample_size(10);
     for (engine, label) in [
         (Engine::Reference, "reference"),
         (Engine::Lowered, "lowered"),
+        (Engine::Compiled, "compiled"),
     ] {
         group.bench_function(BenchmarkId::new("engine", label), |b| {
-            b.iter(|| run(&prog, engine));
+            b.iter(|| run(dgemm, engine));
         });
     }
     group.finish();
 
-    // One-shot host-perf summary from the simulator's own counters, and the
-    // machine-readable trajectory file at the repo root.
-    let ref_perf = host_perf(&prog, Engine::Reference, 5);
-    let low_perf = host_perf(&prog, Engine::Lowered, 5);
-    let speedup = low_perf.blocks_per_sec / ref_perf.blocks_per_sec;
-    eprintln!(
-        "sim_lowering: reference blocks/s={:.0} lowered blocks/s={:.0} speedup={speedup:.2}x",
-        ref_perf.blocks_per_sec, low_perf.blocks_per_sec
-    );
+    // One-shot host-perf summary from the simulator's own counters for
+    // every (workload, engine) pair, and the machine-readable trajectory
+    // file at the repo root.
+    let mut table = String::new();
+    let mut dgemm_line = String::new();
+    for w in &all {
+        let rf = host_perf(w, Engine::Reference, 5);
+        let lo = host_perf(w, Engine::Lowered, 5);
+        let co = host_perf(w, Engine::Compiled, 5);
+        let sp_low = lo.blocks_per_sec / rf.blocks_per_sec;
+        let sp_comp = co.blocks_per_sec / lo.blocks_per_sec;
+        eprintln!(
+            "sim_lowering[{}]: reference={:.0} lowered={:.0} compiled={:.0} blocks/s \
+             (lowered/ref {sp_low:.2}x, compiled/lowered {sp_comp:.2}x)",
+            w.name, rf.blocks_per_sec, lo.blocks_per_sec, co.blocks_per_sec
+        );
+        if !table.is_empty() {
+            table.push_str(",\n");
+        }
+        table.push_str(&format!(
+            "    \"{}\": {{\n      \"reference\": {},\n      \"lowered\": {},\n      \
+             \"compiled\": {},\n      \"speedup_lowered_vs_reference\": {sp_low:.3},\n      \
+             \"speedup_compiled_vs_lowered\": {sp_comp:.3}\n    }}",
+            w.name,
+            json_entry(&rf),
+            json_entry(&lo),
+            json_entry(&co),
+        ));
+        if w.name == "dgemm_naive" {
+            dgemm_line = format!(
+                "  \"reference\": {},\n  \"lowered\": {},\n  \"compiled\": {},\n  \
+                 \"speedup_blocks_per_sec\": {sp_low:.3},\n  \
+                 \"speedup_compiled_vs_lowered\": {sp_comp:.3},\n",
+                json_entry(&rf),
+                json_entry(&lo),
+                json_entry(&co),
+            );
+        }
+    }
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_sim.json");
     let json = format!(
         "{{\n  \"workload\": \"dgemm_naive\",\n  \"blocks\": {BLOCKS},\n  \"n\": {N},\n  \
-         \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n  \
-         \"reference\": {},\n  \"lowered\": {},\n  \"speedup_blocks_per_sec\": {speedup:.3}\n}}\n",
-        json_entry(&ref_perf),
-        json_entry(&low_perf),
+         \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n{dgemm_line}  \
+         \"workloads\": {{\n{table}\n  }}\n}}\n",
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("sim_lowering: wrote {path}"),

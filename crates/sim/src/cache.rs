@@ -16,6 +16,13 @@ pub struct CacheSim {
     /// per set in `lru` (lower value = more recently used stamp).
     tags: Vec<u64>,
     stamp: Vec<u64>,
+    /// Per-set way of the most recent scan hit or fill — which is therefore
+    /// the set's MRU way. Streaming kernels re-touch a set's MRU line many
+    /// times in a row, so trying this way first turns most hits into a single
+    /// tag compare; and because the way is already MRU, re-stamping it cannot
+    /// change within-set LRU order, so the hinted path skips the stamp store
+    /// entirely. Hit/miss outcomes and eviction order are unaffected.
+    hint: Vec<u16>,
     tick: u64,
     pub hits: u64,
     pub misses: u64,
@@ -34,6 +41,7 @@ impl CacheSim {
             line_bytes,
             tags: vec![u64::MAX; sets * assoc],
             stamp: vec![0; sets * assoc],
+            hint: vec![0; sets],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -52,12 +60,21 @@ impl CacheSim {
     /// Access by line index directly (callers that already work in line
     /// units skip the byte-address division).
     pub fn access_line(&mut self, line: u64) -> bool {
-        self.tick += 1;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.assoc;
-        let ways = &mut self.tags[base..base + self.assoc];
+        let hinted = self.hint[set] as usize;
+        if hinted < self.assoc && self.tags[base + hinted] == line {
+            // Already the MRU way of its set: stamps order ways only within
+            // a set, so refreshing the maximum is a no-op — skip it (and the
+            // tick, which only exists to feed stamps).
+            self.hits += 1;
+            return true;
+        }
+        self.tick += 1;
+        let ways = &self.tags[base..base + self.assoc];
         if let Some(way) = ways.iter().position(|&t| t == line) {
             self.stamp[base + way] = self.tick;
+            self.hint[set] = way as u16;
             self.hits += 1;
             return true;
         }
@@ -77,6 +94,7 @@ impl CacheSim {
         }
         self.tags[base + victim] = line;
         self.stamp[base + victim] = self.tick;
+        self.hint[set] = victim as u16;
         self.misses += 1;
         false
     }
@@ -85,6 +103,7 @@ impl CacheSim {
     pub fn invalidate(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamp.fill(0);
+        self.hint.fill(0);
     }
 }
 

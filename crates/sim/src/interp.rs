@@ -78,6 +78,11 @@ pub struct SimReport {
     /// Per-block issue-cycle spans (block-linear order); present only when
     /// tracing is enabled. Never scaled by block sampling.
     pub spans: Vec<BlockSpan>,
+    /// Process-wide cumulative hit/miss counters of the lowered-program
+    /// cache, snapshotted when this launch finished.
+    pub lowering_cache: crate::lower::CacheCounters,
+    /// Likewise for the compiled-program cache.
+    pub compile_cache: crate::lower::CacheCounters,
 }
 
 /// How fast the *host* interpreted the launch — wall-clock measurements of
@@ -127,6 +132,34 @@ fn resolve_sim_threads_inner(env: Option<&str>, configured: usize) -> (usize, bo
             _ => (configured.max(1), true),
         },
         None => (configured.max(1), false),
+    }
+}
+
+/// Engine to use given a configured choice: the `ALPAKA_SIM_ENGINE`
+/// environment variable wins when set to `reference`, `lowered` or
+/// `compiled` (case-insensitive); otherwise `configured` is used. Unlike
+/// `ALPAKA_SIM_THREADS` — where any thread count is safe to fall back from
+/// — a misspelled engine would silently benchmark the wrong tier, so an
+/// unknown value is an error, not a warning.
+pub fn resolve_sim_engine(configured: Engine) -> Result<Engine, SimError> {
+    let env = std::env::var("ALPAKA_SIM_ENGINE").ok();
+    resolve_sim_engine_inner(env.as_deref(), configured)
+}
+
+/// Pure core of [`resolve_sim_engine`].
+fn resolve_sim_engine_inner(env: Option<&str>, configured: Engine) -> Result<Engine, SimError> {
+    let Some(raw) = env else {
+        return Ok(configured);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(configured),
+        "reference" => Ok(Engine::Reference),
+        "lowered" => Ok(Engine::Lowered),
+        "compiled" => Ok(Engine::Compiled),
+        _ => Err(serr!(
+            "ALPAKA_SIM_ENGINE={raw:?} is not a valid engine (expected \"reference\", \
+             \"lowered\", or \"compiled\")"
+        )),
     }
 }
 
@@ -220,7 +253,7 @@ impl MemAccess<'_> {
     }
 }
 
-enum Caches {
+pub(crate) enum Caches {
     None,
     PerSm(Vec<CacheSim>),
     Shared(CacheSim),
@@ -235,8 +268,8 @@ pub(crate) struct RegionAcc {
     pub(crate) depth: u32,
     /// Address log of the first two iterations of the outermost loop.
     pub(crate) iter: u32,
-    addrs0: Vec<u64>,
-    addrs1: Vec<u64>,
+    pub(crate) addrs0: Vec<u64>,
+    pub(crate) addrs1: Vec<u64>,
     pub(crate) probe_failed: bool,
 }
 
@@ -337,14 +370,14 @@ pub(crate) struct Machine<'a> {
     pub(crate) n_warps: usize,
     pub(crate) stats: LaunchStats,
     pub(crate) region: Option<RegionAcc>,
-    caches: Caches,
+    pub(crate) caches: Caches,
     pub(crate) cur_sm: usize,
     pub(crate) fuel: u64,
     /// True when `fuel` came from a fault plan's watchdog budget: running
     /// out is then a `Timeout`, not a runaway-loop diagnostic.
     watchdog: bool,
     /// Per-launch ECC injection context (None: injection disabled).
-    ecc: Option<EccCtx>,
+    pub(crate) ecc: Option<EccCtx>,
     /// Linear index of the block currently interpreted (ECC decisions are
     /// keyed on it, so they are invariant across worker counts).
     pub(crate) cur_block_lin: usize,
@@ -1464,9 +1497,10 @@ fn sample_indices(total: usize, k: usize) -> Vec<usize> {
 
 /// Which interpreter executes the blocks of a launch.
 ///
-/// Both engines produce bit-identical buffers, [`LaunchStats`] and
-/// [`TimeBreakdown`]; `Reference` exists so tests and benchmarks can compare
-/// against the tree-walking interpreter the lowered engine replaced.
+/// All engines produce bit-identical buffers, [`LaunchStats`] and
+/// [`TimeBreakdown`]; `Reference` and `Lowered` exist so tests and
+/// benchmarks can compare against the interpreters each faster tier
+/// replaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Pre-lowered warp programs (see `crate::lower`): the program is
@@ -1474,6 +1508,13 @@ pub enum Engine {
     Lowered,
     /// Direct tree-walking interpretation of the structured IR.
     Reference,
+    /// Direct-threaded compiled programs (see `crate::compile`): the
+    /// lowered form is further re-threaded into structured nodes whose
+    /// uniform straight-line loops run as fused step lists with batched
+    /// accounting. The default engine. Traced/profiled launches execute on
+    /// the lowered tier instead (identical streams by construction), and
+    /// programs failing IR validation fall back to `Reference`.
+    Compiled,
 }
 
 /// Launch geometry and bindings shared by every interpreter worker.
@@ -1489,8 +1530,12 @@ pub(crate) struct LaunchCtx<'a> {
     pub(crate) lanes: usize,
     pub(crate) grid_ext: Vecn<3>,
     pub(crate) thread_ext: Vecn<3>,
-    /// Pre-lowered form of `prog`, when the launch runs the lowered engine.
+    /// Pre-lowered form of `prog`, when the launch runs the lowered or
+    /// compiled engine.
     pub(crate) lowered: Option<std::sync::Arc<crate::lower::WarpProgram>>,
+    /// Compiled form of `prog`, when the launch runs the compiled engine
+    /// (untraced launches only; see [`Engine::Compiled`]).
+    pub(crate) compiled: Option<std::sync::Arc<crate::compile::CompiledProgram>>,
     /// Per-worker instruction budget and whether it is a fault-plan
     /// watchdog budget (exhaustion then reports `Timeout`).
     pub(crate) fuel: u64,
@@ -1589,6 +1634,9 @@ fn interpret_blocks(
     worker: usize,
     indices: &[usize],
 ) -> Result<WorkerOut, (usize, SimError)> {
+    if let Some(cp) = &ctx.compiled {
+        return crate::compile::interpret_blocks_compiled(ctx, mem, team, worker, indices, cp);
+    }
     if let Some(wp) = &ctx.lowered {
         return crate::lower::interpret_blocks_lowered(ctx, mem, team, worker, indices, wp);
     }
@@ -1753,7 +1801,16 @@ pub fn run_kernel_launch_threads(
     mode: ExecMode,
     threads: usize,
 ) -> Result<SimReport, SimError> {
-    run_kernel_launch_engine(spec, mem, prog, wd, args, mode, threads, Engine::Lowered)
+    run_kernel_launch_engine(
+        spec,
+        mem,
+        prog,
+        wd,
+        args,
+        mode,
+        threads,
+        resolve_sim_engine(Engine::Compiled)?,
+    )
 }
 
 /// Fault-injection knobs scoped to a single launch, derived from a
@@ -1767,12 +1824,15 @@ pub struct LaunchFaults {
     pub watchdog_fuel: Option<u64>,
 }
 
-/// [`run_kernel_launch_threads`] with an explicit [`Engine`] choice.
+/// [`run_kernel_launch_threads`] with an explicit [`Engine`] choice
+/// (bypassing the `ALPAKA_SIM_ENGINE` override).
 ///
-/// `Engine::Lowered` (the default everywhere else) pre-lowers the program —
-/// falling back to the reference interpreter if the program fails IR
-/// validation — while `Engine::Reference` forces the tree-walking
-/// interpreter. Results are bit-identical either way.
+/// `Engine::Compiled` (the default everywhere else) pre-lowers and then
+/// re-threads the program, `Engine::Lowered` stops at the pre-lowered
+/// interpreter, and `Engine::Reference` forces the tree-walking
+/// interpreter; the first two fall back to the reference interpreter if
+/// the program fails IR validation. Results are bit-identical in every
+/// case.
 #[allow(clippy::too_many_arguments)]
 pub fn run_kernel_launch_engine(
     spec: &DeviceSpec,
@@ -1837,6 +1897,24 @@ pub fn run_kernel_launch_faulty(
     };
 
     let warp_w = spec.warp_width.max(1);
+    // Profiling piggybacks on the tracing switch so the default launch
+    // path stays allocation-free.
+    let numbering = if alpaka_core::trace::enabled() {
+        Some(Arc::new(Numbering::new(prog)))
+    } else {
+        None
+    };
+    let lowered = match engine {
+        Engine::Reference => None,
+        Engine::Lowered | Engine::Compiled => crate::lower::lowered_for(prog, spec),
+    };
+    // Traced/profiled launches run the lowered tier even under
+    // `Engine::Compiled`: its per-instruction replay is what makes trace
+    // and profile streams identical across engines by construction.
+    let compiled = match (engine, &lowered, &numbering) {
+        (Engine::Compiled, Some(wp), None) => Some(crate::compile::compiled_for(prog, spec, wp)),
+        _ => None,
+    };
     let ctx = LaunchCtx {
         spec,
         prog,
@@ -1849,20 +1927,12 @@ pub fn run_kernel_launch_faulty(
         lanes: threads_per_block,
         grid_ext: Vecn(wd.blocks),
         thread_ext: Vecn(wd.threads),
-        lowered: match engine {
-            Engine::Lowered => crate::lower::lowered_for(prog, spec),
-            Engine::Reference => None,
-        },
+        lowered,
+        compiled,
         fuel: faults.and_then(|f| f.watchdog_fuel).unwrap_or(DEFAULT_FUEL),
         watchdog: faults.is_some_and(|f| f.watchdog_fuel.is_some()),
         ecc: faults.and_then(|f| f.ecc),
-        // Profiling piggybacks on the tracing switch so the default launch
-        // path stays allocation-free.
-        numbering: if alpaka_core::trace::enabled() {
-            Some(Arc::new(Numbering::new(prog)))
-        } else {
-            None
-        },
+        numbering,
     };
 
     // A worker without SMs would idle, so the team never exceeds the SM
@@ -1947,6 +2017,8 @@ pub fn run_kernel_launch_faulty(
         host,
         profile,
         spans,
+        lowering_cache: crate::lower::lowering_cache_counters(),
+        compile_cache: crate::compile::compile_cache_counters(),
     })
 }
 
@@ -1962,7 +2034,54 @@ impl MapI64 for Vecn<3> {
 
 #[cfg(test)]
 mod tests {
-    use super::{resolve_sim_threads_inner, sample_indices};
+    use super::{resolve_sim_engine_inner, resolve_sim_threads_inner, sample_indices, Engine};
+
+    #[test]
+    fn sim_engine_env_unset_uses_configured() {
+        assert_eq!(
+            resolve_sim_engine_inner(None, Engine::Compiled).unwrap(),
+            Engine::Compiled
+        );
+        assert_eq!(
+            resolve_sim_engine_inner(None, Engine::Reference).unwrap(),
+            Engine::Reference
+        );
+        // An empty value (e.g. `ALPAKA_SIM_ENGINE= cmd`) counts as unset.
+        assert_eq!(
+            resolve_sim_engine_inner(Some(""), Engine::Lowered).unwrap(),
+            Engine::Lowered
+        );
+    }
+
+    #[test]
+    fn sim_engine_valid_env_wins() {
+        assert_eq!(
+            resolve_sim_engine_inner(Some("reference"), Engine::Compiled).unwrap(),
+            Engine::Reference
+        );
+        assert_eq!(
+            resolve_sim_engine_inner(Some("lowered"), Engine::Compiled).unwrap(),
+            Engine::Lowered
+        );
+        assert_eq!(
+            resolve_sim_engine_inner(Some("compiled"), Engine::Reference).unwrap(),
+            Engine::Compiled
+        );
+        // Trimmed and case-insensitive, like the threads override.
+        assert_eq!(
+            resolve_sim_engine_inner(Some(" Compiled "), Engine::Reference).unwrap(),
+            Engine::Compiled
+        );
+    }
+
+    #[test]
+    fn sim_engine_unknown_env_is_an_error() {
+        let err = resolve_sim_engine_inner(Some("jit"), Engine::Compiled).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ALPAKA_SIM_ENGINE"), "{msg}");
+        assert!(msg.contains("\"jit\""), "{msg}");
+        assert!(msg.contains("compiled"), "{msg}");
+    }
 
     #[test]
     fn sim_threads_env_unset_uses_configured() {

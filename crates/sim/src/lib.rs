@@ -18,6 +18,7 @@
 //! paper's evaluation measures.
 
 pub mod cache;
+pub mod compile;
 pub mod fault;
 pub mod interp;
 pub mod lower;
@@ -27,13 +28,14 @@ pub mod spec;
 pub mod stats;
 
 pub use cache::CacheSim;
+pub use compile::compile_cache_counters;
 pub use fault::{EccCtx, FaultPlan, SimError, SimErrorKind};
 pub use interp::{
-    program_uses_global_atomics, resolve_sim_threads, run_kernel_launch, run_kernel_launch_engine,
-    run_kernel_launch_faulty, run_kernel_launch_threads, Engine, ExecMode, HostPerf, LaunchFaults,
-    SimArgs, SimReport,
+    program_uses_global_atomics, resolve_sim_engine, resolve_sim_threads, run_kernel_launch,
+    run_kernel_launch_engine, run_kernel_launch_faulty, run_kernel_launch_threads, Engine,
+    ExecMode, HostPerf, LaunchFaults, SimArgs, SimReport,
 };
-pub use lower::{lower, WarpProgram};
+pub use lower::{lower, lowering_cache_counters, CacheCounters, WarpProgram};
 pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};
 pub use profile::{InstrCounters, KernelProfile, Numbering};
 pub use spec::{CacheScope, DeviceSpec};

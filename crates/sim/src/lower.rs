@@ -30,6 +30,7 @@
 // several parallel per-lane arrays; the explicit-index form is clearest.
 #![allow(clippy::needless_range_loop)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use alpaka_core::acc::DeviceKind;
@@ -49,22 +50,24 @@ use crate::spec::DeviceSpec;
 
 /// Register-slot encoding: the top bit selects the scalar (uniform) file,
 /// the low bits are the `ValId`/`VarId` index.
-const U_BIT: u32 = 1 << 31;
+pub(crate) const U_BIT: u32 = 1 << 31;
 
 #[inline]
-fn is_u(slot: u32) -> bool {
+pub(crate) fn is_u(slot: u32) -> bool {
     slot & U_BIT != 0
 }
 
 #[inline]
-fn idx(slot: u32) -> usize {
+pub(crate) fn idx(slot: u32) -> usize {
     (slot & !U_BIT) as usize
 }
 
 /// One pre-decoded op. Operand fields are register slots (`U_BIT` selects
 /// the uniform file); control-flow ops delimit ranges of the flat array.
+/// Shared with `crate::compile`, which re-threads ranges of these ops into
+/// fused loops.
 #[derive(Debug, Clone, Copy)]
-enum LOp {
+pub(crate) enum LOp {
     /// Charge a straight-line run: `n` instructions of fuel and issue,
     /// plus `flops`/`special` per active lane. `detail` indexes the first
     /// of the run's `n` per-instruction entries in `WarpProgram::acct`
@@ -260,26 +263,26 @@ enum LOp {
 /// across interpreter workers via `Arc`.
 #[derive(Debug)]
 pub struct WarpProgram {
-    ops: Vec<LOp>,
+    pub(crate) ops: Vec<LOp>,
     /// `(uniform-register, bits)` pairs written once per worker.
-    const_init: Vec<(u32, u64)>,
-    n_vals: usize,
-    n_vars: usize,
+    pub(crate) const_init: Vec<(u32, u64)>,
+    pub(crate) n_vals: usize,
+    pub(crate) n_vars: usize,
     /// Canonical source-statement id per op (parallel to `ops`), matching
     /// `crate::profile::Numbering`'s pre-order walk. Read only when
     /// profiling.
-    op_instr: Vec<u32>,
+    pub(crate) op_instr: Vec<u32>,
     /// Per-instruction `(id, flops, special)` shares of the `Account` runs;
     /// see `LOp::Account::detail`.
-    acct: Vec<AcctEntry>,
+    pub(crate) acct: Vec<AcctEntry>,
 }
 
 /// One source instruction's share of a straight-line `Account` run.
 #[derive(Debug, Clone, Copy)]
-struct AcctEntry {
-    id: u32,
-    flops: u32,
-    special: u32,
+pub(crate) struct AcctEntry {
+    pub(crate) id: u32,
+    pub(crate) flops: u32,
+    pub(crate) special: u32,
 }
 
 impl WarpProgram {
@@ -775,7 +778,29 @@ struct CacheEntry {
 }
 
 static CACHE: OnceLock<Mutex<Vec<CacheEntry>>> = OnceLock::new();
-const CACHE_CAP: usize = 32;
+pub(crate) const CACHE_CAP: usize = 32;
+
+/// Process-wide hit/miss tallies of a compile-once program cache (the
+/// lowered-program cache here, the compiled-program cache in
+/// `crate::compile`), snapshotted onto every `SimReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache (including remembered failures).
+    pub hits: u64,
+    /// Lookups that had to lower/compile the program anew.
+    pub misses: u64,
+}
+
+static LOWER_HITS: AtomicU64 = AtomicU64::new(0);
+static LOWER_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative hit/miss counters of the lowered-program cache.
+pub fn lowering_cache_counters() -> CacheCounters {
+    CacheCounters {
+        hits: LOWER_HITS.load(Ordering::Relaxed),
+        misses: LOWER_MISSES.load(Ordering::Relaxed),
+    }
+}
 
 /// The lowered form of `prog` for launches on `spec`, decoded at most once
 /// per `(Program, DeviceSpec)` and shared across launches and workers.
@@ -785,14 +810,26 @@ pub(crate) fn lowered_for(prog: &Program, spec: &DeviceSpec) -> Option<Arc<WarpP
         let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
         for e in guard.iter() {
             if e.spec_name == spec.name && e.prog == *prog {
+                LOWER_HITS.fetch_add(1, Ordering::Relaxed);
                 return e.wp.clone();
             }
         }
     }
-    // Lower outside the lock; a racing duplicate insert is harmless.
+    LOWER_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Lower outside the lock.
     let wp = lower(prog).map(Arc::new);
     let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if guard.len() >= CACHE_CAP {
+    // A racing worker may have inserted the same entry while we lowered;
+    // returning its copy keeps the cache duplicate-free (a duplicate would
+    // waste one of the FIFO cap's slots and make eviction age out live
+    // entries early).
+    for e in guard.iter() {
+        if e.spec_name == spec.name && e.prog == *prog {
+            return e.wp.clone();
+        }
+    }
+    // FIFO eviction: drop oldest entries until the new one fits the cap.
+    while guard.len() >= CACHE_CAP {
         guard.remove(0);
     }
     guard.push(CacheEntry {
@@ -809,42 +846,42 @@ pub(crate) fn lowered_for(prog: &Program, spec: &DeviceSpec) -> Option<Arc<WarpP
 
 /// A lane mask with its per-warp accounting precomputed.
 #[derive(Default)]
-struct MaskBuf {
-    bits: Vec<bool>,
+pub(crate) struct MaskBuf {
+    pub(crate) bits: Vec<bool>,
     /// Total active lanes.
-    active: u64,
+    pub(crate) active: u64,
     /// Warps with at least one active lane (issue slots per instruction).
-    warp_issues: u64,
+    pub(crate) warp_issues: u64,
     /// All lanes active (enables the no-check lane loop and barriers).
-    full: bool,
+    pub(crate) full: bool,
 }
 
 /// Per-worker execution state of the lowered engine: split register files
 /// (uniform scalars vs. per-lane), block-shared arrays, and the recycled
 /// mask / address scratch.
-struct LowState {
-    lanes: usize,
-    uregs: Vec<u64>,
-    vregs: Vec<u64>,
-    uvars: Vec<u64>,
-    vvars: Vec<u64>,
-    sh_f: Vec<Vec<f64>>,
-    sh_i: Vec<Vec<i64>>,
+pub(crate) struct LowState {
+    pub(crate) lanes: usize,
+    pub(crate) uregs: Vec<u64>,
+    pub(crate) vregs: Vec<u64>,
+    pub(crate) uvars: Vec<u64>,
+    pub(crate) vvars: Vec<u64>,
+    pub(crate) sh_f: Vec<Vec<f64>>,
+    pub(crate) sh_i: Vec<Vec<i64>>,
     /// Per-lane thread-private arrays: `loc_f[loc][lane * len + k]`.
-    loc_f: Vec<Vec<f64>>,
-    tid: Vec<[i64; 3]>,
-    bidx: [i64; 3],
+    pub(crate) loc_f: Vec<Vec<f64>>,
+    pub(crate) tid: Vec<[i64; 3]>,
+    pub(crate) bidx: [i64; 3],
     /// Mask pool indexed by control-flow depth; slot 0 is the full mask.
-    masks: Vec<MaskBuf>,
+    pub(crate) masks: Vec<MaskBuf>,
     /// Reusable (lane, byte address) scratch for coalescing.
-    addrs: Vec<(usize, u64)>,
+    pub(crate) addrs: Vec<(usize, u64)>,
     /// Reusable (lane, element index) scratch for bank accounting.
-    elems: Vec<(usize, i64)>,
+    pub(crate) elems: Vec<(usize, i64)>,
 }
 
 impl LowState {
     #[inline]
-    fn rd(&self, s: u32, l: usize) -> u64 {
+    pub(crate) fn rd(&self, s: u32, l: usize) -> u64 {
         if is_u(s) {
             self.uregs[idx(s)]
         } else {
@@ -852,44 +889,44 @@ impl LowState {
         }
     }
     #[inline]
-    fn rdf(&self, s: u32, l: usize) -> f64 {
+    pub(crate) fn rdf(&self, s: u32, l: usize) -> f64 {
         f64::from_bits(self.rd(s, l))
     }
     #[inline]
-    fn rdi(&self, s: u32, l: usize) -> i64 {
+    pub(crate) fn rdi(&self, s: u32, l: usize) -> i64 {
         self.rd(s, l) as i64
     }
     #[inline]
-    fn rdb(&self, s: u32, l: usize) -> bool {
+    pub(crate) fn rdb(&self, s: u32, l: usize) -> bool {
         self.rd(s, l) != 0
     }
     #[inline]
-    fn ud(&self, s: u32) -> u64 {
+    pub(crate) fn ud(&self, s: u32) -> u64 {
         self.uregs[idx(s)]
     }
     #[inline]
-    fn udf(&self, s: u32) -> f64 {
+    pub(crate) fn udf(&self, s: u32) -> f64 {
         f64::from_bits(self.ud(s))
     }
     #[inline]
-    fn udi(&self, s: u32) -> i64 {
+    pub(crate) fn udi(&self, s: u32) -> i64 {
         self.ud(s) as i64
     }
     #[inline]
-    fn udb(&self, s: u32) -> bool {
+    pub(crate) fn udb(&self, s: u32) -> bool {
         self.ud(s) != 0
     }
     #[inline]
-    fn wu(&mut self, d: u32, bits: u64) {
+    pub(crate) fn wu(&mut self, d: u32, bits: u64) {
         self.uregs[idx(d)] = bits;
     }
     #[inline]
-    fn wv(&mut self, d: u32, l: usize, bits: u64) {
+    pub(crate) fn wv(&mut self, d: u32, l: usize, bits: u64) {
         self.vregs[d as usize * self.lanes + l] = bits;
     }
 
     /// Grow the mask pool so `masks[depth]` exists (bits sized to `lanes`).
-    fn ensure_mask(&mut self, depth: usize) {
+    pub(crate) fn ensure_mask(&mut self, depth: usize) {
         while self.masks.len() <= depth {
             self.masks.push(MaskBuf {
                 bits: vec![false; self.lanes],
@@ -921,7 +958,7 @@ macro_rules! for_active {
 /// counting one divergent branch per warp whose active lanes disagree
 /// (only on the first of the two fill passes). Returns (any-true,
 /// any-false) over the parent's active lanes.
-fn fill_branch_mask(
+pub(crate) fn fill_branch_mask(
     m: &mut Machine<'_>,
     st: &LowState,
     cond: u32,
@@ -979,7 +1016,7 @@ fn fill_branch_mask(
 /// Fill `child` with the lanes of `parent` still inside a per-lane trip
 /// count (`start + iter < end`), counting divergence exactly as the
 /// reference loop does. Returns whether any lane remains.
-fn fill_for_mask(
+pub(crate) fn fill_for_mask(
     m: &mut Machine<'_>,
     st: &LowState,
     start: u32,
@@ -1033,7 +1070,12 @@ fn fill_for_mask(
 
 /// Shrink a while-loop mask by its freshly computed condition, counting
 /// divergence against the pre-shrink mask. Returns whether any lane stays.
-fn shrink_while_mask(m: &mut Machine<'_>, st: &LowState, cond: u32, mask: &mut MaskBuf) -> bool {
+pub(crate) fn shrink_while_mask(
+    m: &mut Machine<'_>,
+    st: &LowState,
+    cond: u32,
+    mask: &mut MaskBuf,
+) -> bool {
     let lanes = st.lanes;
     let warp_w = m.warp_w;
     let mut active = 0u64;
@@ -1077,7 +1119,7 @@ fn shrink_while_mask(m: &mut Machine<'_>, st: &LowState, cond: u32, mask: &mut M
 /// Flush a gathered per-lane address list to the coalescing model, taking
 /// the single-lane fast path (the 1-thread-per-block shape) when possible.
 #[inline]
-fn flush_addrs(m: &mut Machine<'_>, addrs: &[(usize, u64)]) {
+pub(crate) fn flush_addrs(m: &mut Machine<'_>, addrs: &[(usize, u64)]) {
     if addrs.len() == 1 {
         m.mem_access_one(addrs[0].1);
     } else {
@@ -1089,7 +1131,7 @@ fn flush_addrs(m: &mut Machine<'_>, addrs: &[(usize, u64)]) {
 /// active lane occupies one bank at degree 1: no conflict cycles, one
 /// access counted — the same outcome `shared_access` computes.
 #[inline]
-fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
+pub(crate) fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
     if elems.len() == 1 {
         m.stats.shared_accesses += 1;
         m.prof_add(|c| c.shared_accesses += 1);
@@ -1102,7 +1144,7 @@ fn flush_elems(m: &mut Machine<'_>, elems: &[(usize, i64)]) {
 /// per-lane loop would fault at for a uniform (all-lanes-identical) access,
 /// used so uniform fast paths attribute faults to the same thread.
 #[inline]
-fn first_active(mask: &MaskBuf) -> usize {
+pub(crate) fn first_active(mask: &MaskBuf) -> usize {
     if mask.full {
         0
     } else {
@@ -1110,7 +1152,7 @@ fn first_active(mask: &MaskBuf) -> usize {
     }
 }
 
-fn copy_mask(dst: &mut MaskBuf, src: &MaskBuf) {
+pub(crate) fn copy_mask(dst: &mut MaskBuf, src: &MaskBuf) {
     dst.bits.clear();
     dst.bits.extend_from_slice(&src.bits);
     dst.active = src.active;
@@ -1120,7 +1162,7 @@ fn copy_mask(dst: &mut MaskBuf, src: &MaskBuf) {
 
 /// Execute `ops[lo..hi]` under the mask stored at `masks[depth]`; the mask
 /// is temporarily taken out of the pool so ops can borrow state freely.
-fn exec_range(
+pub(crate) fn exec_range(
     m: &mut Machine<'_>,
     st: &mut LowState,
     wp: &WarpProgram,
@@ -1145,7 +1187,7 @@ fn exec_range(
 }
 
 #[allow(clippy::too_many_lines)]
-fn exec_ops(
+pub(crate) fn exec_ops(
     m: &mut Machine<'_>,
     st: &mut LowState,
     wp: &WarpProgram,
@@ -1914,7 +1956,7 @@ fn exec_ops(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_for_lowered(
+pub(crate) fn exec_for_lowered(
     m: &mut Machine<'_>,
     st: &mut LowState,
     wp: &WarpProgram,
@@ -2034,6 +2076,25 @@ pub(crate) fn interpret_blocks_lowered(
     indices: &[usize],
     wp: &WarpProgram,
 ) -> Result<WorkerOut, (usize, SimError)> {
+    run_warp_blocks(ctx, mem, team, worker, indices, wp, |m, st| {
+        exec_range(m, st, wp, 0, wp.ops.len(), 0)
+    })
+}
+
+/// The per-worker block loop shared by the lowered and compiled engines:
+/// identical SM partitioning, block order, per-block array resets, span
+/// collection and error reporting regardless of how a block's program text
+/// is executed (`exec_block` runs exactly one block against the prepared
+/// machine and register state).
+pub(crate) fn run_warp_blocks(
+    ctx: &LaunchCtx<'_>,
+    mem: MemAccess<'_>,
+    team: usize,
+    worker: usize,
+    indices: &[usize],
+    wp: &WarpProgram,
+    mut exec_block: impl FnMut(&mut Machine<'_>, &mut LowState) -> R<()>,
+) -> Result<WorkerOut, (usize, SimError)> {
     let prog = ctx.prog;
     let sms = ctx.spec.sms.max(1);
     let lanes = ctx.lanes;
@@ -2120,7 +2181,7 @@ pub(crate) fn interpret_blocks_lowered(
         m.cur_block_lin = lin;
         st.bidx = ctx.grid_ext.delinearize(lin).map_i64();
         let cycles_before = stats_issue_cycles(&m.stats);
-        exec_range(&mut m, &mut st, wp, 0, wp.ops.len(), 0).map_err(|e| {
+        exec_block(&mut m, &mut st).map_err(|e| {
             (
                 lin,
                 e.with_block(st.bidx)
@@ -2248,8 +2309,54 @@ mod tests {
     fn lowered_cache_is_shared() {
         let p = daxpy_like();
         let spec = DeviceSpec::k20();
+        let before = lowering_cache_counters();
         let a = lowered_for(&p, &spec).unwrap();
         let b = lowered_for(&p, &spec).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        let after = lowering_cache_counters();
+        // The second lookup is a guaranteed hit; the first may be a hit or
+        // a miss depending on what other tests ran first. Counters are
+        // process-wide, so only assert monotone growth and ≥1 new hit.
+        assert!(after.hits >= before.hits + 1);
+        assert!(after.misses >= before.misses);
+    }
+
+    /// A distinct (never-cached-before) valid program: daxpy_like with a
+    /// unique constant folded in so `Program` equality separates them.
+    fn distinct_program(tag: i64) -> Program {
+        use alpaka_kir::ir::Op;
+        let mut p = daxpy_like();
+        p.body.0.insert(
+            0,
+            Stmt::I(Instr {
+                dst: ValId(4),
+                op: Op::ConstI(tag),
+            }),
+        );
+        p.n_vals = 5;
+        p
+    }
+
+    #[test]
+    fn lowered_cache_evicts_oldest_beyond_cap() {
+        let spec = DeviceSpec::k20();
+        // Tags no other test uses, so these entries are fresh inserts.
+        let base = 7_000_000;
+        let first = distinct_program(base);
+        let a = lowered_for(&first, &spec).unwrap();
+        // Fill the cache with CACHE_CAP more distinct programs: `first`
+        // must age out (concurrent tests can only evict it sooner).
+        for i in 1..=CACHE_CAP as i64 {
+            lowered_for(&distinct_program(base + i), &spec).unwrap();
+        }
+        let b = lowered_for(&first, &spec).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "entry should have been evicted and re-lowered"
+        );
+        // Unrelated to eviction but same scope: the re-inserted entry is
+        // now shared again.
+        let c = lowered_for(&first, &spec).unwrap();
+        assert!(Arc::ptr_eq(&b, &c));
     }
 }

@@ -188,6 +188,17 @@ impl SharedMem<'_> {
         Ok(unsafe { std::sync::atomic::AtomicU64::from_ptr(ptr.add(idx) as *mut u64) })
     }
 
+    /// Raw pointer + length of a buffer, for the compiled engine's
+    /// pre-resolved access sites (element accesses stay relaxed-atomic).
+    #[inline]
+    pub(crate) fn raw_f(&self, b: SimBufF) -> (*mut f64, usize) {
+        self.bufs_f[b.0]
+    }
+    #[inline]
+    pub(crate) fn raw_i(&self, b: SimBufI) -> (*mut i64, usize) {
+        self.bufs_i[b.0]
+    }
+
     #[inline]
     pub fn len_f(&self, b: SimBufF) -> usize {
         self.bufs_f[b.0].1

@@ -477,10 +477,11 @@ proptest! {
 // Lowered vs. reference engine
 // ---------------------------------------------------------------------------
 
-/// Run `kernel` from identical initial memory through the pre-decoded
-/// (lowered) engine and the tree-walking reference engine, and require
-/// bit-identical buffers, `LaunchStats` and `TimeBreakdown`. Returns the
-/// lowered run's report and memory for further checks.
+/// Run `kernel` from identical initial memory through all three execution
+/// engines — tree-walking reference, pre-decoded (lowered) and
+/// direct-threaded compiled — and require bit-identical buffers,
+/// `LaunchStats` and `TimeBreakdown` across the set. Returns the lowered
+/// run's report and memory for further checks.
 fn assert_engines_agree<K: Kernel>(
     kernel: &K,
     spec: &DeviceSpec,
@@ -492,6 +493,7 @@ fn assert_engines_agree<K: Kernel>(
     let mut prog = trace_kernel(kernel, wd.dim);
     optimize(&mut prog);
 
+    let mut out: Option<(SimReport, DeviceMem)> = None;
     let (mut mem_r, args) = setup();
     let reference = run_kernel_launch_engine(
         spec,
@@ -505,45 +507,42 @@ fn assert_engines_agree<K: Kernel>(
     )
     .unwrap();
 
-    let (mut mem_l, args_l) = setup();
-    let lowered = run_kernel_launch_engine(
-        spec,
-        &mut mem_l,
-        &prog,
-        wd,
-        &args_l,
-        mode,
-        threads,
-        Engine::Lowered,
-    )
-    .unwrap();
+    for engine in [Engine::Lowered, Engine::Compiled] {
+        let (mut mem_e, args_e) = setup();
+        let rep =
+            run_kernel_launch_engine(spec, &mut mem_e, &prog, wd, &args_e, mode, threads, engine)
+                .unwrap();
 
-    assert_eq!(
-        reference.stats,
-        lowered.stats,
-        "LaunchStats diverged between engines ({})",
-        kernel.name()
-    );
-    assert_eq!(
-        reference.time,
-        lowered.time,
-        "TimeBreakdown diverged between engines ({})",
-        kernel.name()
-    );
-    assert_eq!(reference.sampled, lowered.sampled);
-    for (slot, b) in args.bufs_f.iter().enumerate() {
-        let r: Vec<u64> = mem_r.f(*b).iter().map(|v| v.to_bits()).collect();
-        let l: Vec<u64> = mem_l.f(*b).iter().map(|v| v.to_bits()).collect();
-        assert_eq!(r, l, "f64 buffer slot {slot} diverged between engines");
-    }
-    for (slot, b) in args.bufs_i.iter().enumerate() {
         assert_eq!(
-            mem_r.i(*b),
-            mem_l.i(*b),
-            "i64 buffer slot {slot} diverged between engines"
+            reference.stats,
+            rep.stats,
+            "LaunchStats diverged between Reference and {engine:?} ({})",
+            kernel.name()
         );
+        assert_eq!(
+            reference.time,
+            rep.time,
+            "TimeBreakdown diverged between Reference and {engine:?} ({})",
+            kernel.name()
+        );
+        assert_eq!(reference.sampled, rep.sampled);
+        for (slot, b) in args.bufs_f.iter().enumerate() {
+            let r: Vec<u64> = mem_r.f(*b).iter().map(|v| v.to_bits()).collect();
+            let e: Vec<u64> = mem_e.f(*b).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(r, e, "f64 buffer slot {slot} diverged on {engine:?}");
+        }
+        for (slot, b) in args.bufs_i.iter().enumerate() {
+            assert_eq!(
+                mem_r.i(*b),
+                mem_e.i(*b),
+                "i64 buffer slot {slot} diverged on {engine:?}"
+            );
+        }
+        if engine == Engine::Lowered {
+            out = Some((rep, mem_e));
+        }
     }
-    (lowered, mem_l)
+    out.unwrap()
 }
 
 #[test]
@@ -861,7 +860,7 @@ proptest! {
         let p = alpaka_kir::testgen::gen_program(&seed, len);
         let wd = WorkDiv::d1(blocks, 1, 1);
         let mut results = vec![];
-        for engine in [Engine::Reference, Engine::Lowered] {
+        for engine in [Engine::Reference, Engine::Lowered, Engine::Compiled] {
             let mut mem = DeviceMem::new();
             let buf = mem.alloc_f(16);
             let args = SimArgs {
@@ -886,7 +885,12 @@ proptest! {
         }
         prop_assert_eq!(
             &results[0], &results[1],
-            "engines diverged for program:\n{}",
+            "lowered engine diverged for program:\n{}",
+            alpaka_kir::print_program(&p)
+        );
+        prop_assert_eq!(
+            &results[0], &results[2],
+            "compiled engine diverged for program:\n{}",
             alpaka_kir::print_program(&p)
         );
     }

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Simulator-throughput benchmarks: serial-vs-parallel block interpretation
-# (sim_throughput) and the lowering on/off engine comparison (sim_lowering).
+# (sim_throughput) and the three-tier engine comparison (sim_lowering).
 #
 # sim_lowering writes BENCH_sim.json at the repo root — blocks/s and
-# instrs/s from the simulator's own HostPerf counters for the reference and
-# lowered engines, plus the speedup — so the perf trajectory is tracked
-# across PRs. Numbers are host-dependent; compare within one machine.
+# instrs/s from the simulator's own HostPerf counters for the reference,
+# lowered and compiled engines on daxpy, dgemm and scan, plus the
+# speedups — so the perf trajectory is tracked across PRs. Numbers are
+# host-dependent; compare within one machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== sim_throughput (serial vs parallel workers) =="
 cargo bench -p alpaka-bench --bench sim_throughput
 
-echo "== sim_lowering (reference vs lowered engine) =="
+echo "== sim_lowering (reference vs lowered vs compiled engines) =="
 cargo bench -p alpaka-bench --bench sim_lowering
 
 echo "== BENCH_sim.json =="

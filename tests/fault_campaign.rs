@@ -5,7 +5,7 @@
 //! the plan's seed: re-running the identical campaign with a different
 //! interpreter worker count reproduces it exactly.
 
-use alpaka::{AccKind, Args, BufLayout, Device, Error, FaultPlan};
+use alpaka::{AccKind, Args, BufLayout, Device, Engine, Error, FaultPlan};
 use alpaka_kernels::{DaxpyKernel, DgemmNaive};
 use proptest::prelude::*;
 
@@ -48,8 +48,8 @@ fn plan_from(seed: u64, ecc_exp: u32, oom_at: Option<u64>, lost_at: Option<u64>)
 /// Run daxpy on a fresh simulated device under `plan` with `workers`
 /// interpreter workers; allocation goes through the fault-aware path so
 /// injected OOM participates too.
-fn run_daxpy(plan: Option<&FaultPlan>, workers: usize, n: usize) -> Outcome {
-    let mut dev = Device::with_workers(AccKind::sim_k20(), workers);
+fn run_daxpy(plan: Option<&FaultPlan>, workers: usize, engine: Engine, n: usize) -> Outcome {
+    let mut dev = Device::with_workers(AccKind::sim_k20(), workers).with_engine(engine);
     if let Some(p) = plan {
         dev = dev.with_faults(p.clone());
     } else {
@@ -75,8 +75,15 @@ fn run_daxpy(plan: Option<&FaultPlan>, workers: usize, n: usize) -> Outcome {
 }
 
 /// Same campaign harness for the naive DGEMM (pitched row-major).
-fn run_dgemm(plan: Option<&FaultPlan>, workers: usize, m: usize, n: usize, k: usize) -> Outcome {
-    let mut dev = Device::with_workers(AccKind::sim_k20(), workers);
+fn run_dgemm(
+    plan: Option<&FaultPlan>,
+    workers: usize,
+    engine: Engine,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Outcome {
+    let mut dev = Device::with_workers(AccKind::sim_k20(), workers).with_engine(engine);
     dev = dev.with_faults(plan.cloned().unwrap_or_else(|| FaultPlan::quiet(0)));
     let run = || -> Result<Vec<Vec<f64>>, Error> {
         let a = dev.try_alloc_f64(BufLayout::d1(m * k))?;
@@ -143,13 +150,20 @@ proptest! {
         // Roughly half the cases get an injected OOM / device loss.
         let oom_at = (oom_raw < 4).then_some(oom_raw);
         let lost_at = (lost_raw < 2).then_some(lost_raw);
-        let reference = run_daxpy(None, 1, n);
+        let reference = run_daxpy(None, 1, Engine::Lowered, n);
         let plan = plan_from(seed, ecc_exp, oom_at, lost_at);
-        let faulty = run_daxpy(Some(&plan), 1, n);
+        let faulty = run_daxpy(Some(&plan), 1, Engine::Lowered, n);
         check_campaign(&faulty, &reference);
         // Bit-reproducible from the seed, whatever the parallelism.
-        let again = run_daxpy(Some(&plan), 4, n);
+        let again = run_daxpy(Some(&plan), 4, Engine::Lowered, n);
         prop_assert_eq!(&faulty, &again, "outcome depends on worker count");
+        // Fault attribution is an engine invariant: every engine reports
+        // the same structured outcome — same error kind and the same
+        // block/thread coordinates baked into the display form.
+        for engine in [Engine::Reference, Engine::Compiled] {
+            let e = run_daxpy(Some(&plan), 1, engine, n);
+            prop_assert_eq!(&faulty, &e, "outcome depends on engine {:?}", engine);
+        }
     }
 
     #[test]
@@ -160,12 +174,16 @@ proptest! {
         n in 2usize..12,
         k in 2usize..12,
     ) {
-        let reference = run_dgemm(None, 1, m, n, k);
+        let reference = run_dgemm(None, 1, Engine::Lowered, m, n, k);
         let plan = plan_from(seed, ecc_exp, None, None);
-        let faulty = run_dgemm(Some(&plan), 1, m, n, k);
+        let faulty = run_dgemm(Some(&plan), 1, Engine::Lowered, m, n, k);
         check_campaign(&faulty, &reference);
-        let again = run_dgemm(Some(&plan), 4, m, n, k);
+        let again = run_dgemm(Some(&plan), 4, Engine::Lowered, m, n, k);
         prop_assert_eq!(&faulty, &again, "outcome depends on worker count");
+        for engine in [Engine::Reference, Engine::Compiled] {
+            let e = run_dgemm(Some(&plan), 1, engine, m, n, k);
+            prop_assert_eq!(&faulty, &e, "outcome depends on engine {:?}", engine);
+        }
     }
 }
 

@@ -94,7 +94,15 @@ fn traced_dgemm_chrome_export_has_worker_and_queue_lanes() {
 
 #[test]
 fn traced_dgemm_profile_ties_out_against_launch_stats() {
-    let (_, report) = run_traced_dgemm(AccKind::sim_e5_2630v3(), 2, Engine::Lowered);
+    // The compiled engine drops out of its fast paths under profiling and
+    // must still tie out per-instruction; check it alongside lowered.
+    for engine in [Engine::Lowered, Engine::Compiled] {
+        let (_, report) = run_traced_dgemm(AccKind::sim_e5_2630v3(), 2, engine);
+        profile_ties_out(&report);
+    }
+}
+
+fn profile_ties_out(report: &SimReport) {
     let profile = report.profile.as_ref().expect("traced run carries profile");
     profile
         .check_against(&report.stats)
@@ -118,6 +126,8 @@ fn traced_dgemm_is_byte_identical_across_threads_and_engines() {
         (4, Engine::Lowered),
         (1, Engine::Reference),
         (4, Engine::Reference),
+        (1, Engine::Compiled),
+        (4, Engine::Compiled),
     ];
     let mut rendered: Vec<String> = Vec::new();
     for (workers, engine) in configs {
@@ -163,6 +173,8 @@ fn traced_daxpy_event_stream_is_deterministic() {
         (4, Engine::Lowered),
         (1, Engine::Reference),
         (4, Engine::Reference),
+        (1, Engine::Compiled),
+        (4, Engine::Compiled),
     ] {
         let got = run(workers, engine);
         assert_eq!(got.len(), reference.len(), "{workers} {engine:?}");
