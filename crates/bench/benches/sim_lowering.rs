@@ -1,24 +1,28 @@
 //! Engine-tier comparison: interpreter throughput with the tree-walking
 //! reference engine, the pre-decoded warp program (`Engine::Lowered`) and
-//! the direct-threaded compiled tier (`Engine::Compiled`) on three workload
-//! shapes — streaming DAXPY, the 4096-block DGEMM of `sim_throughput`, and
-//! the barrier-heavy block scan — at 1 interpreter thread.
+//! the direct-threaded compiled tier (`Engine::Compiled`) on four workload
+//! shapes — streaming DAXPY, the 4096-block DGEMM of `sim_throughput`, the
+//! barrier-heavy block scan, and the atomic-scatter histogram — at 1
+//! interpreter thread, plus the histogram again at 4 threads (the
+//! deterministic parallel-atomics path).
 //!
 //! All three engines are asserted bit-identical (buffers, `LaunchStats`,
-//! `TimeBreakdown`) on every workload before anything is timed, so the
-//! bench cannot compare different computations. Besides the criterion
-//! timings, the bench writes `BENCH_sim.json` at the repo root — blocks/s
-//! and instrs/s from the simulator's own `HostPerf` counters for each
-//! engine and workload plus the speedups — so the perf trajectory is
-//! tracked across PRs. The pre-existing top-level keys (the DGEMM
-//! reference/lowered entries and `speedup_blocks_per_sec`) keep their
-//! meaning; the compiled tier and the per-workload table are additive.
+//! `TimeBreakdown`) on every workload — and across 1 vs 4 interpreter
+//! threads — before anything is timed, so the bench cannot compare
+//! different computations. Besides the criterion timings, the bench writes
+//! `BENCH_sim.json` at the repo root — blocks/s and instrs/s from the
+//! simulator's own `HostPerf` counters for each engine and workload plus
+//! the speedups — so the perf trajectory is tracked across PRs. The
+//! pre-existing top-level keys (the DGEMM reference/lowered entries and
+//! `speedup_blocks_per_sec`) keep their meaning; the compiled tier, the
+//! per-workload table, the histogram's `*_t4` entries and its
+//! `speedup_parallel` key are additive.
 //!
 //! `cargo bench --bench sim_lowering -- --test` runs the parity guards only
 //! (the CI smoke mode).
 
 use alpaka_core::workdiv::WorkDiv;
-use alpaka_kernels::{DaxpyKernel, DgemmNaive, ScanBlocks};
+use alpaka_kernels::{DaxpyKernel, DgemmNaive, HistogramGlobalExact, ScanBlocks};
 use alpaka_kir::{optimize, trace_kernel, Program};
 use alpaka_sim::{
     run_kernel_launch_engine, DeviceMem, DeviceSpec, Engine, ExecMode, HostPerf, SimArgs, SimReport,
@@ -32,6 +36,10 @@ const N: usize = 64; // C is BLOCKS x N, A is BLOCKS x N, B is N x N
 const DAXPY_N: usize = 1 << 20;
 const SCAN_BLOCKS: usize = 512;
 const SCAN_BLOCK_THREADS: usize = 64; // each block scans 2 * threads elements
+
+const HIST_BLOCKS: usize = 2048;
+const HIST_ELEMS: usize = 128; // samples = blocks * elems, exact fit (no guard)
+const HIST_BINS: usize = 64;
 
 /// One benchmarked workload: a lowered-and-optimized program, its work
 /// division and device model, and a fresh-memory setup per launch.
@@ -106,6 +114,24 @@ fn scan_setup() -> (DeviceMem, SimArgs) {
     (mem, args)
 }
 
+fn histogram_setup() -> (DeviceMem, SimArgs) {
+    let n = HIST_BLOCKS * HIST_ELEMS;
+    let mut mem = DeviceMem::new();
+    let s = mem.alloc_f(n);
+    let bins = mem.alloc_i(HIST_BINS);
+    for i in 0..n {
+        // Deterministic pseudo-random samples spread over [0, 10).
+        mem.f_mut(s)[i] = ((i * 37 + 11) % 1000) as f64 * 0.01;
+    }
+    let args = SimArgs {
+        bufs_f: vec![s],
+        bufs_i: vec![bins],
+        params_f: vec![0.0, 10.0],
+        params_i: vec![n as i64, HIST_BINS as i64],
+    };
+    (mem, args)
+}
+
 fn lowered<K: alpaka_core::kernel::Kernel>(k: &K, dim: usize) -> Program {
     let mut prog = trace_kernel(k, dim);
     optimize(&mut prog);
@@ -140,10 +166,17 @@ fn workloads() -> Vec<Workload> {
             spec: DeviceSpec::k20(),
             setup: scan_setup,
         },
+        Workload {
+            name: "histogram",
+            prog: lowered(&HistogramGlobalExact, 1),
+            wd: WorkDiv::d1(HIST_BLOCKS, 1, HIST_ELEMS),
+            spec: DeviceSpec::e5_2630v3(),
+            setup: histogram_setup,
+        },
     ]
 }
 
-fn run(w: &Workload, engine: Engine) -> (SimReport, Vec<Vec<u64>>) {
+fn run_threads(w: &Workload, engine: Engine, threads: usize) -> (SimReport, Vec<Vec<u64>>) {
     let (mut mem, args) = (w.setup)();
     let rep = run_kernel_launch_engine(
         &w.spec,
@@ -152,46 +185,70 @@ fn run(w: &Workload, engine: Engine) -> (SimReport, Vec<Vec<u64>>) {
         &w.wd,
         &args,
         ExecMode::Full,
-        1,
+        threads,
         engine,
     )
     .unwrap();
-    let bits = args
+    let mut bits: Vec<Vec<u64>> = args
         .bufs_f
         .iter()
         .map(|b| mem.f(*b).iter().map(|v| v.to_bits()).collect())
         .collect();
+    bits.extend(
+        args.bufs_i
+            .iter()
+            .map(|b| mem.i(*b).iter().map(|v| *v as u64).collect::<Vec<u64>>()),
+    );
     (rep, bits)
 }
 
-/// Parity guard: all three engines bit-identical on `w` before any timing.
+fn run(w: &Workload, engine: Engine) -> (SimReport, Vec<Vec<u64>>) {
+    run_threads(w, engine, 1)
+}
+
+/// Parity guard: all three engines bit-identical on `w` — at 1 and 4
+/// interpreter threads — before any timing.
 fn assert_engine_parity(w: &Workload) {
     let (reference, ref_bits) = run(w, Engine::Reference);
-    for engine in [Engine::Lowered, Engine::Compiled] {
-        let (rep, bits) = run(w, engine);
-        assert_eq!(
-            reference.stats, rep.stats,
-            "{engine:?} diverged from reference on {} (stats)",
-            w.name
-        );
-        assert_eq!(
-            reference.time, rep.time,
-            "{engine:?} diverged from reference on {} (time model)",
-            w.name
-        );
-        assert_eq!(
-            ref_bits, bits,
-            "{engine:?} diverged from reference on {} (buffers)",
-            w.name
-        );
+    for engine in [Engine::Reference, Engine::Lowered, Engine::Compiled] {
+        for threads in [1usize, 4] {
+            let (rep, bits) = run_threads(w, engine, threads);
+            assert_eq!(
+                reference.stats, rep.stats,
+                "{engine:?}@{threads} diverged from reference on {} (stats)",
+                w.name
+            );
+            assert_eq!(
+                reference.time, rep.time,
+                "{engine:?}@{threads} diverged from reference on {} (time model)",
+                w.name
+            );
+            assert_eq!(
+                ref_bits, bits,
+                "{engine:?}@{threads} diverged from reference on {} (buffers)",
+                w.name
+            );
+        }
     }
 }
 
-/// Median-by-throughput `HostPerf` over `k` fresh launches.
-fn host_perf(w: &Workload, engine: Engine, k: usize) -> HostPerf {
-    let mut perfs: Vec<HostPerf> = (0..k).map(|_| run(w, engine).0.host).collect();
-    perfs.sort_by(|a, b| a.blocks_per_sec.partial_cmp(&b.blocks_per_sec).unwrap());
-    perfs[perfs.len() / 2]
+/// Median-by-throughput `HostPerf` per engine over `k` fresh launches,
+/// with the engines interleaved round-robin so clock/cache drift across
+/// the measurement window biases no engine (daxpy's compiled tier
+/// dispatches to the lowered engine, so any systematic gap there would be
+/// pure measurement order).
+fn host_perf_all(w: &Workload, threads: usize, k: usize) -> [HostPerf; 3] {
+    let engines = [Engine::Reference, Engine::Lowered, Engine::Compiled];
+    let mut perfs: [Vec<HostPerf>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..k {
+        for (e, p) in engines.iter().zip(perfs.iter_mut()) {
+            p.push(run_threads(w, *e, threads).0.host);
+        }
+    }
+    perfs.map(|mut v| {
+        v.sort_by(|a, b| a.blocks_per_sec.partial_cmp(&b.blocks_per_sec).unwrap());
+        v[v.len() / 2]
+    })
 }
 
 fn json_entry(p: &HostPerf) -> String {
@@ -234,9 +291,7 @@ fn bench_sim_lowering(c: &mut Criterion) {
     let mut table = String::new();
     let mut dgemm_line = String::new();
     for w in &all {
-        let rf = host_perf(w, Engine::Reference, 5);
-        let lo = host_perf(w, Engine::Lowered, 5);
-        let co = host_perf(w, Engine::Compiled, 5);
+        let [rf, lo, co] = host_perf_all(w, 1, 5);
         let sp_low = lo.blocks_per_sec / rf.blocks_per_sec;
         let sp_comp = co.blocks_per_sec / lo.blocks_per_sec;
         eprintln!(
@@ -247,10 +302,31 @@ fn bench_sim_lowering(c: &mut Criterion) {
         if !table.is_empty() {
             table.push_str(",\n");
         }
+        // The atomic-scatter workload is the one whose blocks can now run
+        // in parallel: record all three engines at 4 interpreter threads
+        // too, and the compiled tier's 4-vs-1-thread scaling.
+        let parallel = if w.name == "histogram" {
+            let [rf4, lo4, co4] = host_perf_all(w, 4, 5);
+            let sp_par = co4.blocks_per_sec / co.blocks_per_sec;
+            eprintln!(
+                "sim_lowering[{}@4t]: reference={:.0} lowered={:.0} compiled={:.0} blocks/s \
+                 (compiled 4t/1t {sp_par:.2}x)",
+                w.name, rf4.blocks_per_sec, lo4.blocks_per_sec, co4.blocks_per_sec
+            );
+            format!(
+                ",\n      \"reference_t4\": {},\n      \"lowered_t4\": {},\n      \
+                 \"compiled_t4\": {},\n      \"speedup_parallel\": {sp_par:.3}",
+                json_entry(&rf4),
+                json_entry(&lo4),
+                json_entry(&co4),
+            )
+        } else {
+            String::new()
+        };
         table.push_str(&format!(
             "    \"{}\": {{\n      \"reference\": {},\n      \"lowered\": {},\n      \
              \"compiled\": {},\n      \"speedup_lowered_vs_reference\": {sp_low:.3},\n      \
-             \"speedup_compiled_vs_lowered\": {sp_comp:.3}\n    }}",
+             \"speedup_compiled_vs_lowered\": {sp_comp:.3}{parallel}\n    }}",
             w.name,
             json_entry(&rf),
             json_entry(&lo),
@@ -268,11 +344,16 @@ fn bench_sim_lowering(c: &mut Criterion) {
         }
     }
 
+    // Parallel speedups are wall-clock: on a single-CPU host the worker
+    // team timeslices one core and `speedup_parallel` sits near 1.0 even
+    // though 4 workers ran (the `workers` fields record that). Record the
+    // host's CPU count so the number is interpretable.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_sim.json");
     let json = format!(
         "{{\n  \"workload\": \"dgemm_naive\",\n  \"blocks\": {BLOCKS},\n  \"n\": {N},\n  \
-         \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n{dgemm_line}  \
+         \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n  \"host_cpus\": {host_cpus},\n{dgemm_line}  \
          \"workloads\": {{\n{table}\n  }}\n}}\n",
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {

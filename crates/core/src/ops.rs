@@ -204,6 +204,14 @@ pub trait KernelOps: Sized {
     fn atomic_add_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
     fn atomic_min_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
     fn atomic_max_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
+    fn atomic_and_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
+    fn atomic_or_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
+    fn atomic_xor_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
+    /// Atomic unconditional exchange: the cell takes `v`, the old value is
+    /// returned. Unlike the reductions above its result is inherently
+    /// order-dependent, so kernels using it keep the simulator's serial
+    /// block path.
+    fn atomic_exch_gi(&mut self, buf: Self::BufI, idx: Self::I, v: Self::I) -> Self::I;
 
     // ------------------------------------------------------------------
     // Mutable registers (loop-carried state in the register memory level)

@@ -708,6 +708,34 @@ impl KernelOps for CpuOps<'_> {
         cell.fetch_max(v, Ordering::AcqRel)
     }
 
+    fn atomic_and_gi(&mut self, buf: RawBuf<i64>, idx: i64, v: i64) -> i64 {
+        let i = Self::check(buf, idx, "atom.global.and.s64");
+        // SAFETY: see atomic_add_gf.
+        let cell = unsafe { &*(buf.ptr.add(i) as *const AtomicI64) };
+        cell.fetch_and(v, Ordering::AcqRel)
+    }
+
+    fn atomic_or_gi(&mut self, buf: RawBuf<i64>, idx: i64, v: i64) -> i64 {
+        let i = Self::check(buf, idx, "atom.global.or.s64");
+        // SAFETY: see atomic_add_gf.
+        let cell = unsafe { &*(buf.ptr.add(i) as *const AtomicI64) };
+        cell.fetch_or(v, Ordering::AcqRel)
+    }
+
+    fn atomic_xor_gi(&mut self, buf: RawBuf<i64>, idx: i64, v: i64) -> i64 {
+        let i = Self::check(buf, idx, "atom.global.xor.s64");
+        // SAFETY: see atomic_add_gf.
+        let cell = unsafe { &*(buf.ptr.add(i) as *const AtomicI64) };
+        cell.fetch_xor(v, Ordering::AcqRel)
+    }
+
+    fn atomic_exch_gi(&mut self, buf: RawBuf<i64>, idx: i64, v: i64) -> i64 {
+        let i = Self::check(buf, idx, "atom.global.exch.s64");
+        // SAFETY: see atomic_add_gf.
+        let cell = unsafe { &*(buf.ptr.add(i) as *const AtomicI64) };
+        cell.swap(v, Ordering::AcqRel)
+    }
+
     #[inline(always)]
     fn var_f(&mut self, init: f64) -> usize {
         self.vars_f.push(init);

@@ -61,6 +61,69 @@ impl Kernel for HistogramGlobalAtomics {
     }
 }
 
+/// Guard-free variant of [`HistogramGlobalAtomics`]: the sample count must
+/// exactly equal `blocks * threads * elems`, so the element loop needs no
+/// bounds `if` and its body is a single straight line — the shape the
+/// simulator's compiled tier fuses into an atomic-scatter superop loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramGlobalExact;
+
+impl Kernel for HistogramGlobalExact {
+    fn name(&self) -> &str {
+        "histogram_global_exact"
+    }
+
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let samples = o.buf_f(0);
+        let bins = o.buf_i(0);
+        let lo = o.param_f(0);
+        let hi = o.param_f(1);
+        let n_bins = o.param_i(1);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let x = o.ld_gf(samples, i);
+            let b = bin_index(o, x, lo, hi, n_bins);
+            let one = o.lit_i(1);
+            let _ = o.atomic_add_gi(bins, b, one);
+        });
+    }
+}
+
+/// Affine-index scatter-accumulate: `out[i + offset] += src[i]` with one
+/// f64 atomic add per element. The extent must exactly cover `src` (no
+/// guard), and `out` must hold `n + offset` elements. The atomic's index is
+/// affine in the element counter, so the compiled tier folds the `add` into
+/// the atomic superop — the fused scatter-accumulate loop body.
+///
+/// Arguments: f64 buffer 0 = src, f64 buffer 1 = out; i64 scalar 0 =
+/// offset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScatterAddAffine;
+
+impl Kernel for ScatterAddAffine {
+    fn name(&self) -> &str {
+        "scatter_add_affine"
+    }
+
+    fn run<O: KernelOps>(&self, o: &mut O) {
+        let src = o.buf_f(0);
+        let out = o.buf_f(1);
+        let offset = o.param_i(0);
+        let gid = o.global_thread_idx(0);
+        let v = o.thread_elem_extent(0);
+        let base = o.mul_i(gid, v);
+        o.for_elements(0, |o, e| {
+            let i = o.add_i(base, e);
+            let x = o.ld_gf(src, i);
+            let j = o.add_i(i, offset);
+            let _ = o.atomic_add_gf(out, j, x);
+        });
+    }
+}
+
 /// Shared-memory privatized version. `n_bins` must equal the struct's
 /// `bins` (shared allocation is host-side).
 #[derive(Debug, Clone, Copy)]
@@ -234,6 +297,61 @@ mod tests {
             dev.launch(&HistogramShared { bins: n_bins }, &wd, &args)
                 .unwrap();
             assert_eq!(b.download(), want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn exact_fit_histogram_matches_reference_everywhere() {
+        // 8 blocks x 4 threads x 16 elements = 512 samples, exact fit.
+        let n = 512usize;
+        let samples = random_vec(n, 73);
+        let n_bins = 16usize;
+        let want = histogram_ref(&samples, 0.0, 10.0, n_bins);
+        let mut kinds = AccKind::native_cpu_all();
+        kinds.push(AccKind::sim_k20());
+        for kind in kinds {
+            let dev = Device::with_workers(kind.clone(), 4);
+            let s = dev.alloc_f64(BufLayout::d1(n));
+            let b = dev.alloc_i64(BufLayout::d1(n_bins));
+            s.upload(&samples).unwrap();
+            // 32 blocks x 1 thread x 16 elements = 512, exact fit (and
+            // 1-thread blocks are legal on every backend, serial included).
+            let wd = WorkDiv::d1(32, 1, 16);
+            let args = Args::new()
+                .buf_f(&s)
+                .buf_i(&b)
+                .scalar_f(0.0)
+                .scalar_f(10.0)
+                .scalar_i(n as i64)
+                .scalar_i(n_bins as i64);
+            dev.launch(&HistogramGlobalExact, &wd, &args).unwrap();
+            assert_eq!(b.download(), want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_add_affine_matches_reference_everywhere() {
+        let n = 256usize;
+        let offset = 7usize;
+        let src = random_vec(n, 74);
+        let init: Vec<f64> = (0..n + offset).map(|i| i as f64 * 0.5).collect();
+        let mut want = init.clone();
+        for (i, &x) in src.iter().enumerate() {
+            want[i + offset] += x;
+        }
+        let mut kinds = AccKind::native_cpu_all();
+        kinds.push(AccKind::sim_k20());
+        for kind in kinds {
+            let dev = Device::with_workers(kind.clone(), 4);
+            let s = dev.alloc_f64(BufLayout::d1(n));
+            let o = dev.alloc_f64(BufLayout::d1(n + offset));
+            s.upload(&src).unwrap();
+            o.upload(&init).unwrap();
+            // 16 blocks x 1 thread x 16 elements = 256, exact fit.
+            let wd = WorkDiv::d1(16, 1, 16);
+            let args = Args::new().buf_f(&s).buf_f(&o).scalar_i(offset as i64);
+            dev.launch(&ScatterAddAffine, &wd, &args).unwrap();
+            assert_eq!(o.download(), want, "{kind:?}");
         }
     }
 

@@ -23,7 +23,9 @@ pub mod transpose;
 pub use daxpy::{DaxpyKernel, DaxpyNativeStyle, VecAddKernel};
 pub use dgemm::{DgemmNaive, DgemmTiled, DgemmTiledCuda};
 pub use dot::DotKernel;
-pub use histogram::{HistogramGlobalAtomics, HistogramShared};
+pub use histogram::{
+    HistogramGlobalAtomics, HistogramGlobalExact, HistogramShared, ScatterAddAffine,
+};
 pub use montecarlo::{pi_estimate, MonteCarloPi};
 pub use nbody::NBodyAccel;
 pub use reduce::{ReduceAtomic, ReduceBlocks};

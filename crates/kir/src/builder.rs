@@ -484,6 +484,38 @@ impl KernelOps for IrBuilder {
             val: v,
         })
     }
+    fn atomic_and_gi(&mut self, buf: BufIRef, idx: ValId, v: ValId) -> ValId {
+        self.emit(Op::AtomicGI {
+            op: AtomicOp::And,
+            buf: buf.0,
+            idx,
+            val: v,
+        })
+    }
+    fn atomic_or_gi(&mut self, buf: BufIRef, idx: ValId, v: ValId) -> ValId {
+        self.emit(Op::AtomicGI {
+            op: AtomicOp::Or,
+            buf: buf.0,
+            idx,
+            val: v,
+        })
+    }
+    fn atomic_xor_gi(&mut self, buf: BufIRef, idx: ValId, v: ValId) -> ValId {
+        self.emit(Op::AtomicGI {
+            op: AtomicOp::Xor,
+            buf: buf.0,
+            idx,
+            val: v,
+        })
+    }
+    fn atomic_exch_gi(&mut self, buf: BufIRef, idx: ValId, v: ValId) -> ValId {
+        self.emit(Op::AtomicGI {
+            op: AtomicOp::Exch,
+            buf: buf.0,
+            idx,
+            val: v,
+        })
+    }
 
     fn var_f(&mut self, init: ValId) -> VarFRef {
         let var = VarId(self.vars.len() as u32);

@@ -147,11 +147,23 @@ pub enum BBin {
 }
 
 /// Atomic read-modify-write operators on global memory.
+///
+/// `And`/`Or`/`Xor`/`Exch` are integer-only: validation rejects them on
+/// `AtomicGF` (bitwise ops on f64 payloads have no IEEE meaning, and an
+/// exchange on floats would add a non-reducible op for no modeled
+/// workload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomicOp {
     Add,
     Min,
     Max,
+    And,
+    Or,
+    Xor,
+    /// Unconditional swap: the cell takes `val`, the old value is returned.
+    /// Never commutative-reducible — programs using it keep the serial
+    /// block path (see `alpaka_kir::atomics_summary`).
+    Exch,
 }
 
 /// The operation performed by an [`Instr`]. Every variant produces a value.

@@ -22,6 +22,9 @@ pub mod validate;
 
 pub use builder::{trace_kernel, trace_kernel_spec, IrBuilder, SpecConsts};
 pub use ir::{Block, Instr, Op, Program, Stmt, Ty, ValId, VarId};
-pub use passes::{optimize, uniformity, PassStats, Uniformity};
+pub use passes::{
+    atomics_summary, optimize, uniformity, AtomicTarget, AtomicsSummary, NonReducibleReason,
+    PassStats, Uniformity,
+};
 pub use printer::{print_program, print_stream, stmt_label};
 pub use validate::{validate, ValidateError};

@@ -1110,6 +1110,162 @@ fn remap_vars_block(b: &mut Block, var_map: &HashMap<u32, u32>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Atomics reducibility analysis
+// ---------------------------------------------------------------------
+
+/// One global buffer slot a reducible program's atomics target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicTarget {
+    /// True for an f64 slot (`AtomicGF`), false for i64 (`AtomicGI`).
+    /// The two buffer-argument namespaces are independent.
+    pub is_f: bool,
+    /// Kernel-argument buffer slot (the op's `buf` field).
+    pub slot: u32,
+    /// When every atomic on this slot uses the same operator, that
+    /// operator. Integer single-op targets qualify for per-worker value
+    /// shadows; mixed-op and float targets need the ordered replay log.
+    pub single_op: Option<AtomicOp>,
+}
+
+/// Why a program with global atomics cannot defer them (see
+/// [`atomics_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonReducibleReason {
+    /// Uses `AtomicOp::Exch`, whose result is inherently order-dependent.
+    NonCommutativeOp,
+    /// An atomic's returned old value feeds a later instruction, so the
+    /// pre-reduction cell contents are observable.
+    ResultObserved,
+    /// An atomic-target buffer slot is also loaded or stored
+    /// non-atomically in the same program, which would see stale
+    /// (pre-reduction) contents under deferral.
+    TargetAccessed,
+}
+
+/// Classification of a program's global atomics for the simulator's
+/// deferred-reduction path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomicsSummary {
+    NoAtomics,
+    /// Every global atomic may be deferred to launch end: all operators
+    /// are commutative reductions, no atomic result is consumed, and no
+    /// target buffer is otherwise accessed. The targets are listed in
+    /// first-appearance order.
+    Reducible(Vec<AtomicTarget>),
+    NonReducible(NonReducibleReason),
+}
+
+/// Statically classify `p`'s global atomics. A `Reducible` program can
+/// have its atomic effects accumulated privately per interpreter worker
+/// and applied in a deterministic order at launch end — the basis of the
+/// simulator's parallel atomics path — because nothing in the program can
+/// observe a cell between individual atomic applications.
+pub fn atomics_summary(p: &Program) -> AtomicsSummary {
+    let mut targets: Vec<(AtomicTarget, bool)> = Vec::new(); // (target, mixed)
+    let mut atomic_dsts: HashSet<u32> = HashSet::new();
+    let mut used: HashSet<u32> = HashSet::new();
+    let mut exch = false;
+    // (is_f, slot) pairs touched by plain loads/stores.
+    let mut plain: HashSet<(bool, u32)> = HashSet::new();
+
+    let mut note_target = |is_f: bool, slot: u32, op: AtomicOp| match targets
+        .iter_mut()
+        .find(|(t, _)| t.is_f == is_f && t.slot == slot)
+    {
+        Some((t, mixed)) => {
+            if t.single_op != Some(op) {
+                t.single_op = None;
+                *mixed = true;
+            }
+        }
+        None => targets.push((
+            AtomicTarget {
+                is_f,
+                slot,
+                single_op: Some(op),
+            },
+            false,
+        )),
+    };
+
+    p.body.visit(&mut |s| match s {
+        Stmt::I(i) => {
+            i.op.for_each_operand(|v| {
+                used.insert(v.0);
+            });
+            match &i.op {
+                Op::AtomicGF { op, buf, .. } => {
+                    exch |= *op == AtomicOp::Exch;
+                    atomic_dsts.insert(i.dst.0);
+                    note_target(true, *buf, *op);
+                }
+                Op::AtomicGI { op, buf, .. } => {
+                    exch |= *op == AtomicOp::Exch;
+                    atomic_dsts.insert(i.dst.0);
+                    note_target(false, *buf, *op);
+                }
+                Op::LdGF { buf, .. } => {
+                    plain.insert((true, *buf));
+                }
+                Op::LdGI { buf, .. } => {
+                    plain.insert((false, *buf));
+                }
+                _ => {}
+            }
+        }
+        Stmt::StGF { buf, idx, val } => {
+            plain.insert((true, *buf));
+            used.insert(idx.0);
+            used.insert(val.0);
+        }
+        Stmt::StGI { buf, idx, val } => {
+            plain.insert((false, *buf));
+            used.insert(idx.0);
+            used.insert(val.0);
+        }
+        Stmt::StSF { idx, val, .. } | Stmt::StSI { idx, val, .. } => {
+            used.insert(idx.0);
+            used.insert(val.0);
+        }
+        Stmt::StLF { idx, val, .. } => {
+            used.insert(idx.0);
+            used.insert(val.0);
+        }
+        Stmt::StVarF { val, .. } | Stmt::StVarI { val, .. } => {
+            used.insert(val.0);
+        }
+        Stmt::If { cond, .. } => {
+            used.insert(cond.0);
+        }
+        Stmt::ForRange { start, end, .. } => {
+            used.insert(start.0);
+            used.insert(end.0);
+        }
+        Stmt::While { cond, .. } => {
+            used.insert(cond.0);
+        }
+        Stmt::Sync | Stmt::Comment(_) => {}
+    });
+
+    if targets.is_empty() {
+        return AtomicsSummary::NoAtomics;
+    }
+    if exch {
+        return AtomicsSummary::NonReducible(NonReducibleReason::NonCommutativeOp);
+    }
+    if atomic_dsts.iter().any(|d| used.contains(d)) {
+        return AtomicsSummary::NonReducible(NonReducibleReason::ResultObserved);
+    }
+    if targets
+        .iter()
+        .any(|(t, _)| plain.contains(&(t.is_f, t.slot)))
+    {
+        return AtomicsSummary::NonReducible(NonReducibleReason::TargetAccessed);
+    }
+    AtomicsSummary::Reducible(targets.into_iter().map(|(t, _)| t).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1599,5 +1755,133 @@ mod tests {
         };
         eval_thread(&p, &inp, &mut mem).unwrap();
         assert_eq!(mem.bufs_i[0][0], 0);
+    }
+
+    #[test]
+    fn atomics_summary_classifies_histogram_as_reducible() {
+        struct Hist;
+        impl Kernel for Hist {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let src = o.buf_i(0);
+                let bins = o.buf_i(1);
+                let tid = o.linear_global_thread_idx();
+                let v = o.ld_gi(src, tid);
+                let one = o.lit_i(1);
+                let _ = o.atomic_add_gi(bins, v, one);
+            }
+        }
+        let p = trace_kernel(&Hist, 1);
+        match atomics_summary(&p) {
+            AtomicsSummary::Reducible(ts) => {
+                assert_eq!(ts.len(), 1);
+                assert_eq!(ts[0].is_f, false);
+                assert_eq!(ts[0].slot, 1);
+                assert_eq!(ts[0].single_op, Some(AtomicOp::Add));
+            }
+            other => panic!("expected Reducible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomics_summary_mixed_ops_on_one_slot_lose_single_op() {
+        struct MinMax;
+        impl Kernel for MinMax {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_i(0);
+                let tid = o.linear_global_thread_idx();
+                let z = o.lit_i(0);
+                let one = o.lit_i(1);
+                let _ = o.atomic_min_gi(b, z, tid);
+                let _ = o.atomic_max_gi(b, one, tid);
+            }
+        }
+        let p = trace_kernel(&MinMax, 1);
+        match atomics_summary(&p) {
+            AtomicsSummary::Reducible(ts) => {
+                assert_eq!(ts.len(), 1);
+                assert_eq!(ts[0].single_op, None);
+            }
+            other => panic!("expected Reducible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomics_summary_rejects_observed_results_and_exch() {
+        struct Observed;
+        impl Kernel for Observed {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_i(0);
+                let out = o.buf_i(1);
+                let tid = o.linear_global_thread_idx();
+                let one = o.lit_i(1);
+                let z = o.lit_i(0);
+                let old = o.atomic_add_gi(b, z, one);
+                o.st_gi(out, tid, old);
+            }
+        }
+        let p = trace_kernel(&Observed, 1);
+        assert_eq!(
+            atomics_summary(&p),
+            AtomicsSummary::NonReducible(NonReducibleReason::ResultObserved)
+        );
+
+        struct Exch;
+        impl Kernel for Exch {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let b = o.buf_i(0);
+                let tid = o.linear_global_thread_idx();
+                let z = o.lit_i(0);
+                let _ = o.atomic_exch_gi(b, z, tid);
+            }
+        }
+        let p = trace_kernel(&Exch, 1);
+        assert_eq!(
+            atomics_summary(&p),
+            AtomicsSummary::NonReducible(NonReducibleReason::NonCommutativeOp)
+        );
+    }
+
+    #[test]
+    fn atomics_summary_rejects_plain_access_to_target() {
+        struct LoadAfter;
+        impl Kernel for LoadAfter {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let acc = o.buf_f(0);
+                let out = o.buf_f(1);
+                let tid = o.linear_global_thread_idx();
+                let v = o.i2f(tid);
+                let z = o.lit_i(0);
+                let _ = o.atomic_add_gf(acc, z, v);
+                let cur = o.ld_gf(acc, z);
+                o.st_gf(out, tid, cur);
+            }
+        }
+        let p = trace_kernel(&LoadAfter, 1);
+        assert_eq!(
+            atomics_summary(&p),
+            AtomicsSummary::NonReducible(NonReducibleReason::TargetAccessed)
+        );
+        // A plain store to a *different* slot does not poison the target.
+        struct StoreElsewhere;
+        impl Kernel for StoreElsewhere {
+            fn run<O: KernelOps>(&self, o: &mut O) {
+                let acc = o.buf_f(0);
+                let out = o.buf_f(1);
+                let tid = o.linear_global_thread_idx();
+                let v = o.i2f(tid);
+                let z = o.lit_i(0);
+                let _ = o.atomic_add_gf(acc, z, v);
+                o.st_gf(out, tid, v);
+            }
+        }
+        let p = trace_kernel(&StoreElsewhere, 1);
+        assert!(matches!(atomics_summary(&p), AtomicsSummary::Reducible(_)));
+        assert_eq!(atomics_summary(&trace_kernel(&StoreElsewhere, 1)), {
+            AtomicsSummary::Reducible(vec![AtomicTarget {
+                is_f: true,
+                slot: 0,
+                single_op: Some(AtomicOp::Add),
+            }])
+        });
     }
 }

@@ -252,21 +252,25 @@ fn fmt_instr(i: &Instr) -> String {
         Op::LdVarF(v) => format!("mov.f64 {d:?}, {v:?}"),
         Op::LdVarI(v) => format!("mov.s64 {d:?}, {v:?}"),
         Op::AtomicGF { op, buf, idx, val } => {
-            let m = match op {
-                AtomicOp::Add => "add",
-                AtomicOp::Min => "min",
-                AtomicOp::Max => "max",
-            };
+            let m = atomic_op_name(*op);
             format!("atom.global.{m}.f64 {d:?}, [bf{buf} + {idx:?}], {val:?}")
         }
         Op::AtomicGI { op, buf, idx, val } => {
-            let m = match op {
-                AtomicOp::Add => "add",
-                AtomicOp::Min => "min",
-                AtomicOp::Max => "max",
-            };
+            let m = atomic_op_name(*op);
             format!("atom.global.{m}.s64 {d:?}, [bi{buf} + {idx:?}], {val:?}")
         }
+    }
+}
+
+fn atomic_op_name(op: AtomicOp) -> &'static str {
+    match op {
+        AtomicOp::Add => "add",
+        AtomicOp::Min => "min",
+        AtomicOp::Max => "max",
+        AtomicOp::And => "and",
+        AtomicOp::Or => "or",
+        AtomicOp::Xor => "xor",
+        AtomicOp::Exch => "exch",
     }
 }
 

@@ -144,12 +144,20 @@ pub fn u2unit(x: i64) -> f64 {
 }
 
 /// Apply an atomic f64 RMW operator to the current cell value.
+///
+/// The bitwise ops are rejected on floats by validation; their arms here
+/// operate on the bit pattern so the match stays total for unvalidated
+/// programs.
 #[inline]
 pub fn atomic_f(op: AtomicOp, old: f64, v: f64) -> f64 {
     match op {
         AtomicOp::Add => old + v,
         AtomicOp::Min => old.min(v),
         AtomicOp::Max => old.max(v),
+        AtomicOp::And => f64::from_bits(old.to_bits() & v.to_bits()),
+        AtomicOp::Or => f64::from_bits(old.to_bits() | v.to_bits()),
+        AtomicOp::Xor => f64::from_bits(old.to_bits() ^ v.to_bits()),
+        AtomicOp::Exch => v,
     }
 }
 
@@ -160,6 +168,10 @@ pub fn atomic_i(op: AtomicOp, old: i64, v: i64) -> i64 {
         AtomicOp::Add => old.wrapping_add(v),
         AtomicOp::Min => old.min(v),
         AtomicOp::Max => old.max(v),
+        AtomicOp::And => old & v,
+        AtomicOp::Or => old | v,
+        AtomicOp::Xor => old ^ v,
+        AtomicOp::Exch => v,
     }
 }
 

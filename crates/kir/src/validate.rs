@@ -165,9 +165,15 @@ impl<'p> Checker<'p> {
             }
             LdVarF(v) => self.check_var(*v, Ty::F64, &ctx)?,
             LdVarI(v) => self.check_var(*v, Ty::I64, &ctx)?,
-            AtomicGF { buf, idx, val, .. } => {
+            AtomicGF { op, buf, idx, val } => {
                 if *buf >= self.p.n_bufs_f {
                     return self.err(format!("f64 buffer slot {buf} >= {}", self.p.n_bufs_f));
+                }
+                if matches!(
+                    op,
+                    AtomicOp::And | AtomicOp::Or | AtomicOp::Xor | AtomicOp::Exch
+                ) {
+                    return self.err(format!("{op:?} atomic is integer-only, used on f64 buffer"));
                 }
                 self.use_val(*idx, Ty::I64, &ctx)?;
                 self.use_val(*val, Ty::F64, &ctx)?;

@@ -27,8 +27,15 @@
 //!   data-race-free and the exclusive path pays nothing (a relaxed 8-byte
 //!   access is a plain move on x86-64).
 //!
+//! Global atomics execute as step-list superops too: the launch driver's
+//! deferral plan (see `crate::atomics`) decides at run time whether an
+//! atomic accumulates into the worker's private shadow/log or applies in
+//! place — the in-place path only ever runs serially, because the parallel
+//! gate requires a plan whenever a program contains atomics. Either way the
+//! buffers, stats and error surfaces match the lowered engine bit for bit.
+//!
 //! Everything the step list cannot express — divergent control flow,
-//! barriers, atomics, shared memory, `while` loops, multi-lane blocks,
+//! barriers, shared memory, `while` loops, multi-lane blocks,
 //! near-exhausted fuel — falls back to the lowered interpreter's own
 //! `exec_ops`/`exec_for_lowered` on the *same* state, so buffers,
 //! [`LaunchStats`], `TimeBreakdown`, traces and structured fault errors are
@@ -49,7 +56,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use alpaka_core::acc::DeviceKind;
-use alpaka_kir::ir::{FBin, IBin, Program};
+use alpaka_kir::ir::{AtomicOp, FBin, IBin, Program};
 use alpaka_kir::semantics as sem;
 
 use crate::cache::CacheSim;
@@ -76,6 +83,16 @@ pub(crate) struct CompiledProgram {
     root: Vec<CNode>,
     /// Number of fused loops; sizes the per-worker prepared-site table.
     n_fused: usize,
+}
+
+impl CompiledProgram {
+    /// True when compilation found at least one fusible loop. A program
+    /// that fused nothing would run the flat op list through one extra
+    /// dispatch layer — strictly slower than the lowered interpreter — so
+    /// the launch driver dispatches such launches to the lowered tier.
+    pub(crate) fn has_fused(&self) -> bool {
+        self.n_fused > 0
+    }
 }
 
 /// One node of the compiled control tree.
@@ -230,6 +247,46 @@ enum SStep {
     StI {
         site: u16,
         i: u32,
+        val: u32,
+    },
+    /// `d = atomic(op, buf[i], val)` on an f64 buffer — deferred to the
+    /// launch's privatization plan, or applied in place on plan-less
+    /// (serial) launches. `slot` is the kernel-argument slot, kept for the
+    /// plan lookup (`site` only indexes the prepared-site table).
+    AtomF {
+        op: AtomicOp,
+        d: u32,
+        site: u16,
+        slot: u32,
+        i: u32,
+        val: u32,
+    },
+    /// Atomic f64 with the index `Add` folded in (`buf[a + b]`) — the
+    /// fused scatter-accumulate shape for affine-index atomic updates.
+    AtomFAdd {
+        op: AtomicOp,
+        d: u32,
+        site: u16,
+        slot: u32,
+        a: u32,
+        b: u32,
+        val: u32,
+    },
+    AtomI {
+        op: AtomicOp,
+        d: u32,
+        site: u16,
+        slot: u32,
+        i: u32,
+        val: u32,
+    },
+    AtomIAdd {
+        op: AtomicOp,
+        d: u32,
+        site: u16,
+        slot: u32,
+        a: u32,
+        b: u32,
         val: u32,
     },
 }
@@ -409,8 +466,10 @@ type PrepTable = [Option<Box<[PrepSite]>>];
 // ---------------------------------------------------------------------------
 
 /// Ops a fused step list can execute directly. Control flow, barriers,
-/// atomics, shared memory and the per-launch-fallible `Param` reads stay on
-/// the interpreter path.
+/// shared memory and the per-launch-fallible `Param` reads stay on the
+/// interpreter path. Global atomics are fusible: whether they defer to the
+/// launch plan or apply in place is a per-launch (`Machine`) decision, so
+/// the compiled form — cached per program — is valid for both modes.
 fn fusible(op: &LOp) -> bool {
     matches!(
         op,
@@ -436,6 +495,8 @@ fn fusible(op: &LOp) -> bool {
             | LOp::StGI { .. }
             | LOp::LdLF { .. }
             | LOp::StLF { .. }
+            | LOp::AtomicF { .. }
+            | LOp::AtomicI { .. }
     )
 }
 
@@ -468,7 +529,11 @@ fn for_each_src(op: &LOp, mut f: impl FnMut(u32)) {
         }
         LOp::StVar { val, .. } => f(val),
         LOp::LdGF { i, .. } | LOp::LdGI { i, .. } | LOp::LdLF { i, .. } => f(i),
-        LOp::StGF { i, val, .. } | LOp::StGI { i, val, .. } | LOp::StLF { i, val, .. } => {
+        LOp::StGF { i, val, .. }
+        | LOp::StGI { i, val, .. }
+        | LOp::StLF { i, val, .. }
+        | LOp::AtomicF { i, val, .. }
+        | LOp::AtomicI { i, val, .. } => {
             f(i);
             f(val);
         }
@@ -579,6 +644,27 @@ fn build_turbo(steps: &[LOp]) -> (Vec<SStep>, Vec<SiteRef>) {
                 }
                 fused_idx.insert(i, fused);
             }
+            LOp::AtomicF { i: ix, .. } | LOp::AtomicI { i: ix, .. } => {
+                // Fold a single-use `Add` into the atomic's index — the
+                // scatter-accumulate shape. No Mul expansion here: affine
+                // scatters are add-indexed, and atomics keep two superop
+                // forms instead of three.
+                let Some(&di) = def.get(&ix) else { continue };
+                if di >= i || !only_reader(ix, i) {
+                    continue;
+                }
+                let LOp::BinI {
+                    op: IBin::Add,
+                    a,
+                    b,
+                    ..
+                } = steps[di]
+                else {
+                    continue;
+                };
+                removed[di] = true;
+                fused_idx.insert(i, Idx::Add(a, b));
+            }
             LOp::StVar { v, val } => {
                 let Some(&df) = def.get(&val) else { continue };
                 if df >= i || !only_reader(val, i) {
@@ -656,6 +742,64 @@ fn build_turbo(steps: &[LOp]) -> (Vec<SStep>, Vec<SiteRef>) {
                 i: ix,
                 val,
             },
+            LOp::AtomicF {
+                op,
+                d,
+                buf,
+                i: ix,
+                val,
+            } => {
+                let site = intern(&mut sites, buf, true);
+                match fused_idx.remove(&i) {
+                    Some(Idx::Add(a, b)) => SStep::AtomFAdd {
+                        op,
+                        d,
+                        site,
+                        slot: buf,
+                        a,
+                        b,
+                        val,
+                    },
+                    Some(Idx::MulAdd(..)) => unreachable!("atomic indices fold Add only"),
+                    None => SStep::AtomF {
+                        op,
+                        d,
+                        site,
+                        slot: buf,
+                        i: ix,
+                        val,
+                    },
+                }
+            }
+            LOp::AtomicI {
+                op,
+                d,
+                buf,
+                i: ix,
+                val,
+            } => {
+                let site = intern(&mut sites, buf, false);
+                match fused_idx.remove(&i) {
+                    Some(Idx::Add(a, b)) => SStep::AtomIAdd {
+                        op,
+                        d,
+                        site,
+                        slot: buf,
+                        a,
+                        b,
+                        val,
+                    },
+                    Some(Idx::MulAdd(..)) => unreachable!("atomic indices fold Add only"),
+                    None => SStep::AtomI {
+                        op,
+                        d,
+                        site,
+                        slot: buf,
+                        i: ix,
+                        val,
+                    },
+                }
+            }
             LOp::StVar { .. } if fma_acc.contains_key(&i) => {
                 let (v, a, b) = fma_acc[&i];
                 SStep::FmaAcc { v, a, b }
@@ -1344,6 +1488,7 @@ fn run_turbo(
         stats,
         caches,
         region,
+        atomics,
         ..
     } = m;
     let mut cache: Option<&mut CacheSim> = match caches {
@@ -1559,6 +1704,78 @@ fn run_turbo(
         }};
     }
 
+    // One global atomic: the single-lane specialization of the matching
+    // `exec_ops` arm — charge, bounds check, then defer to the launch's
+    // privatization plan or apply in place. Atomic units are modeled apart
+    // from the load/store path, so (like the interpreter) this touches no
+    // cache, probe log or ECC state.
+    macro_rules! atom_f {
+        ($op:expr, $d:expr, $site:expr, $slot:expr, $ix:expr, $v:expr) => {{
+            let s = sites[$site as usize];
+            stats.atomics += 1;
+            let ix: i64 = $ix;
+            if ix < 0 || ix as usize >= s.len {
+                let len = s.len;
+                return Err(
+                    serr!("atom.global.f64: index {} out of bounds (len {})", ix, len)
+                        .at_thread(tid0),
+                );
+            }
+            let v: f64 = $v;
+            match atomics
+                .as_mut()
+                .and_then(|ap| ap.target_f($slot).map(move |t| (ap, t)))
+            {
+                Some((ap, t)) => {
+                    // Deferred: the plan guarantees the old value is dead.
+                    ap.defer_f(t, $op, blk as u64, ix as usize, v);
+                    wr1(st, $d, 0);
+                }
+                None => {
+                    // Plan-less launches run serially, so the relaxed RMW
+                    // is race-free and equals the interpreter's
+                    // read/modify/write on the same cells.
+                    // SAFETY: bounds-checked element as in `gload!`.
+                    let cell = unsafe { AtomicU64::from_ptr(s.ptr.add(ix as usize)) };
+                    let old = f64::from_bits(cell.load(Ordering::Relaxed));
+                    cell.store(sem::atomic_f($op, old, v).to_bits(), Ordering::Relaxed);
+                    wr1(st, $d, old.to_bits());
+                }
+            }
+        }};
+    }
+    macro_rules! atom_i {
+        ($op:expr, $d:expr, $site:expr, $slot:expr, $ix:expr, $v:expr) => {{
+            let s = sites[$site as usize];
+            stats.atomics += 1;
+            let ix: i64 = $ix;
+            if ix < 0 || ix as usize >= s.len {
+                let len = s.len;
+                return Err(
+                    serr!("atom.global.s64: index {} out of bounds (len {})", ix, len)
+                        .at_thread(tid0),
+                );
+            }
+            let v: i64 = $v;
+            match atomics
+                .as_mut()
+                .and_then(|ap| ap.target_i($slot).map(move |t| (ap, t)))
+            {
+                Some((ap, t)) => {
+                    ap.defer_i(t, $op, blk as u64, ix as usize, v);
+                    wr1(st, $d, 0);
+                }
+                None => {
+                    // SAFETY: bounds-checked element as in `gload!`.
+                    let cell = unsafe { AtomicU64::from_ptr(s.ptr.add(ix as usize)) };
+                    let old = cell.load(Ordering::Relaxed) as i64;
+                    cell.store(sem::atomic_i($op, old, v) as u64, Ordering::Relaxed);
+                    wr1(st, $d, old as u64);
+                }
+            }
+        }};
+    }
+
     while k < e0 {
         st.wu(fl.counter, k as u64);
         for sp in &fl.turbo {
@@ -1625,6 +1842,54 @@ fn run_turbo(
                 SStep::StI { site, i, val } => {
                     gstore!(site, rd1i(st, i), rd1(st, val), "st.global.s64")
                 }
+                SStep::AtomF {
+                    op,
+                    d,
+                    site,
+                    slot,
+                    i,
+                    val,
+                } => atom_f!(op, d, site, slot, rd1i(st, i), rd1f(st, val)),
+                SStep::AtomFAdd {
+                    op,
+                    d,
+                    site,
+                    slot,
+                    a,
+                    b,
+                    val,
+                } => atom_f!(
+                    op,
+                    d,
+                    site,
+                    slot,
+                    rd1i(st, a).wrapping_add(rd1i(st, b)),
+                    rd1f(st, val)
+                ),
+                SStep::AtomI {
+                    op,
+                    d,
+                    site,
+                    slot,
+                    i,
+                    val,
+                } => atom_i!(op, d, site, slot, rd1i(st, i), rd1i(st, val)),
+                SStep::AtomIAdd {
+                    op,
+                    d,
+                    site,
+                    slot,
+                    a,
+                    b,
+                    val,
+                } => atom_i!(
+                    op,
+                    d,
+                    site,
+                    slot,
+                    rd1i(st, a).wrapping_add(rd1i(st, b)),
+                    rd1i(st, val)
+                ),
             }
         }
         if bump_iter {
@@ -1765,8 +2030,10 @@ fn scalar_pure(st: &mut LowState, step: &LOp) -> R<()> {
             let v = rd1f(st, val);
             st.loc_f[loc as usize][ix as usize] = v;
         }
-        // Accounts are stripped at compile time; control flow, barriers,
-        // atomics and shared memory never pass `fusible`.
+        // Accounts are stripped at compile time; control flow, barriers
+        // and shared memory never pass `fusible`; global memory ops and
+        // atomics are handled by `run_steps_scalar` before falling through
+        // to this pure-op dispatch.
         _ => unreachable!("non-fusible op in compiled step list"),
     }
     Ok(())
@@ -1835,6 +2102,60 @@ fn run_steps_scalar(m: &mut Machine<'_>, st: &mut LowState, steps: &[LOp]) -> R<
                 m.mem.write_i(b, ix as usize, rd1i(st, val))?;
                 m.stats.global_stores += 1;
                 m.mem_access_one(m.mem.addr_i(b, ix as u64));
+            }
+            LOp::AtomicF { op, d, buf, i, val } => {
+                let b = m.buf_f(buf)?;
+                m.stats.atomics += 1;
+                m.prof_add(|c| c.atomics += 1);
+                let ix = rd1i(st, i);
+                let len = m.mem.len_f(b);
+                if ix < 0 || ix as usize >= len {
+                    return Err(
+                        serr!("atom.global.f64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[0]),
+                    );
+                }
+                let v = rd1f(st, val);
+                let target = m.atomics.as_ref().and_then(|ap| ap.target_f(buf));
+                if let Some(t) = target {
+                    let block = m.cur_block_lin as u64;
+                    m.atomics
+                        .as_mut()
+                        .unwrap()
+                        .defer_f(t, op, block, ix as usize, v);
+                    wr1(st, d, 0);
+                } else {
+                    let old = m.mem.read_f(b, ix as usize)?;
+                    m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v))?;
+                    wr1(st, d, old.to_bits());
+                }
+            }
+            LOp::AtomicI { op, d, buf, i, val } => {
+                let b = m.buf_i(buf)?;
+                m.stats.atomics += 1;
+                m.prof_add(|c| c.atomics += 1);
+                let ix = rd1i(st, i);
+                let len = m.mem.len_i(b);
+                if ix < 0 || ix as usize >= len {
+                    return Err(
+                        serr!("atom.global.s64: index {ix} out of bounds (len {len})")
+                            .at_thread(st.tid[0]),
+                    );
+                }
+                let v = rd1i(st, val);
+                let target = m.atomics.as_ref().and_then(|ap| ap.target_i(buf));
+                if let Some(t) = target {
+                    let block = m.cur_block_lin as u64;
+                    m.atomics
+                        .as_mut()
+                        .unwrap()
+                        .defer_i(t, op, block, ix as usize, v);
+                    wr1(st, d, 0);
+                } else {
+                    let old = m.mem.read_i(b, ix as usize)?;
+                    m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v))?;
+                    wr1(st, d, old as u64);
+                }
             }
             ref other => scalar_pure(st, other)?,
         }

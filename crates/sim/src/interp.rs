@@ -83,6 +83,9 @@ pub struct SimReport {
     pub lowering_cache: crate::lower::CacheCounters,
     /// Likewise for the compiled-program cache.
     pub compile_cache: crate::lower::CacheCounters,
+    /// Why this launch ran serially (or on a slower engine) despite being
+    /// asked for more; `FallbackReason::None` when nothing was downgraded.
+    pub fallback: crate::atomics::FallbackReason,
 }
 
 /// How fast the *host* interpreted the launch — wall-clock measurements of
@@ -392,6 +395,10 @@ pub(crate) struct Machine<'a> {
     pub(crate) cur_instr: u32,
     /// Statement numbering of `prog` (profiling only).
     numbering: Option<&'a Numbering>,
+    /// Private accumulation state for deferred global atomics, present when
+    /// the launch has a reducibility plan (see `crate::atomics`). Atomic
+    /// exec arms then accumulate here instead of touching buffers.
+    pub(crate) atomics: Option<crate::atomics::AtomicsPriv>,
 }
 
 pub(crate) type R<T> = Result<T, SimError>;
@@ -1012,14 +1019,17 @@ impl<'a> Machine<'a> {
                     }
                 }
             }
-            // Atomics run as read-modify-write without synchronization:
-            // the parallel path refuses programs containing them (see
-            // `program_uses_global_atomics`), so they only ever execute on
-            // a single interpreter thread.
+            // Atomics either defer into the worker's private accumulation
+            // state (when the launch has a reducibility plan — the only
+            // mode the parallel path permits) or run as direct
+            // read-modify-writes on the single serial interpreter thread.
+            // A deferred atomic's result register reads 0: the plan
+            // guarantees the old value is dead.
             Op::AtomicGF { op, buf, idx, val } => {
                 let b = self.buf_f(*buf)?;
                 self.stats.atomics += active;
                 self.prof_add(|c| c.atomics += active);
+                let target = self.atomics.as_ref().and_then(|ap| ap.target_f(*buf));
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -1031,10 +1041,19 @@ impl<'a> Machine<'a> {
                             .at_thread(bs.tid[l]));
                         }
                         let v = bs.rf(*val, l);
-                        let old = self.mem.read_f(b, i as usize)?;
-                        self.mem
-                            .write_f(b, i as usize, sem::atomic_f(*op, old, v))?;
-                        bs.sf(d, l, old);
+                        if let Some(t) = target {
+                            let block = self.cur_block_lin as u64;
+                            self.atomics
+                                .as_mut()
+                                .unwrap()
+                                .defer_f(t, *op, block, i as usize, v);
+                            bs.sf(d, l, 0.0);
+                        } else {
+                            let old = self.mem.read_f(b, i as usize)?;
+                            self.mem
+                                .write_f(b, i as usize, sem::atomic_f(*op, old, v))?;
+                            bs.sf(d, l, old);
+                        }
                     }
                 }
             }
@@ -1042,6 +1061,7 @@ impl<'a> Machine<'a> {
                 let b = self.buf_i(*buf)?;
                 self.stats.atomics += active;
                 self.prof_add(|c| c.atomics += active);
+                let target = self.atomics.as_ref().and_then(|ap| ap.target_i(*buf));
                 for l in 0..bs.lanes {
                     if mask[l] {
                         let i = bs.ri(*idx, l);
@@ -1053,10 +1073,19 @@ impl<'a> Machine<'a> {
                             .at_thread(bs.tid[l]));
                         }
                         let v = bs.ri(*val, l);
-                        let old = self.mem.read_i(b, i as usize)?;
-                        self.mem
-                            .write_i(b, i as usize, sem::atomic_i(*op, old, v))?;
-                        bs.si(d, l, old);
+                        if let Some(t) = target {
+                            let block = self.cur_block_lin as u64;
+                            self.atomics
+                                .as_mut()
+                                .unwrap()
+                                .defer_i(t, *op, block, i as usize, v);
+                            bs.si(d, l, 0);
+                        } else {
+                            let old = self.mem.read_i(b, i as usize)?;
+                            self.mem
+                                .write_i(b, i as usize, sem::atomic_i(*op, old, v))?;
+                            bs.si(d, l, old);
+                        }
                     }
                 }
             }
@@ -1545,6 +1574,9 @@ pub(crate) struct LaunchCtx<'a> {
     /// Canonical statement numbering, present only when tracing/profiling is
     /// enabled for this launch.
     pub(crate) numbering: Option<Arc<Numbering>>,
+    /// Deferred-atomics plan, when the program's global atomics are
+    /// commutative-reducible under this launch's bindings.
+    pub(crate) atomics: Option<Arc<crate::atomics::AtomicsPlan>>,
 }
 
 /// What one interpreter worker produced: its stats, plus the per-statement
@@ -1553,6 +1585,9 @@ pub(crate) struct WorkerOut {
     pub(crate) stats: LaunchStats,
     pub(crate) profile: Option<Box<[InstrCounters]>>,
     pub(crate) spans: Vec<BlockSpan>,
+    /// Deferred atomic accumulations, reduced by the driver in worker
+    /// order after every worker finished.
+    pub(crate) atomics: Option<crate::atomics::AtomicsPriv>,
 }
 
 /// The issue-roofline cycle count of `s` (same weights as `estimate_time`);
@@ -1615,6 +1650,10 @@ pub(crate) fn make_machine<'a>(
         profile: ctx.numbering.as_ref().map(|n| n.counters()),
         cur_instr: 0,
         numbering: ctx.numbering.as_deref(),
+        atomics: ctx
+            .atomics
+            .as_ref()
+            .map(|p| crate::atomics::AtomicsPriv::new(p.clone())),
     }
 }
 
@@ -1739,6 +1778,7 @@ fn interpret_blocks(
         stats: m.stats,
         profile: m.profile,
         spans,
+        atomics: m.atomics,
     })
 }
 
@@ -1910,11 +1950,21 @@ pub fn run_kernel_launch_faulty(
     };
     // Traced/profiled launches run the lowered tier even under
     // `Engine::Compiled`: its per-instruction replay is what makes trace
-    // and profile streams identical across engines by construction.
+    // and profile streams identical across engines by construction. A
+    // compiled program that fused nothing would also replay the flat op
+    // list one dispatch layer deeper than the lowered interpreter — pure
+    // overhead — so those launches dispatch to the lowered tier too.
     let compiled = match (engine, &lowered, &numbering) {
-        (Engine::Compiled, Some(wp), None) => Some(crate::compile::compiled_for(prog, spec, wp)),
+        (Engine::Compiled, Some(wp), None) => {
+            Some(crate::compile::compiled_for(prog, spec, wp)).filter(|cp| cp.has_fused())
+        }
         _ => None,
     };
+    // Classify the program's global atomics: a reducible plan lets every
+    // engine defer them (worker-private accumulation, ordered reduction
+    // below) and so lets the block loop parallelize.
+    let (atomics_summary, atomics_plan) = crate::atomics::classify(prog, mem, args);
+    let has_atomics = !matches!(atomics_summary, alpaka_kir::AtomicsSummary::NoAtomics);
     let ctx = LaunchCtx {
         spec,
         prog,
@@ -1933,6 +1983,7 @@ pub fn run_kernel_launch_faulty(
         watchdog: faults.is_some_and(|f| f.watchdog_fuel.is_some()),
         ecc: faults.and_then(|f| f.ecc),
         numbering,
+        atomics: atomics_plan,
     };
 
     // A worker without SMs would idle, so the team never exceeds the SM
@@ -1941,13 +1992,27 @@ pub fn run_kernel_launch_faulty(
         .max(1)
         .min(spec.sms.max(1))
         .min(indices.len().max(1));
-    let parallel =
-        team > 1 && spec.cache_scope != CacheScope::Shared && !program_uses_global_atomics(prog);
+    // Atomics no longer force the serial path by themselves: a launch
+    // with a deferral plan parallelizes like any other. Only non-reducible
+    // atomic programs (and shared-cache devices) stay serial.
+    let parallel = team > 1
+        && spec.cache_scope != CacheScope::Shared
+        && (!has_atomics || ctx.atomics.is_some());
+    let fallback = if team > 1 && spec.cache_scope == CacheScope::Shared {
+        crate::atomics::FallbackReason::SharedCacheScope
+    } else if team > 1 && has_atomics && ctx.atomics.is_none() {
+        crate::atomics::FallbackReason::AtomicsNonReducible
+    } else if engine != Engine::Reference && ctx.lowered.is_none() {
+        crate::atomics::FallbackReason::ValidationFailed
+    } else {
+        crate::atomics::FallbackReason::None
+    };
 
-    let (raw_stats, raw_profile, mut spans, workers) = if !parallel {
+    let (raw_stats, raw_profile, mut spans, workers, deferred) = if !parallel {
         let out =
             interpret_blocks(&ctx, MemAccess::Excl(mem), 1, 0, &indices).map_err(|(_, msg)| msg)?;
-        (out.stats, out.profile, out.spans, 1)
+        let deferred = out.atomics.into_iter().collect::<Vec<_>>();
+        (out.stats, out.profile, out.spans, 1, deferred)
     } else {
         let view = mem.shared_view();
         let slots: Vec<WorkerSlot> = (0..team).map(|_| Mutex::new(None)).collect();
@@ -1962,6 +2027,7 @@ pub fn run_kernel_launch_faulty(
         let mut merged = LaunchStats::default();
         let mut merged_prof: Option<Box<[InstrCounters]>> = None;
         let mut merged_spans: Vec<BlockSpan> = Vec::new();
+        let mut deferred: Vec<crate::atomics::AtomicsPriv> = Vec::new();
         let mut first_err: Option<(usize, SimError)> = None;
         for slot in &slots {
             match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
@@ -1974,6 +2040,7 @@ pub fn run_kernel_launch_faulty(
                         }
                     }
                     merged_spans.extend(out.spans);
+                    deferred.extend(out.atomics);
                 }
                 Some(Err((lin, msg))) => {
                     if first_err.as_ref().is_none_or(|(l, _)| lin < *l) {
@@ -1986,8 +2053,16 @@ pub fn run_kernel_launch_faulty(
         if let Some((_, msg)) = first_err {
             return Err(msg);
         }
-        (merged, merged_prof, merged_spans, team)
+        (merged, merged_prof, merged_spans, team, deferred)
     };
+    // Reduce the workers' deferred atomics into the real buffers, in
+    // worker order — only after every block ran without error. (A failed
+    // launch thus applies none of its atomics, where the direct path
+    // would have applied those preceding the fault; no API promises
+    // buffer contents of a failed launch.)
+    if let Some(plan) = &ctx.atomics {
+        crate::atomics::apply_deferred(plan, deferred, mem, args);
+    }
     // Workers interleave over SMs; restore the serial block order.
     spans.sort_by_key(|s| s.block);
 
@@ -2019,6 +2094,7 @@ pub fn run_kernel_launch_faulty(
         spans,
         lowering_cache: crate::lower::lowering_cache_counters(),
         compile_cache: crate::compile::compile_cache_counters(),
+        fallback,
     })
 }
 

@@ -17,6 +17,7 @@
 //! See `DESIGN.md` for why this substitution preserves the behaviours the
 //! paper's evaluation measures.
 
+pub mod atomics;
 pub mod cache;
 pub mod compile;
 pub mod fault;
@@ -27,6 +28,7 @@ pub mod profile;
 pub mod spec;
 pub mod stats;
 
+pub use atomics::{non_reducible_reason_str, FallbackReason};
 pub use cache::CacheSim;
 pub use compile::compile_cache_counters;
 pub use fault::{EccCtx, FaultPlan, SimError, SimErrorKind};

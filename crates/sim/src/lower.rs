@@ -1783,6 +1783,10 @@ pub(crate) fn exec_ops(
                 let b = m.buf_f(buf)?;
                 m.stats.atomics += mask.active;
                 m.prof_add(|c| c.atomics += mask.active);
+                // Deferred mode (launch has a reducibility plan):
+                // accumulate privately and read back 0 — the plan
+                // guarantees the old value is dead. See `crate::atomics`.
+                let target = m.atomics.as_ref().and_then(|ap| ap.target_f(buf));
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_f(b);
@@ -1793,15 +1797,25 @@ pub(crate) fn exec_ops(
                         );
                     }
                     let v = st.rdf(val, l);
-                    let old = m.mem.read_f(b, ix as usize)?;
-                    m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v))?;
-                    st.wv(d, l, old.to_bits());
+                    if let Some(t) = target {
+                        let block = m.cur_block_lin as u64;
+                        m.atomics
+                            .as_mut()
+                            .unwrap()
+                            .defer_f(t, op, block, ix as usize, v);
+                        st.wv(d, l, 0);
+                    } else {
+                        let old = m.mem.read_f(b, ix as usize)?;
+                        m.mem.write_f(b, ix as usize, sem::atomic_f(op, old, v))?;
+                        st.wv(d, l, old.to_bits());
+                    }
                 });
             }
             LOp::AtomicI { op, d, buf, i, val } => {
                 let b = m.buf_i(buf)?;
                 m.stats.atomics += mask.active;
                 m.prof_add(|c| c.atomics += mask.active);
+                let target = m.atomics.as_ref().and_then(|ap| ap.target_i(buf));
                 for_active!(mask, l, {
                     let ix = st.rdi(i, l);
                     let len = m.mem.len_i(b);
@@ -1812,9 +1826,18 @@ pub(crate) fn exec_ops(
                         );
                     }
                     let v = st.rdi(val, l);
-                    let old = m.mem.read_i(b, ix as usize)?;
-                    m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v))?;
-                    st.wv(d, l, old as u64);
+                    if let Some(t) = target {
+                        let block = m.cur_block_lin as u64;
+                        m.atomics
+                            .as_mut()
+                            .unwrap()
+                            .defer_i(t, op, block, ix as usize, v);
+                        st.wv(d, l, 0);
+                    } else {
+                        let old = m.mem.read_i(b, ix as usize)?;
+                        m.mem.write_i(b, ix as usize, sem::atomic_i(op, old, v))?;
+                        st.wv(d, l, old as u64);
+                    }
                 });
             }
             LOp::If {
@@ -2203,6 +2226,7 @@ pub(crate) fn run_warp_blocks(
         stats: m.stats,
         profile: m.profile,
         spans,
+        atomics: m.atomics,
     })
 }
 

@@ -405,7 +405,7 @@ fn dgemm_sampled_mode_is_deterministic_too() {
 }
 
 #[test]
-fn histogram_atomics_fall_back_to_serial_and_stay_correct() {
+fn histogram_atomics_run_parallel_and_stay_correct() {
     let spec = DeviceSpec::e5_2630v3();
     let n: usize = 10_000;
     let nbins = 32;
@@ -429,8 +429,11 @@ fn histogram_atomics_fall_back_to_serial_and_stay_correct() {
         8,
         ExecMode::Full,
     );
-    // Serial fallback: one interpreter worker regardless of the request.
-    assert_eq!(par.host.workers, 1);
+    // The histogram's atomic adds are commutative-reducible, so the launch
+    // parallelizes (deferred per-worker accumulation) instead of falling
+    // back to one worker as it used to.
+    assert_eq!(par.host.workers, 8);
+    assert_eq!(par.fallback, alpaka_sim::FallbackReason::None);
     let (_, args) = histogram_setup(n, nbins);
     let bins = args.bufs_i[1];
     assert_eq!(mem.i(bins).iter().sum::<i64>(), n as i64);

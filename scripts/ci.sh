@@ -20,13 +20,15 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
-echo "== engine-parity and fault suites under ALPAKA_SIM_THREADS=1 and =4 =="
-# Reference, lowered and compiled engines must agree bit-for-bit, and the
-# fault campaign must reproduce from its seed, under ANY interpreter
+echo "== engine-parity, atomics and fault suites under ALPAKA_SIM_THREADS=1 and =4 =="
+# Reference, lowered and compiled engines must agree bit-for-bit, the
+# atomics privatization path must replay the serial application order, and
+# the fault campaign must reproduce from its seed, under ANY interpreter
 # thread count; pin both extremes explicitly.
 for t in 1 4; do
   echo "-- ALPAKA_SIM_THREADS=$t --"
   ALPAKA_SIM_THREADS=$t cargo test -q -p alpaka-sim --test parallel_determinism
+  ALPAKA_SIM_THREADS=$t cargo test -q -p alpaka-sim --test atomics_determinism
   ALPAKA_SIM_THREADS=$t cargo test -q --test trace_acceptance
   ALPAKA_SIM_THREADS=$t cargo test -q --test faults
   ALPAKA_SIM_THREADS=$t cargo test -q --test streams_events
@@ -56,7 +58,8 @@ env -u ALPAKA_SIM_TRACE cargo run -q --release --example trace_smoke
 echo "== bench smoke (guards only, no timing) =="
 cargo bench -p alpaka-bench --bench sim_throughput -- --test
 # sim_lowering's smoke mode runs the three-engine bit-parity guard on all
-# benched workloads (daxpy, dgemm, scan), compiled tier included.
+# benched workloads (daxpy, dgemm, scan, histogram — the latter at 1 and 4
+# interpreter threads), compiled tier included.
 cargo bench -p alpaka-bench --bench sim_lowering -- --test
 # Includes the zero-cost guard: facade launch with tracing disabled must be
 # within 2% of the raw simulator call.
