@@ -35,6 +35,10 @@ struct State {
     /// Set once an injected device loss fires: the device is poisoned and
     /// every subsequent operation fails with `Error::DeviceLost`.
     lost: bool,
+    /// Armed by the health layer once a quarantined device has passed its
+    /// recovery cooldown: the next `Queue::reset` (or `revive`) may then
+    /// clear the sticky `lost` flag.
+    recover_armed: bool,
 }
 
 /// Map an interpreter-level [`SimError`] to the structured facade error,
@@ -87,6 +91,7 @@ impl SimDevice {
                 launches: 0,
                 allocs: 0,
                 lost: false,
+                recover_armed: false,
             })),
             threads: threads.max(1),
             engine: None,
@@ -135,6 +140,40 @@ impl SimDevice {
     /// True once an injected device loss has poisoned this device.
     pub fn is_lost(&self) -> bool {
         self.state.lock().lost
+    }
+
+    /// Clear the lost flag: models a device reset / re-enumeration after a
+    /// quarantine cooldown (the pool's Quarantined → Recovered edge).
+    /// Memory, clock and ordinals are preserved — in particular the launch
+    /// ordinal that triggered the injected loss has already been consumed,
+    /// so the same `lost_at_launch` plan does not immediately re-fire.
+    pub fn revive(&self) {
+        let mut st = self.state.lock();
+        st.lost = false;
+        st.recover_armed = false;
+    }
+
+    /// Arm device-level recovery: records that the health layer considers
+    /// this (quarantined) device recovered, so a subsequent `Queue::reset`
+    /// may clear the sticky `lost` flag via
+    /// [`SimDevice::clear_lost_if_recovered`].
+    pub fn mark_recovered(&self) {
+        self.state.lock().recover_armed = true;
+    }
+
+    /// Clear the sticky `lost` flag if — and only if — the health layer
+    /// armed recovery for this device. Returns true when the device came
+    /// back. A fresh device loss always re-disarms, so a stale arming can
+    /// never mask a *new* loss.
+    pub fn clear_lost_if_recovered(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.lost && st.recover_armed {
+            st.lost = false;
+            st.recover_armed = false;
+            true
+        } else {
+            false
+        }
     }
 
     /// Charge `s` simulated seconds to the device clock (used by the retry
@@ -331,6 +370,7 @@ impl SimDevice {
             Some(plan) => {
                 if plan.lost_hits(ordinal) {
                     st.lost = true;
+                    st.recover_armed = false;
                     return Err(Error::DeviceLost(format!(
                         "{}: device lost (injected at launch ordinal {ordinal})",
                         compiled.program.name

@@ -231,6 +231,34 @@ impl Device {
         }
     }
 
+    /// Clear the active fault plan (including one picked up from
+    /// `ALPAKA_SIM_FAULTS`); no-op on native devices. Determinism suites
+    /// use this so an ambient fault seed cannot disturb fault-free runs.
+    pub fn clear_faults(&self) {
+        if let DeviceImpl::Sim(d) = &self.inner {
+            d.set_faults(None);
+        }
+    }
+
+    /// Revive a lost device: models a device reset / re-enumeration after a
+    /// quarantine cooldown (the pool's Quarantined → Recovered edge).
+    /// Memory, simulated clock and fault ordinals are preserved; no-op on
+    /// native devices.
+    pub fn revive(&self) {
+        if let DeviceImpl::Sim(d) = &self.inner {
+            d.revive();
+        }
+    }
+
+    /// Arm device-level recovery: the health layer declares this
+    /// (quarantined) device recovered, allowing [`crate::Queue::reset`] to
+    /// clear the sticky lost flag. No-op on native devices.
+    pub fn mark_recovered(&self) {
+        if let DeviceImpl::Sim(d) = &self.inner {
+            d.mark_recovered();
+        }
+    }
+
     /// Allocate a zeroed f64 buffer resident on this device.
     pub fn alloc_f64(&self, layout: BufLayout) -> BufferF {
         match &self.inner {
@@ -300,6 +328,19 @@ impl Device {
         args: &crate::queue::Args,
     ) -> Result<()> {
         crate::queue::launch_sync(self, kernel, wd, args)
+    }
+
+    /// Like [`Device::launch`], but returns the full simulator report on
+    /// simulated devices (`None` on native CPU devices, which have no
+    /// simulator). The resilience layer uses this to surface retry and
+    /// fail-over provenance on the winning attempt's report.
+    pub fn launch_report<K: Kernel + Clone + Send + 'static>(
+        &self,
+        kernel: &K,
+        wd: &WorkDiv,
+        args: &crate::queue::Args,
+    ) -> Result<Option<alpaka_sim::SimReport>> {
+        crate::queue::launch_sync_report(self, kernel, wd, args)
     }
 
     /// Simulated-clock accessor (0 for native devices).

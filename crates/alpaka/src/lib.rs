@@ -37,6 +37,7 @@
 
 pub mod buffer;
 pub mod device;
+pub mod pool;
 pub mod queue;
 pub mod registry;
 pub mod resilient;
@@ -55,6 +56,7 @@ pub use alpaka_trace::{
 };
 pub use buffer::{copy_f64, copy_i64, BufferF, BufferI};
 pub use device::{AccKind, Device};
+pub use pool::{DevicePool, Health, MigrationRecord, PoolOutcome, PoolPolicy, ShardRecord};
 pub use queue::{assert_portable, time_launch, Args, LaunchMode, Queue, TimedRun};
 pub use resilient::{
     launch_resilient, FallbackChain, LaunchOutcome, LaunchSpec, RetryPolicy, WorkDivSpec,

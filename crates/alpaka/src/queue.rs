@@ -57,7 +57,7 @@ impl Args {
         Ok(out)
     }
 
-    fn to_sim(&self) -> Result<alpaka_accsim::SimLaunchArgs> {
+    pub(crate) fn to_sim(&self) -> Result<alpaka_accsim::SimLaunchArgs> {
         let mut out = alpaka_accsim::SimLaunchArgs::new();
         for b in &self.bufs_f {
             out = out.buf_f(b.as_sim()?);
@@ -77,12 +77,30 @@ pub(crate) fn launch_sync<K: Kernel + ?Sized>(
     wd: &WorkDiv,
     args: &Args,
 ) -> Result<()> {
+    launch_sync_report(dev, kernel, wd, args).map(|_| ())
+}
+
+/// [`launch_sync`] that hands back the simulator report (`None` on native
+/// CPU devices).
+pub(crate) fn launch_sync_report<K: Kernel + ?Sized>(
+    dev: &Device,
+    kernel: &K,
+    wd: &WorkDiv,
+    args: &Args,
+) -> Result<Option<SimReport>> {
     match &dev.inner {
-        DeviceImpl::Cpu(d) => d.launch(kernel, wd, &args.to_cpu()?),
-        DeviceImpl::Sim(d) => {
-            run_sim_traced(d, dev.id(), kernel, wd, &args.to_sim()?, ExecMode::Full)?;
-            Ok(())
+        DeviceImpl::Cpu(d) => {
+            d.launch(kernel, wd, &args.to_cpu()?)?;
+            Ok(None)
         }
+        DeviceImpl::Sim(d) => Ok(Some(run_sim_traced(
+            d,
+            dev.id(),
+            kernel,
+            wd,
+            &args.to_sim()?,
+            ExecMode::Full,
+        )?)),
     }
 }
 
@@ -499,11 +517,21 @@ impl Queue {
     }
 
     /// Clear the sticky error and revive the queue: recorded errors are
-    /// discarded and a dead CPU queue worker is respawned. The device is
-    /// NOT revived — a lost device stays lost.
+    /// discarded and a dead CPU queue worker is respawned.
+    ///
+    /// Device-level sticky state: a lost device normally stays lost — the
+    /// loss outlives any queue reset. The one exception is a device the
+    /// health layer has since declared recovered ([`Device::mark_recovered`]
+    /// after a quarantine cooldown): for those, reset also clears the
+    /// device's sticky lost flag. Without that, a recovered device would
+    /// resurrect the stale `DeviceLost` error on the very next operation of
+    /// every queue that was reset after recovery.
     pub fn reset(&self) {
-        if let QImpl::Cpu(q) = &self.inner {
-            q.reset();
+        match &self.inner {
+            QImpl::Cpu(q) => q.reset(),
+            QImpl::Sim(q) => {
+                q.lock().device().clear_lost_if_recovered();
+            }
         }
         *self.sticky.lock() = None;
     }

@@ -25,6 +25,7 @@ use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::{Kernel, ScalarArgs};
 use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
+use alpaka_sim::{AttemptRecord, ResilienceInfo, SimReport};
 
 use crate::device::Device;
 use crate::queue::Args;
@@ -62,7 +63,7 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry number `n` (1-based).
-    fn backoff_s(&self, n: u32) -> f64 {
+    pub(crate) fn backoff_s(&self, n: u32) -> f64 {
         self.backoff_base_s * self.backoff_factor.powi(n.saturating_sub(1) as i32)
     }
 }
@@ -173,10 +174,16 @@ pub struct LaunchOutcome {
     pub bufs_f: Vec<Vec<f64>>,
     /// Final dense contents of each i64 buffer slot, in binding order.
     pub bufs_i: Vec<Vec<i64>>,
+    /// Simulator report of the winning attempt (`None` when it ran on a
+    /// native CPU device). Carries the retry/fail-over provenance in
+    /// `report.resilience` and the engine downgrade reason in
+    /// `report.fallback`, so outcomes are inspectable without parsing
+    /// trace streams.
+    pub report: Option<SimReport>,
 }
 
 /// Classify an error for the retry loop.
-enum Disposition {
+pub(crate) enum Disposition {
     /// Worth retrying on the same device (transient fault, timeout, or a
     /// device-level resource error like an injected OOM or a dead worker).
     Retry,
@@ -186,7 +193,7 @@ enum Disposition {
     Fatal,
 }
 
-fn classify(e: &Error) -> Disposition {
+pub(crate) fn classify(e: &Error) -> Disposition {
     if e.is_sticky() {
         Disposition::FailOver
     } else if e.is_transient() || matches!(e, Error::Device(_)) {
@@ -196,9 +203,27 @@ fn classify(e: &Error) -> Disposition {
     }
 }
 
+/// Stable fault-kind name recorded per attempt (see
+/// [`alpaka_sim::AttemptRecord::fault`]).
+pub(crate) fn fault_kind(e: &Error) -> &'static str {
+    match e {
+        Error::KernelFault(f) if f.transient => "ecc",
+        Error::KernelFault(_) => "kernel_fault",
+        Error::Timeout(_) => "timeout",
+        Error::DeviceLost(_) => "device_lost",
+        Error::Device(m) if m.contains("out of memory") => "oom",
+        Error::Device(_) => "device",
+        Error::BadBuffer(_) => "bad_buffer",
+        Error::BadCopy(_) => "bad_copy",
+        Error::BadArg(_) => "bad_arg",
+        Error::InvalidWorkDiv(_) => "invalid_workdiv",
+        Error::Unsupported(_) => "unsupported",
+    }
+}
+
 /// Downloaded contents of every f64 and i64 argument buffer, in binding
-/// order.
-type AttemptOutput = (Vec<Vec<f64>>, Vec<Vec<i64>>);
+/// order, plus the simulator report of the launch (native devices: `None`).
+type AttemptOutput = (Vec<Vec<f64>>, Vec<Vec<i64>>, Option<SimReport>);
 
 /// One full attempt on one device: materialize buffers from the snapshots,
 /// launch, download results.
@@ -226,10 +251,11 @@ fn attempt<K: Kernel + Clone + Send + 'static>(
         WorkDivSpec::Fixed(wd) => *wd,
         WorkDivSpec::Suggest1d(n) => dev.suggest_workdiv_1d(*n),
     };
-    dev.launch(&spec.kernel, &wd, &args)?;
+    let report = dev.launch_report(&spec.kernel, &wd, &args)?;
     Ok((
         bufs_f.iter().map(|b| b.download()).collect(),
         bufs_i.iter().map(|b| b.download()).collect(),
+        report,
     ))
 }
 
@@ -250,6 +276,8 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
     let mut attempts = 0u32;
     let mut backoff_total = 0.0f64;
     let mut errors: Vec<Error> = Vec::new();
+    let mut history: Vec<AttemptRecord> = Vec::new();
+    let mut failovers = 0u32;
     for (di, dev) in chain.devices().iter().enumerate() {
         if dev.is_lost() {
             if traced {
@@ -267,6 +295,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                 "{}: device already lost before first attempt",
                 dev.name()
             )));
+            failovers += 1;
             continue;
         }
         let mut retries = 0u32;
@@ -295,8 +324,23 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                         ),
                 );
             }
+            history.push(AttemptRecord {
+                attempt: attempts,
+                device: dev.name(),
+                device_index: di,
+                fault: result.as_ref().err().map(|e| fault_kind(e).to_string()),
+                transient: result.as_ref().err().is_some_and(|e| e.is_transient()),
+            });
             match result {
-                Ok((bufs_f, bufs_i)) => {
+                Ok((bufs_f, bufs_i, mut report)) => {
+                    if let Some(r) = report.as_mut() {
+                        r.resilience = Some(ResilienceInfo {
+                            attempts,
+                            history: std::mem::take(&mut history),
+                            backoff_s: backoff_total,
+                            failovers,
+                        });
+                    }
                     return Ok(LaunchOutcome {
                         device: dev.name(),
                         device_index: di,
@@ -305,6 +349,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                         errors,
                         bufs_f,
                         bufs_i,
+                        report,
                     });
                 }
                 Err(e) => {
@@ -330,6 +375,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                                     .with("device_index", di as f64),
                                 );
                             }
+                            failovers += 1;
                             break;
                         }
                         Disposition::Retry => {
@@ -349,6 +395,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                                         .with("device_index", di as f64),
                                     );
                                 }
+                                failovers += 1;
                                 break;
                             }
                             retries += 1;

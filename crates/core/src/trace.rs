@@ -38,6 +38,10 @@ pub enum TraceKind {
     RetryAttempt,
     /// A fallback hop to the next device in a `FallbackChain`.
     FailOver,
+    /// One sub-grid shard of a pooled launch (span over its execution).
+    Shard,
+    /// A shard migrating off a quarantined device onto a survivor.
+    Migrate,
 }
 
 impl TraceKind {
@@ -53,6 +57,8 @@ impl TraceKind {
             TraceKind::Fault => "fault",
             TraceKind::RetryAttempt => "retry_attempt",
             TraceKind::FailOver => "fail_over",
+            TraceKind::Shard => "shard",
+            TraceKind::Migrate => "migrate",
         }
     }
 }

@@ -61,6 +61,47 @@ pub enum ExecMode {
     /// Interpret only ~n evenly spaced blocks and extrapolate the timing
     /// statistics. Buffer contents are then partial: timing-only runs.
     SampleBlocks(usize),
+    /// Execute exactly the blocks with linear index in `start..end` — one
+    /// sub-grid shard of a multi-device pool launch. Blocks keep their true
+    /// grid coordinates (and therefore their global thread indices), so
+    /// running every shard of a partition in ascending order is
+    /// block-for-block identical to one `Full` launch. Results are valid
+    /// for the covered blocks; nothing is extrapolated.
+    BlockRange { start: usize, end: usize },
+}
+
+/// One attempt of a resilient (retried / failed-over) launch, recorded on
+/// the report of the attempt that finally succeeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// 1-based attempt ordinal across the whole fallback chain.
+    pub attempt: u32,
+    /// Name of the device the attempt ran on.
+    pub device: String,
+    /// Index of that device in the fallback chain (0 = primary).
+    pub device_index: usize,
+    /// Stable fault-kind name that ended the attempt ("ecc", "timeout",
+    /// "device_lost", "oom", ...), or `None` for the succeeding attempt.
+    pub fault: Option<String>,
+    /// Whether the fault was classified transient (retried in place).
+    pub transient: bool,
+}
+
+/// Retry/fail-over provenance of a resilient launch: how many attempts it
+/// took, what ended each failed one, and how much simulated backoff was
+/// charged. Populated by the resilience layer (`launch_resilient` and the
+/// device pool) on the winning attempt's report; plain launches carry
+/// `None`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceInfo {
+    /// Total attempts across the chain (1 = first try succeeded).
+    pub attempts: u32,
+    /// Every attempt in order, the succeeding one last.
+    pub history: Vec<AttemptRecord>,
+    /// Simulated seconds charged as retry backoff.
+    pub backoff_s: f64,
+    /// Device-to-device fail-over hops taken.
+    pub failovers: u32,
 }
 
 /// Outcome of a simulated launch.
@@ -86,6 +127,9 @@ pub struct SimReport {
     /// Why this launch ran serially (or on a slower engine) despite being
     /// asked for more; `FallbackReason::None` when nothing was downgraded.
     pub fallback: crate::atomics::FallbackReason,
+    /// Retry/fail-over provenance when this launch completed under the
+    /// resilience layer; `None` for plain launches.
+    pub resilience: Option<ResilienceInfo>,
 }
 
 /// How fast the *host* interpreted the launch — wall-clock measurements of
@@ -1934,6 +1978,14 @@ pub fn run_kernel_launch_faulty(
             let scale = total_blocks as f64 / idx.len().max(1) as f64;
             (idx, scale, total_blocks > k)
         }
+        ExecMode::BlockRange { start, end } => {
+            if start > end || end > total_blocks {
+                return Err(serr!(
+                    "block range {start}..{end} outside grid of {total_blocks} block(s)"
+                ));
+            }
+            ((start..end).collect(), 1.0, false)
+        }
     };
 
     let warp_w = spec.warp_width.max(1);
@@ -2095,6 +2147,7 @@ pub fn run_kernel_launch_faulty(
         lowering_cache: crate::lower::lowering_cache_counters(),
         compile_cache: crate::compile::compile_cache_counters(),
         fallback,
+        resilience: None,
     })
 }
 

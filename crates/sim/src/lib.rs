@@ -34,8 +34,8 @@ pub use compile::compile_cache_counters;
 pub use fault::{EccCtx, FaultPlan, SimError, SimErrorKind};
 pub use interp::{
     program_uses_global_atomics, resolve_sim_engine, resolve_sim_threads, run_kernel_launch,
-    run_kernel_launch_engine, run_kernel_launch_faulty, run_kernel_launch_threads, Engine,
-    ExecMode, HostPerf, LaunchFaults, SimArgs, SimReport,
+    run_kernel_launch_engine, run_kernel_launch_faulty, run_kernel_launch_threads, AttemptRecord,
+    Engine, ExecMode, HostPerf, LaunchFaults, ResilienceInfo, SimArgs, SimReport,
 };
 pub use lower::{lower, lowering_cache_counters, CacheCounters, WarpProgram};
 pub use memory::{DeviceMem, SharedMem, SimBufF, SimBufI};

@@ -57,11 +57,16 @@ fn esc(s: &str, out: &mut String) {
 }
 
 /// The Chrome-trace lane (thread id) an event renders into: SM lanes live
-/// at `1 + sm`, queue lanes at `1000 + queue id`, everything else (device
-/// ops, waits, faults) on lane 0 ("host").
+/// at `1 + sm`, queue lanes at `1000 + queue id`, pool shard spans and
+/// migration markers at lane 2000 ("shards" — one per device, so pooled
+/// launches render as one shard lane per member pid), everything else
+/// (device ops, waits, faults) on lane 0 ("host").
 fn lane(e: &TraceEvent) -> u64 {
     if let Some(sm) = e.sm {
         return 1 + sm;
+    }
+    if matches!(e.kind, TraceKind::Shard | TraceKind::Migrate) {
+        return 2000;
     }
     if matches!(
         e.kind,
@@ -77,6 +82,7 @@ fn lane(e: &TraceEvent) -> u64 {
 fn lane_name(tid: u64) -> String {
     match tid {
         0 => "host".to_string(),
+        2000 => "shards".to_string(),
         t if t >= 1000 => format!("queue {}", t - 1000),
         t => format!("sm {}", t - 1),
     }

@@ -5,8 +5,10 @@
 # sim_lowering writes BENCH_sim.json at the repo root — blocks/s and
 # instrs/s from the simulator's own HostPerf counters for the reference,
 # lowered and compiled engines on daxpy, dgemm and scan, plus the
-# speedups — so the perf trajectory is tracked across PRs. Numbers are
-# host-dependent; compare within one machine.
+# speedups — so the perf trajectory is tracked across PRs. pool_scaling
+# splices a `pool_scaling` entry into the same file: blocks/s of a sharded
+# pooled launch at pool sizes 1/2/4, fault-free vs one recovered fault.
+# Numbers are host-dependent; compare within one machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +17,9 @@ cargo bench -p alpaka-bench --bench sim_throughput
 
 echo "== sim_lowering (reference vs lowered vs compiled engines) =="
 cargo bench -p alpaka-bench --bench sim_lowering
+
+echo "== pool_scaling (sharded pool launches, fault-free vs 1-fault recovery) =="
+cargo bench -p alpaka-bench --bench pool_scaling
 
 echo "== BENCH_sim.json =="
 cat BENCH_sim.json

@@ -33,13 +33,17 @@ for t in 1 4; do
   ALPAKA_SIM_THREADS=$t cargo test -q --test faults
   ALPAKA_SIM_THREADS=$t cargo test -q --test streams_events
   ALPAKA_SIM_THREADS=$t cargo test -q --test fault_campaign
+  ALPAKA_SIM_THREADS=$t cargo test -q --test pool_chaos
 done
 
 echo "== ALPAKA_SIM_FAULTS smoke seed =="
 # A fixed env-injected plan must not break suites that build their own
 # devices (explicit plans override the env; the rest must stay
-# fault-or-correct with this tiny ECC rate).
+# fault-or-correct with this tiny ECC rate). The pool chaos campaign sets
+# explicit per-member plans everywhere it injects, so it must be immune to
+# the ambient seed too.
 ALPAKA_SIM_FAULTS="seed=42,ecc=1e-9" cargo test -q --test fault_campaign
+ALPAKA_SIM_FAULTS="seed=42,ecc=1e-9" cargo test -q --test pool_chaos
 
 echo "== traced smoke launch (ALPAKA_SIM_TRACE end to end) =="
 # The example validates the emitted Chrome JSON itself (parses, non-empty,
@@ -64,5 +68,9 @@ cargo bench -p alpaka-bench --bench sim_lowering -- --test
 # Includes the zero-cost guard: facade launch with tracing disabled must be
 # within 2% of the raw simulator call.
 cargo bench -p alpaka-bench --bench trace_overhead -- --test
+# pool_scaling's smoke mode runs the pool parity guard: every (pool size,
+# fault) configuration must reproduce the serial result bit-for-bit and a
+# member loss must migrate.
+cargo bench -p alpaka-bench --bench pool_scaling -- --test
 
 echo "CI OK"

@@ -208,3 +208,84 @@ fn high_ecc_rate_always_faults_daxpy() {
     assert_structured(&err);
     assert!(err.is_transient(), "{err}");
 }
+
+// ---------------------------------------------------------------------------
+// Atomics-plan x fault-injection: the deterministic parallel-atomics path
+// (privatized scatter, ordered commit) must stay fault-or-correct and
+// bit-reproducible under injected faults too.
+
+/// Atomic f64 reduction through the queue path, so queue-level worker
+/// death participates alongside device-level ECC / loss.
+fn run_reduce_atomic(
+    plan: Option<&alpaka::FaultPlan>,
+    workers: usize,
+    engine: Engine,
+    n: usize,
+    death_at: Option<u64>,
+) -> Outcome {
+    use alpaka::{Queue, QueueBehavior, WorkDiv};
+    use alpaka_kernels::ReduceAtomic;
+    let mut dev = Device::with_workers(AccKind::sim_k20(), workers).with_engine(engine);
+    let mut p = plan.cloned().unwrap_or_else(|| FaultPlan::quiet(0));
+    if let Some(d) = death_at {
+        p = p.with_worker_death_at(d);
+    }
+    dev = dev.with_faults(p);
+    let q = Queue::new(dev.clone(), QueueBehavior::NonBlocking);
+    let run = || -> Result<Vec<Vec<f64>>, Error> {
+        let x = dev.try_alloc_f64(BufLayout::d1(n))?;
+        let out = dev.try_alloc_f64(BufLayout::d1(1))?;
+        x.upload(&(0..n).map(|i| 0.125 * i as f64 - 7.0).collect::<Vec<_>>())?;
+        // Non-zero base so the f64 accumulation order is observable.
+        out.upload(&[0.25])?;
+        let threads = 16usize;
+        let elems = 2usize;
+        let blocks = n.div_ceil(threads * elems).max(1);
+        let wd = WorkDiv::d1(blocks, threads, elems);
+        let args = Args::new().buf_f(&x).buf_f(&out).scalar_i(n as i64);
+        q.enqueue_kernel(&ReduceAtomic, &wd, &args)?;
+        q.wait()?;
+        Ok(vec![out.download()])
+    };
+    // Queue ids are process-global ordinals; mask them so the comparison
+    // across runs sees only the structured fault content.
+    run().map_err(|e| {
+        let msg = e.to_string();
+        match msg.find("(queue ") {
+            Some(i) => format!("{}(queue ?)", &msg[..i]),
+            None => msg,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reducible atomic kernel under combined fault plans: fault-or-correct,
+    /// and the outcome — including the exact f64 bits of the atomically
+    /// accumulated sum — is identical across interpreter worker counts and
+    /// all three engines.
+    #[test]
+    fn atomic_reduction_campaign_is_fault_or_correct_and_deterministic(
+        seed in any::<u64>(),
+        ecc_exp in 0u32..6,
+        lost_raw in 0u64..6,
+        death_raw in 0u64..12,
+        n in 32usize..700,
+    ) {
+        let lost_at = (lost_raw < 2).then_some(lost_raw);
+        let death_at = (death_raw < 4).then_some(death_raw);
+        let reference = run_reduce_atomic(None, 1, Engine::Lowered, n, None);
+        let plan = plan_from(seed, ecc_exp, None, lost_at);
+        let faulty = run_reduce_atomic(Some(&plan), 1, Engine::Lowered, n, death_at);
+        check_campaign(&faulty, &reference);
+        // Same plan, more interpreter workers: the deterministic
+        // parallel-atomics merge must reproduce the outcome bit-for-bit.
+        let again = run_reduce_atomic(Some(&plan), 4, Engine::Lowered, n, death_at);
+        prop_assert_eq!(&faulty, &again, "outcome depends on worker count");
+        for engine in [Engine::Reference, Engine::Compiled] {
+            let e = run_reduce_atomic(Some(&plan), 1, engine, n, death_at);
+            prop_assert_eq!(&faulty, &e, "outcome depends on engine {:?}", engine);
+        }
+    }
+}
