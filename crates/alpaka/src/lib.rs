@@ -45,6 +45,7 @@ pub mod resilient;
 pub use alpaka_core::buffer::BufLayout;
 pub use alpaka_core::error::{Error, FaultInfo, Result};
 pub use alpaka_core::kernel::Kernel;
+pub use alpaka_core::metrics;
 pub use alpaka_core::ops::{KernelOps, KernelOpsExt};
 pub use alpaka_core::queue::{HostEvent, QueueBehavior};
 pub use alpaka_core::trace;
@@ -52,7 +53,7 @@ pub use alpaka_core::trace::{TraceEvent, TraceKind};
 pub use alpaka_core::workdiv::WorkDiv;
 pub use alpaka_sim::{Engine, FaultPlan, KernelProfile, SimReport};
 pub use alpaka_trace::{
-    chrome_trace, roofline_csv, text_report, validate_json, ChromeOpts, Tracer,
+    chrome_trace, resilience_report, roofline_csv, text_report, validate_json, ChromeOpts, Tracer,
 };
 pub use buffer::{copy_f64, copy_i64, BufferF, BufferI};
 pub use device::{AccKind, Device};

@@ -44,6 +44,7 @@
 
 use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::Kernel;
+use alpaka_core::metrics;
 use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_sim::{AttemptRecord, FaultPlan, LaunchStats, ResilienceInfo, SimReport};
@@ -73,6 +74,23 @@ impl Health {
     pub fn available(self) -> bool {
         !matches!(self, Health::Quarantined)
     }
+
+    /// Stable lowercase name (metric label value, post-mortem rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Quarantined => "quarantined",
+            Health::Recovered => "recovered",
+        }
+    }
+}
+
+/// Count a structured pool-launch failure in the metrics registry before
+/// surfacing it (no-op when metrics are disabled).
+fn note_pool_failure(e: Error) -> Error {
+    metrics::note_failure(fault_kind(&e), &e.to_string());
+    e
 }
 
 /// Pool-level fault handling knobs.
@@ -318,7 +336,7 @@ impl DevicePool {
             .filter(|(a, b)| a < b)
             .collect();
 
-        let traced = trace::enabled();
+        let traced = trace::active();
         let ordinal = self.launches;
         self.launches += 1;
         let launch_t0 = self.clock_s;
@@ -342,10 +360,11 @@ impl DevicePool {
 
         let mut rr = 0usize; // round-robin assignment cursor
         for (k, &(start, end)) in ranges.iter().enumerate() {
-            self.check_deadline(launch_t0, k, &ranges)?;
+            self.check_deadline(launch_t0, k, &ranges)
+                .map_err(note_pool_failure)?;
             self.recover_cooled_members(traced, &mut pool_events);
             let Some(owner) = self.next_available(rr) else {
-                return Err(self.unrecoverable(k, start, end, None));
+                return Err(note_pool_failure(self.unrecoverable(k, start, end, None)));
             };
             rr = owner + 1;
 
@@ -379,6 +398,11 @@ impl DevicePool {
                     match result {
                         Ok(report) => break 'migrate Ok(report),
                         Err(e) => {
+                            metrics::counter_add(
+                                "alpaka_pool_faults_total",
+                                &[("kind", fault_kind(&e))],
+                                1,
+                            );
                             if traced {
                                 pool_events.push(
                                     TraceEvent::new(
@@ -403,23 +427,30 @@ impl DevicePool {
                                     break 'migrate Err(self.shard_ctx(e, k, start, end, member));
                                 }
                                 Disposition::Retry if retries < self.policy.retry.max_retries => {
-                                    self.health[member] = Health::Degraded;
+                                    self.set_health(member, Health::Degraded);
                                     retries += 1;
                                     let pause = self.policy.retry.backoff_s(retries);
                                     dev.advance_sim_clock(pause);
                                     self.clock_s += pause;
                                     backoff_total += pause;
-                                    self.check_deadline(launch_t0, k, &ranges)?;
+                                    metrics::observe("alpaka_pool_backoff_seconds", &[], pause);
+                                    self.check_deadline(launch_t0, k, &ranges)
+                                        .map_err(note_pool_failure)?;
                                 }
                                 _ => {
                                     // Sticky loss, or a transient that
                                     // exhausted its retry budget:
                                     // quarantine and migrate.
-                                    self.health[member] = Health::Quarantined;
+                                    self.set_health(member, Health::Quarantined);
                                     self.cooldown[member] = 0;
                                     let from = member;
                                     match self.next_available(from + 1) {
                                         Some(next) => {
+                                            metrics::counter_add(
+                                                "alpaka_pool_migrations_total",
+                                                &[],
+                                                1,
+                                            );
                                             let err_str = e.to_string();
                                             migrations.push(MigrationRecord {
                                                 shard: k,
@@ -477,7 +508,7 @@ impl DevicePool {
                     if traced {
                         trace::emit_all(pool_events);
                     }
-                    return Err(e);
+                    return Err(note_pool_failure(e));
                 }
             };
 
@@ -486,7 +517,7 @@ impl DevicePool {
             let t0 = self.clock_s;
             self.clock_s += report.time.total_s;
             merged.add(&report.stats);
-            self.health[member] = Health::Healthy;
+            self.set_health(member, Health::Healthy);
             for m in 0..self.devices.len() {
                 if self.health[m] == Health::Quarantined {
                     self.cooldown[m] = self.cooldown[m].saturating_add(1);
@@ -545,6 +576,33 @@ impl DevicePool {
             trace::emit_all(member_events.into_iter().flatten());
         }
 
+        if metrics::enabled() {
+            // Everything below derives from the serialized pool clock and
+            // the shard records, both invariant across pool sizes, thread
+            // counts and engines. The makespan is deliberately NOT recorded:
+            // it depends on how shards landed on members, i.e. on pool size.
+            let name = kernel_name(&spec.kernel);
+            metrics::counter_add("alpaka_pool_launches_total", &[("kernel", &name)], 1);
+            metrics::counter_add(
+                "alpaka_pool_shards_total",
+                &[("kernel", &name)],
+                records.len() as u64,
+            );
+            for r in &records {
+                metrics::observe("alpaka_pool_shard_seconds", &[], r.time_s);
+                metrics::observe_in(
+                    "alpaka_pool_shard_attempts",
+                    &[],
+                    metrics::COUNT_BUCKETS,
+                    r.attempts as f64,
+                );
+            }
+            metrics::observe(
+                "alpaka_pool_launch_serial_seconds",
+                &[],
+                self.clock_s - launch_t0,
+            );
+        }
         let makespan_s = self
             .devices
             .iter()
@@ -570,6 +628,22 @@ impl DevicePool {
         })
     }
 
+    /// Set one member's health, counting the transition when the state
+    /// actually changes (so a fault-free launch records no transitions and
+    /// the metrics snapshot stays identical across pool sizes). Member
+    /// indices are deliberately not labeled.
+    fn set_health(&mut self, member: usize, to: Health) {
+        let from = self.health[member];
+        if from != to {
+            metrics::counter_add(
+                "alpaka_pool_health_transitions_total",
+                &[("from", from.name()), ("to", to.name())],
+                1,
+            );
+        }
+        self.health[member] = to;
+    }
+
     /// First available member at or cyclically after `from`.
     fn next_available(&self, from: usize) -> Option<usize> {
         let n = self.devices.len();
@@ -590,7 +664,13 @@ impl DevicePool {
             {
                 self.devices[m].mark_recovered();
                 self.devices[m].revive();
-                self.health[m] = Health::Recovered;
+                metrics::observe_in(
+                    "alpaka_pool_quarantine_shards",
+                    &[],
+                    metrics::COUNT_BUCKETS,
+                    self.cooldown[m] as f64,
+                );
+                self.set_health(m, Health::Recovered);
                 self.cooldown[m] = 0;
                 if traced {
                     pool_events.push(

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::{Kernel, ScalarArgs};
+use alpaka_core::metrics;
 use alpaka_core::queue::{HostEvent, QueueBehavior};
 use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
@@ -14,6 +15,25 @@ use parking_lot::Mutex;
 
 use crate::buffer::{copy_f64, copy_i64, BufferF, BufferI};
 use crate::device::{Device, DeviceImpl};
+use crate::resilient::fault_kind;
+
+/// Count one queue operation (and, for completed results, its outcome) in
+/// the metrics registry. No queue/device-id labels: snapshots must stay
+/// byte-identical regardless of how ids were allocated.
+fn count_op(op: &'static str) {
+    metrics::counter_add("alpaka_queue_ops_total", &[("op", op)], 1);
+}
+
+fn count_op_result(op: &'static str, r: &Result<()>) {
+    match r {
+        Ok(()) => metrics::counter_add("alpaka_queue_ops_completed_total", &[("op", op)], 1),
+        Err(e) => metrics::counter_add(
+            "alpaka_queue_op_errors_total",
+            &[("op", op), ("kind", fault_kind(e))],
+            1,
+        ),
+    }
+}
 
 /// Launch arguments: buffers in slot order plus scalars — the executor of
 /// Listing 5 binds these together with the kernel and work division.
@@ -115,7 +135,7 @@ pub(crate) fn run_sim_traced<K: Kernel + ?Sized>(
     args: &alpaka_accsim::SimLaunchArgs,
     mode: ExecMode,
 ) -> Result<SimReport> {
-    let traced = trace::enabled();
+    let traced = trace::active();
     let (t0, ordinal, model) = if traced {
         let s = d.spec();
         (
@@ -131,6 +151,7 @@ pub(crate) fn run_sim_traced<K: Kernel + ?Sized>(
             if traced {
                 emit_launch_events(kernel.name(), dev_id, None, ordinal, model, t0, &report);
             }
+            alpaka_sim::metrics::record_launch(kernel.name(), &report);
             Ok(report)
         }
         Err(e) => {
@@ -145,6 +166,7 @@ pub(crate) fn run_sim_traced<K: Kernel + ?Sized>(
                     .on_launch(ordinal),
                 );
             }
+            metrics::note_failure(fault_kind(&e), &format!("{}: {e}", kernel.name()));
             Err(e)
         }
     }
@@ -298,6 +320,7 @@ impl Queue {
         args: &Args,
     ) -> Result<()> {
         self.check_sticky()?;
+        count_op("kernel");
         self.consume_op()?;
         if self.sticky.lock().is_some() {
             // consume_op absorbed an injected death; this op never runs.
@@ -307,7 +330,7 @@ impl Queue {
             QImpl::Cpu(q) => q.enqueue_kernel(kernel.clone(), *wd, args.to_cpu()?),
             QImpl::Sim(q) => {
                 let mut ql = q.lock();
-                let traced = trace::enabled();
+                let traced = trace::active();
                 let (t0, ordinal, model) = if traced {
                     let d = ql.device();
                     let s = d.spec();
@@ -332,6 +355,7 @@ impl Queue {
                                 report,
                             );
                         }
+                        alpaka_sim::metrics::record_launch(kernel.name(), report);
                         Ok(())
                     }
                     Err(e) => {
@@ -347,10 +371,12 @@ impl Queue {
                                 .on_launch(ordinal),
                             );
                         }
+                        metrics::note_failure(fault_kind(&e), &format!("{}: {e}", kernel.name()));
                         Err(e)
                     }
                 };
                 drop(ql);
+                count_op_result("kernel", &out);
                 self.absorb(out)
             }
         }
@@ -361,6 +387,7 @@ impl Queue {
     /// first drain the queue (preserving in-order semantics) and then run.
     pub fn enqueue_copy_f64(&self, dst: &BufferF, src: &BufferF) -> Result<()> {
         self.check_sticky()?;
+        count_op("copy");
         self.consume_op()?;
         if self.sticky.lock().is_some() {
             return Ok(());
@@ -381,6 +408,7 @@ impl Queue {
     /// [`Queue::enqueue_copy_f64`]).
     pub fn enqueue_copy_i64(&self, dst: &BufferI, src: &BufferI) -> Result<()> {
         self.check_sticky()?;
+        count_op("copy");
         self.consume_op()?;
         if self.sticky.lock().is_some() {
             return Ok(());
@@ -399,7 +427,11 @@ impl Queue {
 
     /// Emit the span of a completed copy (or the fault of a failed one).
     fn trace_copy(&self, label: &str, t0: f64, r: &Result<()>) {
-        if !trace::enabled() {
+        count_op_result("copy", r);
+        if let Err(e) = r {
+            metrics::note_failure(fault_kind(e), &format!("{label}: {e}"));
+        }
+        if !trace::active() {
             return;
         }
         match r {
@@ -423,7 +455,8 @@ impl Queue {
     /// Enqueue an event signaled once all prior operations completed.
     pub fn enqueue_event(&self, ev: &HostEvent) -> Result<()> {
         self.check_sticky()?;
-        if trace::enabled() {
+        count_op("event");
+        if trace::active() {
             trace::emit(
                 TraceEvent::new(
                     TraceKind::EventRecord,
@@ -444,7 +477,14 @@ impl Queue {
     /// error is sticky: it is reported again by every later operation until
     /// [`Queue::reset`].
     pub fn wait(&self) -> Result<()> {
-        if trace::enabled() {
+        count_op("wait");
+        if metrics::enabled() {
+            // Simulated seconds of work drained by waits on this queue so
+            // far (the simulated analogue of host wait time; deterministic,
+            // unlike a wall-clock measurement).
+            metrics::observe("alpaka_queue_wait_sim_seconds", &[], self.sim_elapsed_s());
+        }
+        if trace::active() {
             trace::emit(
                 TraceEvent::new(
                     TraceKind::Wait,
@@ -475,7 +515,8 @@ impl Queue {
     /// Returns early with the queue's error if the worker dies before the
     /// event can ever be signaled.
     pub fn wait_event(&self, ev: &HostEvent) -> Result<()> {
-        if trace::enabled() {
+        count_op("wait_event");
+        if trace::active() {
             trace::emit(
                 TraceEvent::new(
                     TraceKind::Wait,

@@ -23,6 +23,7 @@
 use alpaka_core::buffer::BufLayout;
 use alpaka_core::error::{Error, Result};
 use alpaka_core::kernel::{Kernel, ScalarArgs};
+use alpaka_core::metrics;
 use alpaka_core::trace::{self, TraceEvent, TraceKind};
 use alpaka_core::workdiv::WorkDiv;
 use alpaka_sim::{AttemptRecord, ResilienceInfo, SimReport};
@@ -272,12 +273,16 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
     policy: &RetryPolicy,
     spec: &LaunchSpec<K>,
 ) -> Result<LaunchOutcome> {
-    let traced = trace::enabled();
+    let traced = trace::active();
     let mut attempts = 0u32;
     let mut backoff_total = 0.0f64;
     let mut errors: Vec<Error> = Vec::new();
     let mut history: Vec<AttemptRecord> = Vec::new();
     let mut failovers = 0u32;
+    // Backoff charged to the simulated clock immediately before the next
+    // attempt (0 for a first attempt); carried as span meta so trace
+    // reports can total the backoff without replaying the policy.
+    let mut backoff_before: f64;
     for (di, dev) in chain.devices().iter().enumerate() {
         if dev.is_lost() {
             if traced {
@@ -296,11 +301,14 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                 dev.name()
             )));
             failovers += 1;
+            metrics::counter_add("alpaka_resilient_failovers_total", &[], 1);
             continue;
         }
         let mut retries = 0u32;
+        backoff_before = 0.0;
         loop {
             attempts += 1;
+            metrics::counter_add("alpaka_resilient_attempts_total", &[], 1);
             let t0 = dev.sim_clock_s();
             let result = attempt(dev, spec);
             if traced {
@@ -315,6 +323,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                         .span_until(dev.sim_clock_s())
                         .with("attempt", attempts as f64)
                         .with("device_index", di as f64)
+                        .with("backoff_before_s", backoff_before)
                         .with(
                             "transient",
                             result
@@ -333,6 +342,19 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
             });
             match result {
                 Ok((bufs_f, bufs_i, mut report)) => {
+                    if metrics::enabled() {
+                        metrics::counter_add(
+                            "alpaka_resilient_launches_total",
+                            &[("kernel", spec.kernel.name())],
+                            1,
+                        );
+                        metrics::observe_in(
+                            "alpaka_resilient_attempts_per_launch",
+                            &[],
+                            metrics::COUNT_BUCKETS,
+                            attempts as f64,
+                        );
+                    }
                     if let Some(r) = report.as_mut() {
                         r.resilience = Some(ResilienceInfo {
                             attempts,
@@ -353,11 +375,21 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                     });
                 }
                 Err(e) => {
+                    metrics::counter_add(
+                        "alpaka_resilient_faults_total",
+                        &[("kind", fault_kind(&e))],
+                        1,
+                    );
                     let disposition = classify(&e);
                     errors.push(e);
                     match disposition {
                         Disposition::Fatal => {
-                            return Err(errors.pop().expect("just pushed"));
+                            let e = errors.pop().expect("just pushed");
+                            metrics::note_failure(
+                                fault_kind(&e),
+                                &format!("{} on {}: {e}", spec.kernel.name(), dev.name()),
+                            );
+                            return Err(e);
                         }
                         Disposition::FailOver => {
                             if traced {
@@ -376,6 +408,7 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                                 );
                             }
                             failovers += 1;
+                            metrics::counter_add("alpaka_resilient_failovers_total", &[], 1);
                             break;
                         }
                         Disposition::Retry => {
@@ -396,26 +429,31 @@ pub fn launch_resilient<K: Kernel + Clone + Send + 'static>(
                                     );
                                 }
                                 failovers += 1;
+                                metrics::counter_add("alpaka_resilient_failovers_total", &[], 1);
                                 break;
                             }
                             retries += 1;
                             let pause = policy.backoff_s(retries);
                             dev.advance_sim_clock(pause);
                             backoff_total += pause;
+                            backoff_before = pause;
+                            metrics::observe("alpaka_resilient_backoff_seconds", &[], pause);
                         }
                     }
                 }
             }
         }
     }
-    Err(Error::Device(format!(
+    let e = Error::Device(format!(
         "all {} device(s) in the fallback chain exhausted; last error: {}",
         chain.devices().len(),
         errors
             .last()
             .map(|e| e.to_string())
             .unwrap_or_else(|| "none recorded".into()),
-    )))
+    ));
+    metrics::note_failure(fault_kind(&e), &format!("{}: {e}", spec.kernel.name()));
+    Err(e)
 }
 
 #[cfg(test)]

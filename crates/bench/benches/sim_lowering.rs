@@ -352,10 +352,14 @@ fn bench_sim_lowering(c: &mut Criterion) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_sim.json");
     let json = format!(
-        "{{\n  \"workload\": \"dgemm_naive\",\n  \"blocks\": {BLOCKS},\n  \"n\": {N},\n  \
+        "{{\n  \"schema_version\": 1,\n  \"workload\": \"dgemm_naive\",\n  \"blocks\": {BLOCKS},\n  \
+         \"n\": {N},\n  \
          \"device\": \"e5_2630v3\",\n  \"threads\": 1,\n  \"host_cpus\": {host_cpus},\n{dgemm_line}  \
          \"workloads\": {{\n{table}\n  }}\n}}\n",
     );
+    // The file is diffed and spliced by other benches; never write a body
+    // the validator rejects.
+    alpaka_trace::validate_json(&json).expect("sim_lowering produced invalid BENCH_sim.json");
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("sim_lowering: wrote {path}"),
         Err(e) => eprintln!("sim_lowering: could not write {path}: {e}"),

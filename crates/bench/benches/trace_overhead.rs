@@ -9,10 +9,16 @@
 //!
 //! * an untraced facade launch records zero events and no profile, and its
 //!   simulated stats are bit-identical to a traced run's,
-//! * a traced run emits a non-empty stream whose profile ties out, and
+//! * a traced run emits a non-empty stream whose profile ties out,
+//! * with metrics disabled the same facade launch leaves the metrics
+//!   registry, flight recorder and failure notes empty, and a metered run
+//!   (`metrics::capture`) records families without perturbing the
+//!   simulated stats, and
 //! * the untraced facade launch is within 2% of the direct
 //!   `run_kernel_launch_threads` call (min-of-K wall time, interleaved so
-//!   host noise hits both sides equally).
+//!   host noise hits both sides equally). The facade path includes every
+//!   disabled-metrics branch (queue op counters, launch bridge, failure
+//!   notes), so the budget covers the metrics facade too.
 //!
 //! Full criterion mode additionally times the traced path to report what
 //! switching the profiler ON costs — that one is allowed to be slower.
@@ -117,10 +123,37 @@ fn min_wall(k: usize, f: impl Fn()) -> f64 {
 }
 
 fn bench_trace_overhead(c: &mut Criterion) {
-    // Guard 1: the untraced path is allocation-free and profile-free.
+    // Guard 1: the untraced path is allocation-free and profile-free, and
+    // the disabled metrics facade records nothing at all.
     assert!(!trace::enabled(), "tracing must be off for this bench");
+    assert!(
+        !alpaka::metrics::enabled(),
+        "metrics must be off for this bench"
+    );
     let untraced_stats = run_facade();
     assert_eq!(trace::pending(), 0, "untraced launch recorded events");
+    assert!(
+        alpaka::metrics::snapshot().is_empty(),
+        "disabled metrics facade recorded families"
+    );
+    assert!(
+        alpaka::metrics::flight_snapshot().is_empty(),
+        "disabled metrics facade recorded flight events"
+    );
+    assert!(
+        alpaka::metrics::failures().is_empty(),
+        "disabled metrics facade recorded failure notes"
+    );
+
+    // Guard 1b: a metered run records the launch without perturbing the
+    // simulated stats.
+    let (metered_stats, mcap) = alpaka::metrics::capture(run_facade);
+    assert_eq!(
+        untraced_stats, metered_stats,
+        "metrics recording perturbed the simulated stats"
+    );
+    assert_eq!(mcap.snapshot.counter_total("alpaka_launches_total"), 1);
+    assert!(mcap.failures.is_empty());
 
     // Guard 2: the traced path emits a stream that ties out, and tracing
     // does not perturb the simulation itself.

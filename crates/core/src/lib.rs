@@ -26,6 +26,7 @@ pub mod acc;
 pub mod buffer;
 pub mod error;
 pub mod kernel;
+pub mod metrics;
 pub mod ops;
 pub mod pool;
 pub mod queue;

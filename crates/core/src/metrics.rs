@@ -1,0 +1,522 @@
+//! Deterministic metrics: counters, gauges and fixed-bucket latency
+//! histograms with exact percentiles, plus a bounded per-device **flight
+//! recorder** for post-mortems.
+//!
+//! Everything recorded here is derived from the simulated clock and
+//! deterministic counters — never from wall time — so two runs of the same
+//! workload produce byte-identical snapshots regardless of
+//! `ALPAKA_SIM_THREADS`, the interpreter engine, or the device-pool size.
+//! (The one documented exception: the process-wide lowering/compile cache
+//! gauges, which depend on which engine ran; exporters and acceptance tests
+//! mask those, exactly like `wall_ns` in trace exports.)
+//!
+//! The registry is **off by default** and the fast path is allocation-free:
+//! every recording site checks [`enabled`] (one relaxed atomic load) before
+//! building a key. Metrics turn on explicitly ([`set_enabled`] /
+//! `alpaka_metrics::MetricsHub`) or via the `ALPAKA_SIM_METRICS=<base>`
+//! environment variable, read once on first use.
+//!
+//! Histograms keep two representations at once: fixed log-spaced bucket
+//! counts (for Prometheus-style exposition) *and* the raw sample list,
+//! bounded by [`SAMPLE_CAP`] with an explicit drop counter, so p50/p95/p99
+//! are exact nearest-rank percentiles rather than bucket interpolations.
+//!
+//! The flight recorder retains the last [`flight_capacity`] trace events per
+//! device (fed by `trace::emit` whenever metrics are enabled, even with the
+//! trace sink off) and a bounded list of launch-failure notes; together with
+//! a snapshot they form the post-mortem that `alpaka-metrics` renders when a
+//! launch fails with a structured error.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+
+use crate::trace::TraceEvent;
+
+/// Label set of one metric instance: `(key, value)` pairs in binding order.
+pub type LabelSet = Vec<(&'static str, String)>;
+
+type MetricKey = (&'static str, LabelSet);
+
+/// Latency bucket upper bounds in simulated seconds (1-2.5-5 per decade,
+/// 100 ns .. 10 s; `+Inf` is implicit).
+pub const LATENCY_BUCKETS_S: &[f64] = &[
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3,
+    5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Rate bucket upper bounds (events per simulated second, decades).
+pub const RATE_BUCKETS: &[f64] = &[
+    1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
+];
+
+/// Small-count bucket upper bounds (attempts, shards, queue depths).
+pub const COUNT_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Exact-percentile sample retention per histogram; beyond this, samples
+/// still land in buckets/sum/count but percentiles stop absorbing them and
+/// `dropped` says so (no silent truncation).
+pub const SAMPLE_CAP: usize = 65536;
+
+/// One fixed-bucket histogram with exact-percentile sample retention.
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    bounds: &'static [f64],
+    /// `bounds.len() + 1` counts; the last is the `+Inf` bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    samples: Vec<f64>,
+    dropped: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            samples: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(v);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Immutable export form of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds (the `+Inf` bucket is `counts.last()`).
+    pub bounds: Vec<f64>,
+    /// Cumulative-free per-bucket counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+    /// Exact nearest-rank percentiles over the retained samples.
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    /// Samples not retained for percentiles (see [`SAMPLE_CAP`]).
+    pub dropped: u64,
+}
+
+/// Everything in the registry, sorted by `(name, labels)` so iteration
+/// order — and therefore every export — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, LabelSet, u64)>,
+    pub gauges: Vec<(&'static str, LabelSet, f64)>,
+    pub histograms: Vec<(&'static str, LabelSet, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Look up a counter by name with no regard for labels (sums across
+    /// label sets). Convenience for tests and the sim-top example.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _, _)| *n == name)
+            .map(|(_, _, v)| *v)
+            .sum()
+    }
+
+    /// Look up one histogram by name + exact label match.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, ls, _)| {
+                *n == name
+                    && ls.len() == labels.len()
+                    && ls
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (wk, wv))| k == wk && v == wv)
+            })
+            .map(|(_, _, h)| h)
+    }
+}
+
+/// A full capture for post-mortems: the snapshot plus the flight-recorder
+/// rings and failure notes accumulated during the captured closure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsCapture {
+    pub snapshot: MetricsSnapshot,
+    /// `(device id, ring contents oldest-first)` per device that emitted.
+    pub flight: Vec<(u64, Vec<TraceEvent>)>,
+    /// Structured launch-failure notes, in failure order.
+    pub failures: Vec<String>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histos: BTreeMap<MetricKey, Histogram>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    histos: BTreeMap::new(),
+});
+static FLIGHT: Mutex<BTreeMap<u64, VecDeque<TraceEvent>>> = Mutex::new(BTreeMap::new());
+static FLIGHT_CAP: AtomicUsize = AtomicUsize::new(64);
+static FAILURES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Retained failure notes; later failures only bump
+/// `alpaka_failure_notes_dropped_total`.
+const FAILURE_NOTE_CAP: usize = 64;
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if env_metrics_path().is_some() {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The `ALPAKA_SIM_METRICS` export base path, if set (empty counts as
+/// unset). Setting it also enables the registry, mirroring
+/// `ALPAKA_SIM_TRACE`.
+pub fn env_metrics_path() -> Option<String> {
+    std::env::var("ALPAKA_SIM_METRICS")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// Is the registry on? One relaxed load after a one-time env check;
+/// recording sites call this before building any key so the disabled path
+/// stays allocation-free.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the registry on or off explicitly (overrides the env default).
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn key(name: &'static str, labels: &[(&'static str, &str)]) -> MetricKey {
+    (
+        name,
+        labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+    )
+}
+
+/// Add `v` to a monotonic counter (no-op when disabled).
+pub fn counter_add(name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    *reg.counters.entry(key(name, labels)).or_insert(0) += v;
+}
+
+/// Set a gauge to `v` (no-op when disabled).
+pub fn gauge_set(name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.gauges.insert(key(name, labels), v);
+}
+
+/// Record one observation into a latency histogram
+/// ([`LATENCY_BUCKETS_S`]); no-op when disabled.
+pub fn observe(name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+    observe_in(name, labels, LATENCY_BUCKETS_S, v);
+}
+
+/// Record one observation into a histogram with explicit bucket bounds.
+/// The bounds of the *first* observation win for a given `(name, labels)`.
+pub fn observe_in(
+    name: &'static str,
+    labels: &[(&'static str, &str)],
+    bounds: &'static [f64],
+    v: f64,
+) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.histos
+        .entry(key(name, labels))
+        .or_insert_with(|| Histogram::new(bounds))
+        .observe(v);
+}
+
+/// Exact nearest-rank percentile (`p` in [0, 100]) of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Copy the registry out in deterministic `(name, labels)` order.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().unwrap();
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|((n, ls), v)| (*n, ls.clone(), *v))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|((n, ls), v)| (*n, ls.clone(), *v))
+            .collect(),
+        histograms: reg
+            .histos
+            .iter()
+            .map(|((n, ls), h)| {
+                let mut sorted = h.samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                (
+                    *n,
+                    ls.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.to_vec(),
+                        counts: h.counts.clone(),
+                        sum: h.sum,
+                        count: h.counts.iter().sum(),
+                        p50: percentile(&sorted, 50.0),
+                        p95: percentile(&sorted, 95.0),
+                        p99: percentile(&sorted, 99.0),
+                        dropped: h.dropped,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Clear every counter, gauge, histogram, flight ring and failure note.
+pub fn reset() {
+    *REGISTRY.lock().unwrap() = Registry::default();
+    FLIGHT.lock().unwrap().clear();
+    FAILURES.lock().unwrap().clear();
+}
+
+/// Events retained per device by the flight recorder.
+pub fn flight_capacity() -> usize {
+    FLIGHT_CAP.load(Ordering::Relaxed)
+}
+
+/// Resize the per-device flight ring (applies to subsequent events).
+pub fn set_flight_capacity(n: usize) {
+    FLIGHT_CAP.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Append one event to its device's ring, evicting the oldest beyond
+/// [`flight_capacity`]. Called by `trace::emit`/`emit_all` whenever metrics
+/// are enabled; not meant for direct use.
+pub(crate) fn flight_record(ev: &TraceEvent) {
+    let cap = flight_capacity();
+    let mut rings = FLIGHT.lock().unwrap();
+    let ring = rings.entry(ev.device).or_default();
+    while ring.len() >= cap {
+        ring.pop_front();
+    }
+    ring.push_back(ev.clone());
+}
+
+/// The flight-recorder contents: `(device id, events oldest-first)`,
+/// sorted by device id.
+pub fn flight_snapshot() -> Vec<(u64, Vec<TraceEvent>)> {
+    FLIGHT
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(d, ring)| (*d, ring.iter().cloned().collect()))
+        .collect()
+}
+
+/// Record a structured launch failure: bumps
+/// `alpaka_launch_failures_total{kind}` and retains `[kind] detail` for the
+/// post-mortem (bounded; overflow is counted, never silent). `detail` must
+/// be deterministic — simulated clock, kernel/device names, fault
+/// coordinates — so post-mortems are byte-comparable.
+pub fn note_failure(kind: &'static str, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    counter_add("alpaka_launch_failures_total", &[("kind", kind)], 1);
+    let mut notes = FAILURES.lock().unwrap();
+    if notes.len() < FAILURE_NOTE_CAP {
+        notes.push(format!("[{kind}] {detail}"));
+    } else {
+        drop(notes);
+        counter_add("alpaka_failure_notes_dropped_total", &[], 1);
+    }
+}
+
+/// Failure notes recorded so far, in order.
+pub fn failures() -> Vec<String> {
+    FAILURES.lock().unwrap().clone()
+}
+
+/// Run `f` with metrics enabled and return its result plus everything it
+/// recorded. Like `trace::capture`: concurrent captures serialize on the
+/// shared capture lock, the device/queue id counters reset to zero for the
+/// duration (so reruns produce identical flight-ring keys), and the
+/// previous registry contents and enabled state are restored afterwards.
+/// Do not nest inside `trace::capture` (same lock — it would deadlock);
+/// enable the trace sink with `trace::set_enabled` inside the closure if
+/// both streams are wanted.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, MetricsCapture) {
+    let _guard = crate::trace::capture_guard();
+    let was = enabled();
+    let saved_reg = std::mem::take(&mut *REGISTRY.lock().unwrap());
+    let saved_flight = std::mem::take(&mut *FLIGHT.lock().unwrap());
+    let saved_fail = std::mem::take(&mut *FAILURES.lock().unwrap());
+    let (saved_dev, saved_q) = crate::trace::save_ids_for_capture();
+    set_enabled(true);
+    let out = f();
+    let cap = MetricsCapture {
+        snapshot: snapshot(),
+        flight: flight_snapshot(),
+        failures: failures(),
+    };
+    set_enabled(was);
+    *REGISTRY.lock().unwrap() = saved_reg;
+    *FLIGHT.lock().unwrap() = saved_flight;
+    *FAILURES.lock().unwrap() = saved_fail;
+    crate::trace::restore_ids_after_capture(saved_dev, saved_q);
+    (out, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceKind};
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let ((), cap) = capture(|| ());
+        assert!(cap.snapshot.is_empty());
+        if !enabled() {
+            counter_add("x_total", &[], 1);
+            observe("y_seconds", &[], 0.5);
+            note_failure("test", "nope");
+            assert!(snapshot().is_empty());
+            assert!(failures().is_empty());
+        }
+    }
+
+    #[test]
+    fn capture_isolates_and_restores() {
+        let ((), a) = capture(|| {
+            counter_add("launches_total", &[("kernel", "daxpy")], 2);
+            gauge_set("g", &[], 1.5);
+        });
+        assert_eq!(a.snapshot.counter_total("launches_total"), 2);
+        // A second capture starts from scratch.
+        let ((), b) = capture(|| {
+            counter_add("launches_total", &[("kernel", "daxpy")], 2);
+            gauge_set("g", &[], 1.5);
+        });
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let ((), cap) = capture(|| {
+            for i in 1..=100 {
+                observe("lat", &[], i as f64 * 1e-3);
+            }
+        });
+        let h = cap.snapshot.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 0.050);
+        assert_eq!(h.p95, 0.095);
+        assert_eq!(h.p99, 0.099);
+        assert_eq!(h.dropped, 0);
+        // Buckets tie out with the count.
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert!((h.sum - 5.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let ((), cap) = capture(|| {
+            counter_add("b_total", &[], 1);
+            counter_add("a_total", &[("k", "z")], 1);
+            counter_add("a_total", &[("k", "a")], 1);
+        });
+        let names: Vec<_> = cap
+            .snapshot
+            .counters
+            .iter()
+            .map(|(n, ls, _)| format!("{n}{ls:?}"))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn flight_ring_keeps_last_n_per_device() {
+        let ((), cap) = capture(|| {
+            let prev = flight_capacity();
+            set_flight_capacity(4);
+            for i in 0..10 {
+                crate::trace::emit(TraceEvent::new(
+                    TraceKind::Launch,
+                    format!("k{i}"),
+                    7,
+                    i as f64,
+                ));
+            }
+            set_flight_capacity(prev);
+        });
+        let (dev, ring) = &cap.flight[0];
+        assert_eq!(*dev, 7);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring[0].label, "k6");
+        assert_eq!(ring[3].label, "k9");
+    }
+
+    #[test]
+    fn failure_notes_are_bounded_and_counted() {
+        let ((), cap) = capture(|| {
+            for i in 0..(FAILURE_NOTE_CAP + 3) {
+                note_failure("kind", &format!("f{i}"));
+            }
+        });
+        assert_eq!(cap.failures.len(), FAILURE_NOTE_CAP);
+        assert_eq!(
+            cap.snapshot
+                .counter_total("alpaka_failure_notes_dropped_total"),
+            3
+        );
+        assert_eq!(
+            cap.snapshot.counter_total("alpaka_launch_failures_total"),
+            (FAILURE_NOTE_CAP + 3) as u64
+        );
+    }
+}

@@ -199,23 +199,50 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Should emission sites build events at all? True when either the trace
+/// sink ([`enabled`]) or the metrics flight recorder
+/// (`crate::metrics::enabled`) wants them. Two relaxed loads; still
+/// allocation-free when both are off.
+#[inline]
+pub fn active() -> bool {
+    enabled() || crate::metrics::enabled()
+}
+
 /// Nanoseconds since the process trace epoch (first trace-time query).
 pub fn wall_ns() -> u64 {
     let epoch = EPOCH.get_or_init(Instant::now);
     epoch.elapsed().as_nanos() as u64
 }
 
-/// Record one event (no-op when tracing is disabled).
+/// Record one event: into the sink when tracing is enabled, into the
+/// metrics flight recorder when metrics are enabled (either, both, or —
+/// the fast path — neither).
 pub fn emit(ev: TraceEvent) {
-    if enabled() {
+    let to_sink = enabled();
+    if crate::metrics::enabled() {
+        crate::metrics::flight_record(&ev);
+    }
+    if to_sink {
         SINK.lock().unwrap().push(ev);
     }
 }
 
-/// Record a batch of events in order (no-op when tracing is disabled).
+/// Record a batch of events in order (same routing as [`emit`]).
 pub fn emit_all(evs: impl IntoIterator<Item = TraceEvent>) {
-    if enabled() {
+    let to_sink = enabled();
+    let to_flight = crate::metrics::enabled();
+    if !to_sink && !to_flight {
+        return;
+    }
+    if !to_flight {
         SINK.lock().unwrap().extend(evs);
+        return;
+    }
+    for ev in evs {
+        crate::metrics::flight_record(&ev);
+        if to_sink {
+            SINK.lock().unwrap().push(ev);
+        }
     }
 }
 
@@ -247,21 +274,41 @@ pub fn next_queue_id() -> u64 {
 /// *inside* the closure get the same ids on every capture — this is what
 /// makes captured streams byte-comparable across runs.
 pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<TraceEvent>) {
-    let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = capture_guard();
     let was = enabled();
     let stale = drain();
-    let saved_dev = DEVICE_IDS.swap(0, Ordering::Relaxed);
-    let saved_q = QUEUE_IDS.swap(0, Ordering::Relaxed);
+    let (saved_dev, saved_q) = save_ids_for_capture();
     set_enabled(true);
     let out = f();
     let events = drain();
     set_enabled(was);
-    DEVICE_IDS.fetch_max(saved_dev, Ordering::Relaxed);
-    QUEUE_IDS.fetch_max(saved_q, Ordering::Relaxed);
+    restore_ids_after_capture(saved_dev, saved_q);
     if was {
-        emit_all(stale);
+        SINK.lock().unwrap().extend(stale);
     }
     (out, events)
+}
+
+/// The shared capture lock, also taken by `metrics::capture` — the sink,
+/// the registry and the id counters are all process-global, so trace and
+/// metrics captures must serialize against each other.
+pub(crate) fn capture_guard() -> std::sync::MutexGuard<'static, ()> {
+    CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Reset the device/queue id counters to zero for a capture, returning the
+/// prior values for [`restore_ids_after_capture`].
+pub(crate) fn save_ids_for_capture() -> (u64, u64) {
+    (
+        DEVICE_IDS.swap(0, Ordering::Relaxed),
+        QUEUE_IDS.swap(0, Ordering::Relaxed),
+    )
+}
+
+/// Restore the id counters to at least their pre-capture values.
+pub(crate) fn restore_ids_after_capture(saved_dev: u64, saved_q: u64) {
+    DEVICE_IDS.fetch_max(saved_dev, Ordering::Relaxed);
+    QUEUE_IDS.fetch_max(saved_q, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -105,7 +105,7 @@ pub struct ResilienceInfo {
 }
 
 /// Outcome of a simulated launch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     pub stats: LaunchStats,
     pub time: TimeBreakdown,

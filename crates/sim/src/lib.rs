@@ -24,6 +24,7 @@ pub mod fault;
 pub mod interp;
 pub mod lower;
 pub mod memory;
+pub mod metrics;
 pub mod profile;
 pub mod spec;
 pub mod stats;

@@ -225,4 +225,60 @@ mod tests {
             assert!(validate_json(s).is_err(), "accepted: {s}");
         }
     }
+
+    #[test]
+    fn del_is_legal_raw_but_c0_controls_are_not() {
+        // RFC 8259 only bans U+0000..U+001F unescaped; DEL (0x7f) is fine.
+        validate_json("\"a\u{7f}b\"").unwrap();
+        for c in 0u8..0x20 {
+            let s = format!("\"a{}b\"", c as char);
+            assert!(validate_json(&s).is_err(), "accepted raw control {c:#04x}");
+        }
+    }
+
+    #[test]
+    fn escape_sequences_nested_and_malformed() {
+        // Every simple escape, a \u escape, and escapes of the escape
+        // character itself (the "nested" cases: \\n is a backslash + n, not
+        // a newline; \\\" is a backslash + closing quote).
+        for s in [
+            r#""\" \\ \/ \b \f \n \r \t é""#,
+            r#""\\n""#,
+            r#""\\\"""#,
+            r#""\\\\\\""#,
+            "\"\"", // DEL twice, raw: legal,
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+        for s in [
+            r#""\x41""#,   // not a JSON escape
+            r#""\u00g1""#, // non-hex digit
+            r#""\u12""#,   // truncated \u
+            r#""\""#,      // escape then EOF
+            r#""\\\""#,    // escaped backslash leaves the quote escaped
+        ] {
+            assert!(validate_json(s).is_err(), "accepted: {s}");
+        }
+    }
+
+    #[test]
+    fn long_strings_and_deep_nesting_validate() {
+        let long: String = format!("\"{}\"", "x".repeat(100_000));
+        validate_json(&long).unwrap();
+        let mut mixed = String::from("\"");
+        for i in 0..20_000 {
+            match i % 4 {
+                0 => mixed.push_str("\\n"),
+                1 => mixed.push_str("\\u0001"),
+                2 => mixed.push('\u{7f}'),
+                _ => mixed.push('é'),
+            }
+        }
+        mixed.push('"');
+        validate_json(&mixed).unwrap();
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        validate_json(&deep).unwrap();
+        let unbalanced = format!("{}1{}", "[".repeat(200), "]".repeat(199));
+        assert!(validate_json(&unbalanced).is_err());
+    }
 }

@@ -40,7 +40,13 @@ impl Default for ChromeOpts {
     }
 }
 
-fn esc(s: &str, out: &mut String) {
+/// Append `s` to `out` as the body of a JSON string literal: `"`, `\` and
+/// the C0 control characters are escaped (RFC 8259 §7); everything else —
+/// including DEL (0x7f) and non-ASCII — passes through verbatim, which the
+/// grammar permits. Shared by every hand-formatted exporter in the
+/// workspace (`chrome_trace` here, the metrics JSON snapshot in
+/// `alpaka-metrics`).
+pub fn esc(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -180,34 +186,99 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// One event as a single deterministic text line (no trailing newline, no
+/// wall clock). Shared by [`text_report`] and the flight-recorder
+/// post-mortem in `alpaka-metrics`.
+pub fn event_line(e: &TraceEvent) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "[{:>12.3}us] dev{} {:<13}",
+        e.sim_t0_s * 1e6,
+        e.device,
+        e.kind.name()
+    );
+    if let Some(q) = e.queue {
+        let _ = write!(out, " q{q}");
+    }
+    if let Some(l) = e.launch {
+        let _ = write!(out, " launch#{l}");
+    }
+    let _ = write!(out, " {}", e.label);
+    if e.sim_t1_s > e.sim_t0_s {
+        let _ = write!(out, " ({:.3}us)", (e.sim_t1_s - e.sim_t0_s) * 1e6);
+    }
+    for (k, v) in &e.meta {
+        let _ = write!(out, " {k}={v}");
+    }
+    out
+}
+
 /// Compact human-readable rendering of an event stream, one line per event,
-/// in emission order. Wall-clock times are intentionally omitted so the
-/// report is deterministic.
+/// in emission order, followed by a resilience summary when the stream
+/// contains retry/fail-over events. Wall-clock times are intentionally
+/// omitted so the report is deterministic.
 pub fn text_report(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} trace events", events.len());
     for e in events {
-        let _ = write!(
-            out,
-            "[{:>12.3}us] dev{} {:<13}",
-            e.sim_t0_s * 1e6,
-            e.device,
-            e.kind.name()
-        );
-        if let Some(q) = e.queue {
-            let _ = write!(out, " q{q}");
-        }
-        if let Some(l) = e.launch {
-            let _ = write!(out, " launch#{l}");
-        }
-        let _ = write!(out, " {}", e.label);
-        if e.sim_t1_s > e.sim_t0_s {
-            let _ = write!(out, " ({:.3}us)", (e.sim_t1_s - e.sim_t0_s) * 1e6);
-        }
-        for (k, v) in &e.meta {
-            let _ = write!(out, " {k}={v}");
-        }
+        out.push_str(&event_line(e));
         out.push('\n');
+    }
+    // Resilience summary: attempts and fail-overs are rare enough that a
+    // reader shouldn't have to fish them out of the event soup above.
+    let attempts: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::RetryAttempt)
+        .collect();
+    let failovers = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::FailOver)
+        .count();
+    if !attempts.is_empty() || failovers > 0 {
+        let backoff_s: f64 = attempts
+            .iter()
+            .filter_map(|e| e.meta_get("backoff_before_s"))
+            .sum();
+        let _ = writeln!(
+            out,
+            "resilience: {} attempt(s), {} fail-over(s), {:.3}us total backoff",
+            attempts.len(),
+            failovers,
+            backoff_s * 1e6
+        );
+        for e in &attempts {
+            let _ = writeln!(out, "  {}", e.label);
+        }
+    }
+    out
+}
+
+/// Render one launch's retry/fail-over provenance
+/// (`SimReport::resilience`) as readable text: total attempts, the fault
+/// kind that ended each attempt, fail-over hops and total simulated
+/// backoff. Everything comes from the deterministic `ResilienceInfo`, so
+/// the rendering is byte-stable.
+pub fn resilience_report(info: &alpaka_sim::ResilienceInfo) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resilience: {} attempt(s), {} fail-over(s), {:.3}us total backoff",
+        info.attempts,
+        info.failovers,
+        info.backoff_s * 1e6
+    );
+    for a in &info.history {
+        let outcome = match &a.fault {
+            Some(kind) if a.transient => format!("{kind} (transient)"),
+            Some(kind) => kind.clone(),
+            None => "ok".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  attempt {} on {} (chain index {}): {}",
+            a.attempt, a.device, a.device_index, outcome
+        );
     }
     out
 }
@@ -398,5 +469,137 @@ mod tests {
         let e = TraceEvent::new(TraceKind::Fault, "bad \"quote\" \\ and \n newline", 0, 0.0);
         let s = chrome_trace(&[e], &ChromeOpts::default());
         validate_json(&s).unwrap();
+    }
+
+    /// Wrap `esc(s)` in quotes: the JSON string literal the exporters emit.
+    fn quoted(s: &str) -> String {
+        let mut out = String::from("\"");
+        esc(s, &mut out);
+        out.push('"');
+        out
+    }
+
+    #[test]
+    fn esc_escapes_every_c0_control_char() {
+        for c in 0u32..0x20 {
+            let c = char::from_u32(c).unwrap();
+            let q = quoted(&format!("a{c}b"));
+            validate_json(&q).unwrap_or_else(|e| panic!("{c:?}: {q}: {e}"));
+            assert!(q.contains('\\'), "{c:?} not escaped: {q}");
+        }
+    }
+
+    #[test]
+    fn esc_passes_del_and_unicode_verbatim() {
+        // DEL (0x7f) needs no escape under RFC 8259 and esc leaves it alone.
+        let q = quoted("a\u{7f}b\u{e9}\u{1f600}");
+        assert_eq!(q, "\"a\u{7f}b\u{e9}\u{1f600}\"");
+        validate_json(&q).unwrap();
+    }
+
+    #[test]
+    fn esc_handles_nested_escapes() {
+        // Input that already looks like escape sequences must be
+        // re-escaped, not passed through.
+        assert_eq!(quoted(r#"\n"#), r#""\\n""#);
+        assert_eq!(quoted(r#"\\"#), r#""\\\\""#);
+        assert_eq!(quoted(r#"say "\"""#), r#""say \"\\\"\"""#);
+        assert_eq!(quoted("\\\n"), r#""\\\n""#);
+        for s in [r#"\n"#, r#"\\"#, r#"say "\"""#, "\\\n", r#"A"#] {
+            validate_json(&quoted(s)).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn esc_long_hostile_string_stays_valid() {
+        let mut s = String::new();
+        for i in 0..50_000 {
+            match i % 5 {
+                0 => s.push('"'),
+                1 => s.push('\\'),
+                2 => s.push('\u{1}'),
+                3 => s.push('\u{7f}'),
+                _ => s.push('x'),
+            }
+        }
+        let q = quoted(&s);
+        validate_json(&q).unwrap();
+        // Escaping must round-trip length-wise: nothing silently dropped.
+        assert!(q.len() > s.len());
+    }
+
+    #[test]
+    fn resilience_report_lists_attempt_provenance() {
+        use alpaka_sim::{AttemptRecord, ResilienceInfo};
+        let info = ResilienceInfo {
+            attempts: 3,
+            history: vec![
+                AttemptRecord {
+                    attempt: 1,
+                    device: "sim_k20".into(),
+                    device_index: 0,
+                    fault: Some("ecc".into()),
+                    transient: true,
+                },
+                AttemptRecord {
+                    attempt: 2,
+                    device: "sim_k20".into(),
+                    device_index: 0,
+                    fault: Some("device_lost".into()),
+                    transient: false,
+                },
+                AttemptRecord {
+                    attempt: 3,
+                    device: "cpu_serial".into(),
+                    device_index: 1,
+                    fault: None,
+                    transient: false,
+                },
+            ],
+            backoff_s: 1e-3,
+            failovers: 1,
+        };
+        let r = resilience_report(&info);
+        assert!(r.contains("3 attempt(s), 1 fail-over(s)"), "{r}");
+        assert!(r.contains("1000.000us total backoff"), "{r}");
+        assert!(
+            r.contains("attempt 1 on sim_k20 (chain index 0): ecc (transient)"),
+            "{r}"
+        );
+        assert!(
+            r.contains("attempt 2 on sim_k20 (chain index 0): device_lost"),
+            "{r}"
+        );
+        assert!(
+            r.contains("attempt 3 on cpu_serial (chain index 1): ok"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn text_report_summarizes_retries() {
+        let evs = vec![
+            TraceEvent::new(
+                TraceKind::RetryAttempt,
+                "attempt 1 on sim_k20: ecc event",
+                0,
+                0.0,
+            )
+            .with("attempt", 1.0)
+            .with("backoff_before_s", 0.0),
+            TraceEvent::new(TraceKind::RetryAttempt, "attempt 2 on sim_k20: ok", 0, 2e-3)
+                .with("attempt", 2.0)
+                .with("backoff_before_s", 1e-3),
+            TraceEvent::new(TraceKind::FailOver, "fail over from sim_k20", 0, 3e-3),
+        ];
+        let r = text_report(&evs);
+        assert!(
+            r.contains("resilience: 2 attempt(s), 1 fail-over(s), 1000.000us total backoff"),
+            "{r}"
+        );
+        assert!(r.contains("  attempt 1 on sim_k20: ecc event"), "{r}");
+        // Streams without retries get no summary.
+        let clean = text_report(&sample_events());
+        assert!(!clean.contains("resilience:"), "{clean}");
     }
 }

@@ -34,6 +34,10 @@ for t in 1 4; do
   ALPAKA_SIM_THREADS=$t cargo test -q --test streams_events
   ALPAKA_SIM_THREADS=$t cargo test -q --test fault_campaign
   ALPAKA_SIM_THREADS=$t cargo test -q --test pool_chaos
+  # Metrics snapshots must be byte-identical across engines and pool sizes
+  # at this thread count too (the suite pins workers per device on top of
+  # the ambient override; both funnel into resolve_sim_threads).
+  ALPAKA_SIM_THREADS=$t cargo test -q --test metrics_acceptance
 done
 
 echo "== ALPAKA_SIM_FAULTS smoke seed =="
@@ -59,18 +63,47 @@ done
 echo "== no-trace path emits zero events =="
 env -u ALPAKA_SIM_TRACE cargo run -q --release --example trace_smoke
 
+echo "== metrics smoke (ALPAKA_SIM_METRICS end to end) =="
+# sim-top with the registry on: exports must appear, and a seeded chaos run
+# must dump a post-mortem from the flight recorder. Everything derives from
+# the simulated clock, so two identical runs must produce byte-identical
+# .prom/.json/.postmortem.txt files — diff all three.
+metrics_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$metrics_dir"' EXIT
+for run in a b; do
+  ALPAKA_SIM_METRICS="$metrics_dir/top_$run" ALPAKA_SIM_FAULTS="seed=7,lost_at=0" \
+    cargo run -q --release --example metrics_top >"$metrics_dir/report_$run.txt"
+  for ext in prom json postmortem.txt; do
+    test -s "$metrics_dir/top_$run.$ext" || {
+      echo "missing/empty metrics export: top_$run.$ext"
+      exit 1
+    }
+  done
+done
+for ext in prom json postmortem.txt; do
+  diff -u "$metrics_dir/top_a.$ext" "$metrics_dir/top_b.$ext" || {
+    echo "metrics export $ext is not reproducible"
+    exit 1
+  }
+done
+grep -q "launch failure(s):" "$metrics_dir/top_a.postmortem.txt" || {
+  echo "post-mortem missing the failure section"
+  exit 1
+}
+
+echo "== no-metrics path records zero families =="
+# tests/zero_overhead.rs and the trace_overhead bench guard assert the
+# registry/flight/failure stores stay empty; this just exercises the
+# example's metrics-off path end to end.
+env -u ALPAKA_SIM_METRICS -u ALPAKA_SIM_FAULTS cargo run -q --release --example metrics_top \
+  >/dev/null
+
 echo "== bench smoke (guards only, no timing) =="
-cargo bench -p alpaka-bench --bench sim_throughput -- --test
-# sim_lowering's smoke mode runs the three-engine bit-parity guard on all
-# benched workloads (daxpy, dgemm, scan, histogram — the latter at 1 and 4
-# interpreter threads), compiled tier included.
-cargo bench -p alpaka-bench --bench sim_lowering -- --test
-# Includes the zero-cost guard: facade launch with tracing disabled must be
-# within 2% of the raw simulator call.
-cargo bench -p alpaka-bench --bench trace_overhead -- --test
-# pool_scaling's smoke mode runs the pool parity guard: every (pool size,
-# fault) configuration must reproduce the serial result bit-for-bit and a
-# member loss must migrate.
-cargo bench -p alpaka-bench --bench pool_scaling -- --test
+# Runs each bench's --test smoke mode — sim_lowering's three-engine
+# bit-parity guard, trace_overhead's zero-cost guard (untraced facade
+# within 2% of the raw simulator call, disabled metrics facade records
+# nothing), pool_scaling's pool parity guard — then validates
+# BENCH_sim.json (strict JSON parse + schema_version marker).
+scripts/bench.sh --test
 
 echo "CI OK"
